@@ -1,0 +1,31 @@
+# Developer convenience targets for the reproduction.
+
+.PHONY: install test bench experiments report examples all clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	repro-experiment all --quick
+
+report:
+	python -m repro.experiments.report EXPERIMENTS.md
+
+examples:
+	python examples/quickstart.py 13
+	python examples/social_network_analysis.py 13
+	python examples/cluster_design_space.py
+	python examples/granularity_tuning.py 30 8
+	python examples/two_d_partitioning.py 13
+
+all: install test bench report
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true
+	rm -rf src/repro.egg-info .benchmarks

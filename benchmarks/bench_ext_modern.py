@@ -1,0 +1,10 @@
+"""Extension bench: the optimization stack on 2012 vs modern hardware.
+
+Prints the gain-structure comparison; see repro/experiments/ext_modern.py.
+"""
+
+from conftest import run_and_report
+
+
+def test_ext_modern(benchmark, settings):
+    run_and_report(benchmark, "ext_modern", settings)

@@ -1,0 +1,11 @@
+"""Benchmark harness regenerating Fig 3 of the paper.
+
+Prints the reproduced rows/series and the paper-vs-measured claims;
+see repro/experiments/fig03*.py for the experiment definition.
+"""
+
+from conftest import run_and_report
+
+
+def test_fig03(benchmark, settings):
+    run_and_report(benchmark, "fig03", settings)

@@ -1,0 +1,11 @@
+"""Benchmark harness regenerating Fig 4 of the paper.
+
+Prints the reproduced rows/series and the paper-vs-measured claims;
+see repro/experiments/fig04*.py for the experiment definition.
+"""
+
+from conftest import run_and_report
+
+
+def test_fig04(benchmark, settings):
+    run_and_report(benchmark, "fig04", settings)

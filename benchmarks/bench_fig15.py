@@ -1,0 +1,11 @@
+"""Benchmark harness regenerating Fig 15 of the paper.
+
+Prints the reproduced rows/series and the paper-vs-measured claims;
+see repro/experiments/fig15*.py for the experiment definition.
+"""
+
+from conftest import run_and_report
+
+
+def test_fig15(benchmark, settings):
+    run_and_report(benchmark, "fig15", settings)

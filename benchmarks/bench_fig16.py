@@ -1,0 +1,11 @@
+"""Benchmark harness regenerating Fig 16 of the paper.
+
+Prints the reproduced rows/series and the paper-vs-measured claims;
+see repro/experiments/fig16*.py for the experiment definition.
+"""
+
+from conftest import run_and_report
+
+
+def test_fig16(benchmark, settings):
+    run_and_report(benchmark, "fig16", settings)

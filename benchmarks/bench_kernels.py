@@ -1,0 +1,90 @@
+"""Microbenchmarks of the library's hot kernels.
+
+These are *wall-clock* benchmarks of the reproduction's own code (unlike
+the figure benches, which report simulated time): bitmap operations, the
+vectorized bottom-up scan, the R-MAT generator and a full engine run.
+They guard against performance regressions in the simulator itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BFSConfig, BFSEngine, Bitmap, SummaryBitmap
+from repro.core import bottomup
+from repro.core.state import RankState
+from repro.graph import Partition1D, generate_rmat_edges, rmat_graph
+from repro.graph.builder import build_graph
+from repro.machine import paper_cluster
+from repro.util import segments
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_graph(scale=15, seed=3)
+
+
+def test_bitmap_set_and_count(benchmark):
+    rng = np.random.default_rng(0)
+    idx = rng.integers(0, 1 << 22, size=200_000)
+
+    def op():
+        bm = Bitmap(1 << 22)
+        bm.set(idx)
+        return bm.count()
+
+    assert benchmark(op) > 0
+
+
+def test_summary_build(benchmark):
+    rng = np.random.default_rng(1)
+    bm = Bitmap.from_indices(
+        1 << 22, rng.integers(0, 1 << 22, size=100_000)
+    )
+    summary = benchmark(SummaryBitmap.build, bm, 256)
+    assert 0.0 <= summary.zero_fraction() <= 1.0
+
+
+def test_segment_first_true(benchmark):
+    rng = np.random.default_rng(2)
+    n = 2_000_000
+    lengths = rng.integers(0, 40, size=100_000)
+    offsets = np.concatenate([[0], np.cumsum(lengths)])
+    mask = rng.random(int(offsets[-1])) < 0.05
+    out = benchmark(segments.segment_first_true, mask, offsets)
+    assert out.size == 100_000
+
+
+def test_rmat_generation(benchmark):
+    edges = benchmark(generate_rmat_edges, 14, 16, seed=9)
+    assert edges.num_edges == 16 * (1 << 14)
+
+
+def test_csr_build(benchmark):
+    edges = generate_rmat_edges(14, 16, seed=9)
+    graph = benchmark(build_graph, edges)
+    assert graph.num_vertices == 1 << 14
+
+
+def test_bottom_up_scan(benchmark, graph):
+    part = Partition1D(graph.num_vertices, 1)
+    rng = np.random.default_rng(3)
+    frontier = rng.choice(graph.num_vertices, size=2000, replace=False)
+    in_queue = Bitmap.from_indices(graph.num_vertices, frontier)
+    summary = SummaryBitmap.build(in_queue, 64)
+
+    def op():
+        state = RankState(part.extract_local(graph, 0))
+        return bottomup.scan(state, in_queue, summary)
+
+    result = benchmark(op)
+    assert result.examined_edges > 0
+
+
+def test_full_engine_run(benchmark, graph):
+    cluster = paper_cluster(nodes=2)
+    engine = BFSEngine(graph, cluster, BFSConfig.original_ppn8())
+    root = int(np.argmax(graph.degrees()))
+    result = benchmark.pedantic(engine.run, args=(root,), rounds=1, iterations=1)
+    assert result.visited > 0

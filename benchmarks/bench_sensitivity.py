@@ -1,0 +1,37 @@
+"""Robustness bench: the paper's qualitative claims must survive ±50%
+perturbations of every calibration constant (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from repro.model.sensitivity import sensitivity_sweep
+from repro.util.formatting import format_table
+
+
+def test_claims_survive_calibration_perturbations(benchmark):
+    sweep = benchmark.pedantic(
+        sensitivity_sweep, kwargs={"factors": (0.5, 1.0, 1.5)},
+        rounds=1, iterations=1,
+    )
+    rows = []
+    failures = []
+    for constant, outcomes in sweep.items():
+        for factor, outcome in outcomes.items():
+            rows.append(
+                [
+                    constant,
+                    factor,
+                    f"{outcome.numa_speedup:.2f}x",
+                    f"{outcome.overall_speedup:.2f}x",
+                    "yes" if outcome.comm_chain_monotone else "NO",
+                ]
+            )
+            if not outcome.claims_hold:
+                failures.append((constant, factor, outcome))
+    print()
+    print(format_table(
+        ["constant", "x", "NUMA speedup", "overall speedup", "chain monotone"],
+        rows,
+        title="sensitivity: paper claims under calibration perturbation",
+    ))
+    assert not failures, failures

@@ -1,0 +1,11 @@
+"""Benchmark harness regenerating Table I of the paper.
+
+Prints the reproduced rows/series and the paper-vs-measured claims;
+see repro/experiments/table1*.py for the experiment definition.
+"""
+
+from conftest import run_and_report
+
+
+def test_table1(benchmark, settings):
+    run_and_report(benchmark, "table1", settings)

@@ -1,0 +1,11 @@
+"""Benchmark harness regenerating Text IIA of the paper.
+
+Prints the reproduced rows/series and the paper-vs-measured claims;
+see repro/experiments/text_hybrid*.py for the experiment definition.
+"""
+
+from conftest import run_and_report
+
+
+def test_text_hybrid(benchmark, settings):
+    run_and_report(benchmark, "text_hybrid", settings)

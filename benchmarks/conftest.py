@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_figXX.py`` regenerates one table/figure of the paper: it
+runs the experiment under pytest-benchmark (one round — these are
+simulations, not microkernels) and prints the same rows/series the paper
+reports, plus the paper-vs-measured claim lines that feed EXPERIMENTS.md.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentSettings, run_experiment
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    """Benchmark-speed settings: 2 roots, functional runs 16 scales below
+    the paper's (override via REPRO_BENCH_OFFSET / REPRO_BENCH_ROOTS)."""
+    import os
+
+    return ExperimentSettings(
+        scale_offset=int(os.environ.get("REPRO_BENCH_OFFSET", "16")),
+        num_roots=int(os.environ.get("REPRO_BENCH_ROOTS", "2")),
+    )
+
+
+def run_and_report(benchmark, experiment_id: str, settings) -> None:
+    """Benchmark one experiment and print its reproduced figure."""
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id, settings),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+    for name, (paper, measured) in result.claims.items():
+        benchmark.extra_info[name] = f"paper {paper} | measured {measured}"
+
+
+@pytest.fixture
+def report(benchmark, settings):
+    """Callable fixture: ``report('fig09')``."""
+
+    def _run(experiment_id: str) -> None:
+        run_and_report(benchmark, experiment_id, settings)
+
+    return _run

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Explore the cluster design space for Graph500-class BFS.
+
+The paper argues that *fewer, fatter* NUMA nodes lighten the network
+pressure of BFS.  This example uses the analytic prediction mode to
+sweep hardware designs at a fixed total core count (1024 cores) and asks:
+for a scale-32 traversal, how should the cores be packaged — many thin
+nodes or few 8-socket NUMA boxes, one IB port or two?
+
+Everything runs in milliseconds because no graph is materialized: the
+level-profile model prices each design directly (see
+repro/model/levelprofile.py).
+
+Usage::
+
+    python examples/cluster_design_space.py
+"""
+
+from __future__ import annotations
+
+import dataclasses as dc
+
+from repro import BFSConfig
+from repro.machine.spec import ClusterSpec, IbSpec, NodeSpec, x7550_socket
+from repro.model.analytic import analytic_graph500
+from repro.util import format_table
+
+SCALE = 32
+TOTAL_CORES = 1024
+
+
+def make_design(sockets_per_node: int, ib_ports: int) -> ClusterSpec:
+    socket = x7550_socket()
+    nodes = TOTAL_CORES // (sockets_per_node * socket.cores)
+    node = NodeSpec(
+        sockets=sockets_per_node,
+        socket=socket,
+        ib=dc.replace(IbSpec(), ports=ib_ports),
+    )
+    return ClusterSpec(nodes=nodes, node=node)
+
+
+def best_config(cluster: ClusterSpec) -> BFSConfig:
+    """The paper's full stack, adapted to the node's socket count."""
+    if cluster.node.sockets == 1:
+        return BFSConfig(ppn=1, granularity=256)
+    return BFSConfig.granularity_variant(256)
+
+
+def main() -> None:
+    print(f"design space: {TOTAL_CORES} cores total, scale-{SCALE} R-MAT, "
+          f"paper-optimized BFS on every design\n")
+    rows = []
+    results = {}
+    for sockets in (1, 2, 4, 8):
+        for ports in (1, 2):
+            cluster = make_design(sockets, ports)
+            res = analytic_graph500(cluster, best_config(cluster), SCALE)
+            bd = res.timing.breakdown
+            key = (sockets, ports)
+            results[key] = res.teps
+            rows.append(
+                [
+                    f"{cluster.nodes} nodes x {sockets} sockets",
+                    ports,
+                    res.teps / 1e9,
+                    f"{bd.comm_fraction * 100:.0f}%",
+                ]
+            )
+    print(format_table(
+        ["design", "IB ports", "GTEPS", "comm share"],
+        rows,
+        title="1024-core design sweep",
+    ))
+    best = max(results, key=results.get)
+    print(f"\nbest design: {best[0]} sockets per node, {best[1]} IB ports "
+          f"-> {results[best]/1e9:.1f} GTEPS")
+    thin = results[(1, 2)]
+    fat = results[(8, 2)]
+    print(f"fat 8-socket nodes vs thin 1-socket nodes (2 ports): "
+          f"{fat/thin:.2f}x — {'fewer, fatter nodes win' if fat > thin else 'thin nodes win'}"
+          f" (the paper's premise)")
+
+
+if __name__ == "__main__":
+    main()

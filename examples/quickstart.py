@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: run the paper's NUMA-optimized BFS end to end.
+
+Generates a Graph500-style R-MAT graph, runs the hybrid BFS on a
+simulated 4-node NUMA cluster under two configurations (the unoptimized
+baseline and the paper's full optimization stack), validates the BFS
+trees, and prints TEPS plus the per-phase profile.
+
+Usage::
+
+    python examples/quickstart.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    BFSConfig,
+    paper_cluster,
+    rmat_graph,
+    run_graph500,
+    validate_parent_tree,
+)
+from repro.model import predict_graph500
+from repro.util import format_si, format_time_ns
+
+# Performance comparisons are priced at this paper-like scale — tiny
+# functional graphs are latency-dominated and would hide the NUMA story.
+TARGET_SCALE = 31
+
+
+def main(scale: int = 14) -> None:
+    print(f"generating R-MAT graph, scale {scale} "
+          f"({2**scale:,} vertices, ~{16 * 2**scale:,} edges)...")
+    graph = rmat_graph(scale=scale, seed=1)
+    cluster = paper_cluster(nodes=8)
+    print(f"cluster: {cluster.nodes} nodes x {cluster.node.sockets} sockets "
+          f"x {cluster.node.socket.cores} cores = {cluster.total_cores} cores")
+    print()
+
+    # 1. Functional run + Graph500 validation at the actual scale.
+    baseline = run_graph500(
+        graph, cluster, BFSConfig.original_ppn8(), num_roots=4, seed=7
+    )
+    sample = baseline.results[0]
+    validate_parent_tree(graph, sample.root, sample.parent)
+    print(f"functional check: BFS from root {sample.root} reached "
+          f"{sample.visited:,} vertices in {sample.levels} levels "
+          f"(all five Graph500 validation checks passed)")
+    print()
+
+    # 2. Performance story, priced at paper scale via extrapolation.
+    print(f"performance at scale {TARGET_SCALE} "
+          f"({2**TARGET_SCALE:,} vertices), {cluster.nodes} nodes:")
+    for config in (
+        BFSConfig.original_ppn1(),
+        BFSConfig.original_ppn8(),
+        BFSConfig.granularity_variant(256).named("Fully optimized"),
+    ):
+        pred = predict_graph500(
+            graph, cluster, config, target_scale=TARGET_SCALE,
+            num_roots=4, seed=7,
+        )
+        bd = pred.mean_breakdown()
+        print(f"== {config.label} ==")
+        print(f"  harmonic-mean TEPS : "
+              f"{format_si(pred.harmonic_mean_teps, 'TEPS')}")
+        print(f"  mean BFS time      : {format_time_ns(pred.mean_seconds * 1e9)}")
+        print("  profile            : "
+              f"top-down {format_time_ns(bd.td_compute + bd.td_comm)}, "
+              f"bottom-up compute {format_time_ns(bd.bu_compute)}, "
+              f"bottom-up comm {format_time_ns(bd.bu_comm)}, "
+              f"switch {format_time_ns(bd.switch)}, "
+              f"stall {format_time_ns(bd.stall)}")
+        print(f"  comm share         : {bd.comm_fraction * 100:.0f}%")
+        print()
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 14)

@@ -1,0 +1,105 @@
+"""repro — reproduction of "Evaluation and Optimization of Breadth-First
+Search on NUMA Cluster" (Cui et al., IEEE CLUSTER 2012).
+
+The package implements the paper's hybrid BFS with its full NUMA,
+communication and bitmap-granularity optimization stack, on a simulated
+cluster of multi-socket NUMA nodes (see DESIGN.md for the substitution
+argument).  Quick start::
+
+    from repro import rmat_graph, paper_cluster, BFSConfig, run_graph500
+
+    graph = rmat_graph(scale=15)
+    cluster = paper_cluster(nodes=4)
+    result = run_graph500(graph, cluster, BFSConfig.original_ppn8(),
+                          num_roots=8)
+    print(result.harmonic_mean_teps)
+"""
+
+from repro.errors import (
+    ReproError,
+    ConfigError,
+    GraphError,
+    ValidationError,
+    SimulationError,
+    CommunicationError,
+)
+from repro.graph import (
+    Graph,
+    EdgeList,
+    build_graph,
+    rmat_graph,
+    generate_rmat_edges,
+    RmatParams,
+    Partition1D,
+)
+from repro.machine import (
+    ClusterSpec,
+    NodeSpec,
+    SocketSpec,
+    paper_cluster,
+    x7550_node,
+    x7550_socket,
+)
+from repro.mpi import (
+    AllgatherAlgorithm,
+    BindingPolicy,
+    ProcessMapping,
+    SimComm,
+)
+from repro.core import (
+    compare_configs,
+    optimization_stack,
+    run_bfs,
+    BFSConfig,
+    BFSEngine,
+    BFSResult,
+    Bitmap,
+    SummaryBitmap,
+    Graph500Result,
+    TraversalMode,
+    paper_variants,
+    run_graph500,
+    validate_parent_tree,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "GraphError",
+    "ValidationError",
+    "SimulationError",
+    "CommunicationError",
+    "Graph",
+    "EdgeList",
+    "build_graph",
+    "rmat_graph",
+    "generate_rmat_edges",
+    "RmatParams",
+    "Partition1D",
+    "ClusterSpec",
+    "NodeSpec",
+    "SocketSpec",
+    "paper_cluster",
+    "x7550_node",
+    "x7550_socket",
+    "AllgatherAlgorithm",
+    "BindingPolicy",
+    "ProcessMapping",
+    "SimComm",
+    "compare_configs",
+    "optimization_stack",
+    "run_bfs",
+    "BFSConfig",
+    "BFSEngine",
+    "BFSResult",
+    "Bitmap",
+    "SummaryBitmap",
+    "Graph500Result",
+    "TraversalMode",
+    "paper_variants",
+    "run_graph500",
+    "validate_parent_tree",
+    "__version__",
+]

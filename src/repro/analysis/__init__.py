@@ -1,0 +1,38 @@
+"""Graph analytics built on the BFS engine.
+
+The paper's introduction motivates BFS as "a key building block for many
+graph analysis algorithms, such as finding spanning tree, shortest path,
+connected component".  This subpackage delivers those consumers on top of
+:class:`repro.core.BFSEngine`, so the optimized traversal (and its
+simulated cost) powers higher-level analytics:
+
+* :func:`bfs_tree` / :func:`shortest_hops` — spanning tree and unweighted
+  shortest-path distances;
+* :func:`connected_components` — component labelling via repeated BFS;
+* :func:`estimate_diameter` — double-sweep lower bound on the diameter;
+* :func:`degrees_of_separation` — hop-distance histogram.
+
+Every function also reports the simulated cluster time the analysis
+would cost, because the engine prices each traversal.
+"""
+
+from repro.analysis.pagerank import PageRankResult, distributed_pagerank
+from repro.analysis.algorithms import (
+    AnalysisCost,
+    bfs_tree,
+    shortest_hops,
+    connected_components,
+    estimate_diameter,
+    degrees_of_separation,
+)
+
+__all__ = [
+    "PageRankResult",
+    "distributed_pagerank",
+    "AnalysisCost",
+    "bfs_tree",
+    "shortest_hops",
+    "connected_components",
+    "estimate_diameter",
+    "degrees_of_separation",
+]

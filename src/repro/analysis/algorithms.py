@@ -1,0 +1,184 @@
+"""BFS-powered graph algorithms (see package docstring)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import BFSConfig
+from repro.core.engine import BFSEngine
+from repro.core.validate import compute_levels
+from repro.errors import GraphError
+from repro.graph.types import Graph
+from repro.machine.spec import ClusterSpec, paper_cluster
+
+__all__ = [
+    "AnalysisCost",
+    "bfs_tree",
+    "shortest_hops",
+    "connected_components",
+    "estimate_diameter",
+    "degrees_of_separation",
+]
+
+
+@dataclass
+class AnalysisCost:
+    """Simulated cluster cost of an analysis."""
+
+    traversals: int = 0
+    simulated_seconds: float = 0.0
+
+    def add(self, seconds: float) -> None:
+        """Record one more priced traversal."""
+        self.traversals += 1
+        self.simulated_seconds += seconds
+
+
+def _engine(
+    graph: Graph,
+    cluster: ClusterSpec | None,
+    config: BFSConfig | None,
+) -> BFSEngine:
+    cluster = cluster or paper_cluster(nodes=1)
+    config = config or BFSConfig.original_ppn8()
+    return BFSEngine(graph, cluster, config)
+
+
+def bfs_tree(
+    graph: Graph,
+    root: int,
+    cluster: ClusterSpec | None = None,
+    config: BFSConfig | None = None,
+) -> tuple[np.ndarray, AnalysisCost]:
+    """Spanning tree of ``root``'s component as a parent array."""
+    engine = _engine(graph, cluster, config)
+    result = engine.run(root)
+    cost = AnalysisCost()
+    cost.add(result.seconds)
+    return result.parent, cost
+
+
+def shortest_hops(
+    graph: Graph,
+    root: int,
+    cluster: ClusterSpec | None = None,
+    config: BFSConfig | None = None,
+) -> tuple[np.ndarray, AnalysisCost]:
+    """Unweighted shortest-path distances from ``root`` (-1 unreachable)."""
+    parent, cost = bfs_tree(graph, root, cluster, config)
+    return compute_levels(graph, root, parent), cost
+
+
+def connected_components(
+    graph: Graph,
+    cluster: ClusterSpec | None = None,
+    config: BFSConfig | None = None,
+    max_components: int | None = None,
+) -> tuple[np.ndarray, AnalysisCost]:
+    """Component label per vertex via repeated BFS.
+
+    Isolated vertices get singleton components.  ``max_components`` stops
+    early (remaining vertices keep label -1), which bounds cost on graphs
+    with many small components.
+    """
+    engine = _engine(graph, cluster, config)
+    labels = np.full(graph.num_vertices, -1, dtype=np.int64)
+    degrees = graph.degrees()
+    cost = AnalysisCost()
+    label = 0
+    # Isolated vertices are their own components — no traversal needed.
+    isolated = np.flatnonzero(degrees == 0)
+    for v in isolated:
+        labels[v] = label
+        label += 1
+    remaining = np.flatnonzero(labels < 0)
+    while remaining.size:
+        if max_components is not None and label >= max_components:
+            break
+        root = int(remaining[0])
+        result = engine.run(root)
+        cost.add(result.seconds)
+        reached = result.parent >= 0
+        labels[reached & (labels < 0)] = label
+        label += 1
+        remaining = np.flatnonzero(labels < 0)
+    return labels, cost
+
+
+def estimate_diameter(
+    graph: Graph,
+    cluster: ClusterSpec | None = None,
+    config: BFSConfig | None = None,
+    sweeps: int = 2,
+    seed: int = 3,
+) -> tuple[int, AnalysisCost]:
+    """Lower bound on the diameter by the double-sweep heuristic.
+
+    Start from a random non-isolated vertex, BFS to the farthest vertex,
+    repeat ``sweeps`` times; the largest eccentricity seen is a lower
+    bound that is exact on trees.
+    """
+    if sweeps < 1:
+        raise GraphError("sweeps must be >= 1")
+    degrees = graph.degrees()
+    candidates = np.flatnonzero(degrees > 0)
+    if candidates.size == 0:
+        return 0, AnalysisCost()
+    rng = np.random.default_rng(seed)
+    root = int(rng.choice(candidates))
+    cost = AnalysisCost()
+    best = 0
+    engine = _engine(graph, cluster, config)
+    for _ in range(sweeps):
+        result = engine.run(root)
+        cost.add(result.seconds)
+        levels = compute_levels(graph, root, result.parent)
+        ecc = int(levels.max())
+        best = max(best, ecc)
+        # Next sweep starts from a farthest vertex.
+        far = np.flatnonzero(levels == ecc)
+        root = int(far[0])
+    return best, cost
+
+
+@dataclass
+class SeparationHistogram:
+    """Hop-distance distribution from a set of seeds."""
+
+    counts: dict[int, int] = field(default_factory=dict)
+    unreachable: int = 0
+
+    def fraction_within(self, hops: int) -> float:
+        """Fraction of reached vertices within ``hops`` hops."""
+        total = sum(self.counts.values())
+        if total == 0:
+            return 0.0
+        within = sum(c for h, c in self.counts.items() if h <= hops)
+        return within / total
+
+
+def degrees_of_separation(
+    graph: Graph,
+    seeds: np.ndarray,
+    cluster: ClusterSpec | None = None,
+    config: BFSConfig | None = None,
+) -> tuple[SeparationHistogram, AnalysisCost]:
+    """Aggregate hop-distance histogram from ``seeds``."""
+    seeds = np.asarray(seeds, dtype=np.int64)
+    if seeds.size == 0:
+        raise GraphError("need at least one seed vertex")
+    engine = _engine(graph, cluster, config)
+    hist = SeparationHistogram()
+    cost = AnalysisCost()
+    for seed in seeds:
+        result = engine.run(int(seed))
+        cost.add(result.seconds)
+        levels = compute_levels(graph, int(seed), result.parent)
+        reached = levels[levels >= 0]
+        hist.unreachable += int(np.count_nonzero(levels < 0))
+        values, freq = np.unique(reached, return_counts=True)
+        for v, f in zip(values.tolist(), freq.tolist()):
+            hist.counts[v] = hist.counts.get(v, 0) + f
+    return hist, cost

@@ -1,0 +1,66 @@
+"""The paper's primary contribution: the NUMA-optimized hybrid BFS.
+
+Public surface:
+
+* :class:`BFSConfig` / :func:`paper_variants` — the optimization stack;
+* :class:`BFSEngine` / :class:`BFSResult` — one BFS run;
+* :func:`run_graph500` — the Graph500 evaluation protocol;
+* :class:`Bitmap` / :class:`SummaryBitmap` — the frontier structures;
+* :func:`validate_parent_tree` — the five Graph500 checks.
+"""
+
+from repro.core.api import ConfigComparison, compare_configs, optimization_stack, run_bfs
+from repro.core.bitmap import Bitmap, SummaryBitmap, summary_words_for
+from repro.core.config import BFSConfig, TraversalMode, paper_variants
+from repro.core.counts import Direction, LevelCounts, RunCounts
+from repro.core.engine import BFSEngine, BFSResult
+from repro.core.hybrid import DirectionPolicy, FrontierStats
+from repro.core.state import RankState
+from repro.core.teps import Graph500Result, run_graph500
+from repro.core.timing import (
+    BfsTiming,
+    CostConstants,
+    PhaseBreakdown,
+    StructureSizes,
+    assemble,
+)
+from repro.core.trace import gantt, to_csv, to_json, trace_rows
+from repro.core.twod import Grid2D, TwoDBFSEngine, TwoDResult
+from repro.core.validate import compute_levels, validate_parent_tree
+
+__all__ = [
+    "ConfigComparison",
+    "compare_configs",
+    "optimization_stack",
+    "run_bfs",
+    "Bitmap",
+    "SummaryBitmap",
+    "summary_words_for",
+    "BFSConfig",
+    "TraversalMode",
+    "paper_variants",
+    "Direction",
+    "LevelCounts",
+    "RunCounts",
+    "BFSEngine",
+    "BFSResult",
+    "DirectionPolicy",
+    "FrontierStats",
+    "RankState",
+    "Graph500Result",
+    "run_graph500",
+    "BfsTiming",
+    "CostConstants",
+    "PhaseBreakdown",
+    "StructureSizes",
+    "assemble",
+    "compute_levels",
+    "validate_parent_tree",
+    "gantt",
+    "to_csv",
+    "to_json",
+    "trace_rows",
+    "Grid2D",
+    "TwoDBFSEngine",
+    "TwoDResult",
+]

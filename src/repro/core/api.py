@@ -1,0 +1,117 @@
+"""High-level convenience API.
+
+One-call entry points for the common workflows, so downstream users do
+not have to assemble engines by hand:
+
+* :func:`run_bfs` — one traversal on a default or given cluster;
+* :func:`compare_configs` — several configurations on the same workload,
+  with an optional paper-scale target;
+* :func:`optimization_stack` — the full Fig. 9 chain on any cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import BFSConfig, paper_variants
+from repro.core.engine import BFSEngine, BFSResult
+from repro.core.validate import validate_parent_tree
+from repro.errors import GraphError
+from repro.graph.types import Graph
+from repro.machine.spec import ClusterSpec, paper_cluster
+from repro.model.extrapolate import extrapolate_result
+
+__all__ = ["run_bfs", "compare_configs", "optimization_stack", "ConfigComparison"]
+
+
+def run_bfs(
+    graph: Graph,
+    root: int,
+    cluster: ClusterSpec | None = None,
+    config: BFSConfig | None = None,
+    validate: bool = False,
+) -> BFSResult:
+    """One BFS traversal, optionally validated.
+
+    Defaults: one 8-socket node and the paper's bound one-process-per-
+    socket configuration.
+    """
+    cluster = cluster or paper_cluster(nodes=1)
+    config = config or BFSConfig.original_ppn8()
+    result = BFSEngine(graph, cluster, config).run(root)
+    if validate:
+        validate_parent_tree(graph, root, result.parent)
+    return result
+
+
+@dataclass
+class ConfigComparison:
+    """TEPS of several configurations on the same workload."""
+
+    teps: dict[str, float]
+    seconds: dict[str, float]
+    target_scale: int | None
+
+    @property
+    def best(self) -> str:
+        """Name of the fastest configuration."""
+        return max(self.teps, key=self.teps.get)
+
+    def speedup(self, name: str, over: str) -> float:
+        """How much faster ``name`` is than ``over``."""
+        return self.teps[name] / self.teps[over]
+
+
+def compare_configs(
+    graph: Graph,
+    configs: dict[str, BFSConfig],
+    cluster: ClusterSpec | None = None,
+    root: int | None = None,
+    target_scale: int | None = None,
+) -> ConfigComparison:
+    """Run several configurations from the same root and compare TEPS.
+
+    ``target_scale`` re-prices every run at a paper scale (recommended:
+    tiny functional graphs are latency-dominated and hide the NUMA
+    story).
+    """
+    if not configs:
+        raise GraphError("need at least one configuration")
+    cluster = cluster or paper_cluster(nodes=1)
+    if root is None:
+        degrees = graph.degrees()
+        if degrees.max() == 0:
+            raise GraphError("graph has no edges")
+        root = int(np.argmax(degrees))
+    teps: dict[str, float] = {}
+    seconds: dict[str, float] = {}
+    for name, config in configs.items():
+        engine = BFSEngine(graph, cluster, config)
+        result = engine.run(root)
+        if target_scale is not None:
+            pred = extrapolate_result(result, engine, target_scale)
+            teps[name] = pred.teps
+            seconds[name] = pred.seconds
+        else:
+            teps[name] = result.teps
+            seconds[name] = result.seconds
+    return ConfigComparison(
+        teps=teps, seconds=seconds, target_scale=target_scale
+    )
+
+
+def optimization_stack(
+    graph: Graph,
+    cluster: ClusterSpec | None = None,
+    target_scale: int | None = None,
+    best_granularity: int = 256,
+) -> ConfigComparison:
+    """The paper's full Fig. 9 chain on the given workload."""
+    return compare_configs(
+        graph,
+        paper_variants(best_granularity),
+        cluster=cluster,
+        target_scale=target_scale,
+    )

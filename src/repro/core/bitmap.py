@@ -1,0 +1,181 @@
+"""Frontier bitmaps and the granularity-tunable summary bitmap.
+
+``Bitmap`` mirrors the ``unsigned long`` bit arrays of the Graph500
+reference code (``in_queue``, ``out_queue``): one bit per vertex, packed
+into uint64 words.
+
+``SummaryBitmap`` implements the paper's Section III.C structure: one
+summary bit covers ``granularity`` consecutive bits of the base bitmap
+and is set iff any of them is set.  The reference granularity is 64 (one
+bit per word); the paper's optimization raises it (e.g. to 256) to shrink
+the structure for cache locality at the cost of fewer zero bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.util import bitops
+
+__all__ = ["Bitmap", "SummaryBitmap", "summary_words_for"]
+
+
+class Bitmap:
+    """A bitmap over ``nbits`` positions backed by uint64 words."""
+
+    __slots__ = ("nbits", "words")
+
+    def __init__(self, nbits: int, words: np.ndarray | None = None) -> None:
+        if nbits < 0:
+            raise ConfigError("nbits must be non-negative")
+        self.nbits = nbits
+        expected = bitops.words_for_bits(nbits)
+        if words is None:
+            words = np.zeros(expected, dtype=bitops.WORD_DTYPE)
+        elif words.size != expected or words.dtype != bitops.WORD_DTYPE:
+            raise ConfigError(
+                f"words must be {expected} uint64 words for nbits={nbits}"
+            )
+        self.words = words
+
+    @classmethod
+    def from_indices(cls, nbits: int, indices: np.ndarray) -> "Bitmap":
+        """Bitmap with the given bit positions set."""
+        bm = cls(nbits)
+        bm.set(indices)
+        return bm
+
+    def set(self, indices: np.ndarray) -> None:
+        """Set the bits at ``indices`` (in place)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (
+            int(indices.min()) < 0 or int(indices.max()) >= self.nbits
+        ):
+            raise ConfigError("bit index out of range")
+        bitops.set_bits(self.words, indices)
+
+    def test(self, indices: np.ndarray) -> np.ndarray:
+        """Boolean values of the bits at ``indices``."""
+        return bitops.get_bits(self.words, np.asarray(indices, dtype=np.int64))
+
+    def count(self) -> int:
+        """Number of set bits."""
+        return bitops.count_set_bits(self.words, nbits=self.nbits)
+
+    def indices(self) -> np.ndarray:
+        """Positions of the set bits, ascending."""
+        return bitops.nonzero_bit_indices(self.words, self.nbits)
+
+    def clear(self) -> None:
+        """Reset every bit to 0."""
+        self.words.fill(0)
+
+    def copy(self) -> "Bitmap":
+        """Deep copy of the bitmap."""
+        return Bitmap(self.nbits, self.words.copy())
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes occupied by the word array."""
+        return int(self.words.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Bitmap(nbits={self.nbits}, set={self.count()})"
+
+
+def _check_granularity(granularity: int) -> None:
+    if granularity < 64 or granularity % 64 != 0:
+        raise ConfigError(
+            f"summary granularity must be a positive multiple of 64, "
+            f"got {granularity}"
+        )
+
+
+def summary_words_for(nbits: int, granularity: int) -> int:
+    """Words needed for a summary of an ``nbits`` bitmap."""
+    _check_granularity(granularity)
+    nblocks = (nbits + granularity - 1) // granularity
+    return bitops.words_for_bits(nblocks)
+
+
+class SummaryBitmap:
+    """Summary of a :class:`Bitmap` at a given granularity.
+
+    Bit ``b`` of the summary is 1 iff any bit in
+    ``[b * granularity, (b + 1) * granularity)`` of the base bitmap is 1.
+    """
+
+    __slots__ = ("granularity", "nbits", "nblocks", "words")
+
+    def __init__(
+        self,
+        nbits: int,
+        granularity: int = 64,
+        words: np.ndarray | None = None,
+    ) -> None:
+        _check_granularity(granularity)
+        if nbits < 0:
+            raise ConfigError("nbits must be non-negative")
+        self.granularity = granularity
+        self.nbits = nbits
+        self.nblocks = (nbits + granularity - 1) // granularity
+        expected = bitops.words_for_bits(self.nblocks)
+        if words is None:
+            words = np.zeros(expected, dtype=bitops.WORD_DTYPE)
+        elif words.size != expected or words.dtype != bitops.WORD_DTYPE:
+            raise ConfigError("summary words array has the wrong shape/dtype")
+        self.words = words
+
+    @classmethod
+    def build(cls, base: Bitmap, granularity: int = 64) -> "SummaryBitmap":
+        """Build the summary of ``base`` (fully vectorized)."""
+        _check_granularity(granularity)
+        summary = cls(base.nbits, granularity)
+        summary.rebuild(base)
+        return summary
+
+    def rebuild(self, base: Bitmap) -> None:
+        """Recompute this summary from ``base`` in place."""
+        if base.nbits != self.nbits:
+            raise ConfigError(
+                f"base bitmap has {base.nbits} bits, summary expects {self.nbits}"
+            )
+        if self.nblocks == 0:
+            return
+        words_per_block = self.granularity // 64
+        base_words = base.words
+        pad = (-base_words.size) % words_per_block
+        if pad:
+            base_words = np.concatenate(
+                [base_words, np.zeros(pad, dtype=bitops.WORD_DTYPE)]
+            )
+        grouped = base_words.reshape(-1, words_per_block)
+        nonempty = grouped.any(axis=1)
+        self.words[:] = bitops.bool_to_bits(nonempty[: self.nblocks])
+
+    def test_vertices(self, vertices: np.ndarray) -> np.ndarray:
+        """Summary bit covering each vertex id (True = block non-empty)."""
+        v = np.asarray(vertices, dtype=np.int64)
+        if v.size and (int(v.min()) < 0 or int(v.max()) >= self.nbits):
+            raise ConfigError("vertex id out of range")
+        return bitops.get_bits(self.words, v // self.granularity)
+
+    def zero_fraction(self) -> float:
+        """Fraction of summary bits that are 0 — the quantity whose decay
+        with growing granularity limits the optimization (III.C.2)."""
+        if self.nblocks == 0:
+            return 0.0
+        ones = bitops.count_set_bits(self.words, nbits=self.nblocks)
+        return 1.0 - ones / self.nblocks
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes occupied by the summary's word array."""
+        return int(self.words.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SummaryBitmap(nbits={self.nbits}, granularity={self.granularity}, "
+            f"zero_fraction={self.zero_fraction():.3f})"
+        )

@@ -1,0 +1,191 @@
+"""BFS configuration: the paper's optimization stack as explicit knobs.
+
+Each named variant of Fig. 9 is a preset:
+
+==================  =====================================================
+``Original.ppn=1``  one process per node, ``numactl --interleave=all``
+``Original.ppn=8``  one process per socket, ``--bind-to-socket``
+``Share in_queue``  node-shared ``in_queue`` (no broadcast step)
+``Share all``       ``out_queue`` and summaries shared too (no gather)
+``Par allgather``   the in_queue allgather runs in parallel subgroups
+``Granularity``     summary granularity raised from 64 (best: 256)
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+from repro.machine.memory import Placement
+from repro.machine.spec import ClusterSpec
+from repro.mpi.collectives import AllgatherAlgorithm
+from repro.mpi.mapping import BindingPolicy
+
+__all__ = ["TraversalMode", "BFSConfig", "paper_variants"]
+
+
+class TraversalMode(enum.Enum):
+    """Which expansion kernels the engine may use."""
+
+    HYBRID = "hybrid"
+    TOP_DOWN = "top_down"  # pure mpi_simple-style BFS
+    BOTTOM_UP = "bottom_up"  # pure mpi_replicated-style BFS
+
+
+@dataclass(frozen=True)
+class BFSConfig:
+    """All knobs of one BFS execution."""
+
+    # NUMA mapping (Section II.D / Fig. 10).
+    ppn: int | None = None  # None = one process per socket
+    binding: BindingPolicy = BindingPolicy.BIND_TO_SOCKET
+
+    # Communication optimizations (Section III.A-B).
+    share_in_queue: bool = False
+    share_all: bool = False
+    parallel_allgather: bool = False
+
+    # Computation optimization (Section III.C).
+    granularity: int = 64
+    use_summary: bool = True
+
+    # Extension beyond the paper: balance the 1-D partition by edge mass
+    # instead of vertex count, reducing the stall (load-imbalance) phase.
+    degree_balanced: bool = False
+
+    # The paper runs the OpenMP dynamic scheduler inside each rank to
+    # avoid intra-rank load imbalance (IV.C); turning it off prices the
+    # static-chunking penalty on the skewed per-vertex work.
+    omp_dynamic: bool = True
+
+    # Hybrid direction policy (Beamer et al.): switch to bottom-up when
+    # frontier edges exceed unexplored edges / alpha, and back to top-down
+    # when frontier vertices drop below n / beta.
+    mode: TraversalMode = TraversalMode.HYBRID
+    alpha: float = 14.0
+    beta: float = 24.0
+
+    label: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.ppn is not None and self.ppn < 1:
+            raise ConfigError("ppn must be positive")
+        if self.granularity < 64 or self.granularity % 64:
+            raise ConfigError("granularity must be a positive multiple of 64")
+        if self.alpha <= 0 or self.beta <= 0:
+            raise ConfigError("alpha/beta must be positive")
+        if self.parallel_allgather and not self.shares_everything:
+            raise ConfigError(
+                "parallel_allgather builds on 'Share all' "
+                "(set share_all=True as the paper's stack does)"
+            )
+        if self.share_all and not self.share_in_queue:
+            raise ConfigError("share_all implies share_in_queue")
+
+    # ---- derived properties -------------------------------------------------
+
+    @property
+    def shares_in_queue(self) -> bool:
+        """True when in_queue lives in node-shared memory."""
+        return self.share_in_queue or self.share_all
+
+    @property
+    def shares_everything(self) -> bool:
+        """True when out_queue and summaries are shared too."""
+        return self.share_all
+
+    def resolve_ppn(self, cluster: ClusterSpec) -> int:
+        """Processes per node (defaults to one per socket)."""
+        return cluster.node.sockets if self.ppn is None else self.ppn
+
+    def in_queue_algorithm(self) -> AllgatherAlgorithm:
+        """Allgather algorithm used for the large in_queue payload."""
+        if self.parallel_allgather:
+            return AllgatherAlgorithm.PARALLEL_SHARED
+        if self.share_all:
+            return AllgatherAlgorithm.SHARED_ALL
+        if self.share_in_queue:
+            return AllgatherAlgorithm.SHARED_IN
+        return AllgatherAlgorithm.DEFAULT
+
+    def summary_algorithm(self) -> AllgatherAlgorithm:
+        """Allgather algorithm for the (64x smaller) summary payload.
+
+        Only 'Share all' shares the summaries (III.A.2: "in_queue_summary
+        and out_queue_summary can be dealt in the same way"); the parallel
+        optimization applies to the in_queue allgather only.
+        """
+        if self.share_all:
+            return AllgatherAlgorithm.SHARED_ALL
+        return AllgatherAlgorithm.DEFAULT
+
+    def in_queue_placement(self, private: Placement) -> Placement:
+        """Memory placement of in_queue under this configuration."""
+        return Placement.NODE_SHARED if self.shares_in_queue else private
+
+    def summary_placement(self, private: Placement) -> Placement:
+        """Memory placement of the summary under this configuration."""
+        return Placement.NODE_SHARED if self.share_all else private
+
+    def named(self, label: str) -> "BFSConfig":
+        """Copy of this configuration with a display label."""
+        return replace(self, label=label)
+
+    # ---- paper presets --------------------------------------------------------
+
+    @classmethod
+    def original_ppn1(cls, binding: BindingPolicy = BindingPolicy.INTERLEAVE):
+        """'Original.ppn=1': one process per node, interleaved memory."""
+        return cls(ppn=1, binding=binding, label="Original.ppn=1")
+
+    @classmethod
+    def original_ppn8(cls):
+        """'Original.ppn=8': one process per socket, bound."""
+        return cls(label="Original.ppn=8")
+
+    @classmethod
+    def share_in_queue_variant(cls):
+        """'Share in_queue': node-shared in_queue (no broadcast step)."""
+        return cls(share_in_queue=True, label="Share in_queue")
+
+    @classmethod
+    def share_all_variant(cls):
+        """'Share all': out_queue and summaries shared too (no gather)."""
+        return cls(
+            share_in_queue=True, share_all=True, label="Share all"
+        )
+
+    @classmethod
+    def par_allgather_variant(cls):
+        """'Par allgather': the Fig. 7 parallel-subgroup allgather."""
+        return cls(
+            share_in_queue=True,
+            share_all=True,
+            parallel_allgather=True,
+            label="Par allgather",
+        )
+
+    @classmethod
+    def granularity_variant(cls, granularity: int = 256):
+        """The full stack with a chosen summary granularity."""
+        return cls(
+            share_in_queue=True,
+            share_all=True,
+            parallel_allgather=True,
+            granularity=granularity,
+            label=f"Granularity={granularity}",
+        )
+
+
+def paper_variants(best_granularity: int = 256) -> dict[str, BFSConfig]:
+    """The Fig. 9 optimization stack, in order."""
+    return {
+        "Original.ppn=1": BFSConfig.original_ppn1(),
+        "Original.ppn=8": BFSConfig.original_ppn8(),
+        "Share in_queue": BFSConfig.share_in_queue_variant(),
+        "Share all": BFSConfig.share_all_variant(),
+        "Par allgather": BFSConfig.par_allgather_variant(),
+        "Granularity": BFSConfig.granularity_variant(best_granularity),
+    }

@@ -1,0 +1,175 @@
+"""Event-count records of a BFS run.
+
+The engine is a *functional* simulator: it executes the real algorithm on
+real data and records, per level and per rank, how many of each access
+class occurred.  Timing is then a pure function of these counts plus the
+machine model (:mod:`repro.core.timing`), which is also what allows the
+paper-scale extrapolation in :mod:`repro.model`: counts scale linearly
+with the graph, structure sizes are swapped for target-scale ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["Direction", "LevelCounts", "RunCounts"]
+
+
+class Direction:
+    """Direction labels for BFS levels (string constants)."""
+    TOP_DOWN = "top_down"
+    BOTTOM_UP = "bottom_up"
+
+
+@dataclass
+class LevelCounts:
+    """Per-rank event counts of one BFS level."""
+
+    level: int
+    direction: str
+    # Did this level convert the frontier representation first?
+    switched: bool = False
+
+    # Per-rank arrays, shape (num_ranks,), all int64:
+    frontier_local: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+    candidates: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+    examined_edges: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+    inqueue_reads: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+    discovered: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+
+    # Top-down communication: (np, np) matrix of bytes sent rank->rank.
+    td_send_bytes: np.ndarray | None = None
+
+    # Bottom-up communication: allgather part sizes (uint64 words).
+    # Floats: at small measured scales the exact per-rank share can be
+    # fractional, and rounding it up would inflate the extrapolated
+    # payload by large factors.
+    inq_part_words: float = 0.0
+    summary_part_words: float = 0.0
+
+    # Small collectives this level (frontier stats + termination checks).
+    allreduces: int = 0
+
+    def validate(self, num_ranks: int) -> None:
+        """Check per-rank array shapes against the rank count."""
+        for name in (
+            "frontier_local",
+            "candidates",
+            "examined_edges",
+            "inqueue_reads",
+            "discovered",
+        ):
+            arr = getattr(self, name)
+            if arr.shape != (num_ranks,):
+                raise SimulationError(
+                    f"level {self.level}: {name} has shape {arr.shape}, "
+                    f"expected ({num_ranks},)"
+                )
+        if self.td_send_bytes is not None and self.td_send_bytes.shape != (
+            num_ranks,
+            num_ranks,
+        ):
+            raise SimulationError(
+                f"level {self.level}: td_send_bytes has wrong shape"
+            )
+
+    def scaled(self, factor: float) -> "LevelCounts":
+        """Counts of the same level on a graph ``factor``x larger.
+
+        Totals scale linearly with graph size for a fixed per-level
+        frontier-density profile (R-MAT levels are scale-invariant to
+        first order; see DESIGN.md §2).  Per-rank *imbalance*, however,
+        does not: counts are sums of per-vertex contributions, so their
+        relative deviation from the mean shrinks like ``1/sqrt(factor)``
+        as each rank's share grows.  Extrapolation therefore shrinks the
+        deviations accordingly — otherwise the stall (load-imbalance)
+        phase of a tiny measured run would be wildly overstated at paper
+        scale.
+        """
+        if factor <= 0:
+            raise SimulationError("scale factor must be positive")
+        shrink = np.sqrt(factor)
+
+        def s(arr: np.ndarray) -> np.ndarray:
+            if arr.size == 0:
+                return arr.copy()
+            mean = arr.mean()
+            scaled = mean * factor + (arr - mean) * shrink
+            return np.maximum(np.rint(scaled), 0).astype(np.int64)
+
+        if self.td_send_bytes is None:
+            td = None
+        else:
+            # Traffic spreads across sender ranks as the frontier grows:
+            # on a tiny graph one hub's owner may be the only sender of a
+            # level, while at paper scale the same level's frontier is
+            # hashed over all ranks.  Off-diagonal entries therefore
+            # regress toward the uniform mean with the same 1/sqrt law;
+            # the (free) self-message diagonal scales linearly.
+            td = self.td_send_bytes.astype(np.float64)
+            n = td.shape[0]
+            off = ~np.eye(n, dtype=bool)
+            if n > 1:
+                mean = td[off].mean()
+                td[off] = np.maximum(
+                    mean * factor + (td[off] - mean) * shrink, 0
+                )
+            td[~off] *= factor
+            td = np.rint(td).astype(np.int64)
+
+        return LevelCounts(
+            level=self.level,
+            direction=self.direction,
+            switched=self.switched,
+            frontier_local=s(self.frontier_local),
+            candidates=s(self.candidates),
+            examined_edges=s(self.examined_edges),
+            inqueue_reads=s(self.inqueue_reads),
+            discovered=s(self.discovered),
+            td_send_bytes=td,
+            inq_part_words=self.inq_part_words * factor,
+            summary_part_words=self.summary_part_words * factor,
+            allreduces=self.allreduces,
+        )
+
+
+@dataclass
+class RunCounts:
+    """All levels of one BFS run plus run-level facts."""
+
+    num_vertices: int
+    num_ranks: int
+    levels: list[LevelCounts] = field(default_factory=list)
+    # Undirected input edges inside the root's component (the Graph500
+    # numerator for TEPS).
+    traversed_edges: int = 0
+    visited_vertices: int = 0
+
+    def validate(self) -> None:
+        """Validate every level's shapes."""
+        for lvl in self.levels:
+            lvl.validate(self.num_ranks)
+
+    @property
+    def num_levels(self) -> int:
+        """Number of BFS levels in the run."""
+        return len(self.levels)
+
+    def total_examined_edges(self) -> int:
+        """Edges examined across all levels and ranks."""
+        return int(sum(lvl.examined_edges.sum() for lvl in self.levels))
+
+    def scaled(self, factor: float) -> "RunCounts":
+        """The run's counts on a graph ``factor``x larger (see
+        :meth:`LevelCounts.scaled`)."""
+        return RunCounts(
+            num_vertices=int(round(self.num_vertices * factor)),
+            num_ranks=self.num_ranks,
+            levels=[lvl.scaled(factor) for lvl in self.levels],
+            traversed_edges=int(round(self.traversed_edges * factor)),
+            visited_vertices=int(round(self.visited_vertices * factor)),
+        )

@@ -1,0 +1,329 @@
+"""The distributed hybrid BFS engine (Fig. 1 of the paper).
+
+The engine executes the real algorithm on real data: the graph is 1-D
+partitioned over ``nodes x ppn`` simulated MPI ranks, every level is
+expanded either top-down (queue exchange over ``alltoallv``) or bottom-up
+(scan against the allgathered ``in_queue`` bitmap plus its summary), and
+the output is a genuine, validatable BFS parent tree.
+
+Simulated time never influences the functional result; the engine records
+per-rank event counts (:mod:`repro.core.counts`) and prices them with
+:func:`repro.core.timing.assemble`, so the identical run can also be
+priced at a larger target scale (:mod:`repro.model`).
+
+Level structure (matching Fig. 1 and the profiling categories of
+Fig. 11):
+
+* direction decision from allreduced frontier statistics;
+* *switch*: frontier representation conversion when the direction
+  changed (queue <-> bitmap);
+* bottom-up levels start by allgathering the out_queue parts into the
+  next ``in_queue`` (and its summary — "the two allgathers"); top-down
+  levels exchange (child, parent) pairs instead;
+* compute step; barrier (stall accounting); termination allreduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import bottomup, topdown
+from repro.core.bitmap import Bitmap, SummaryBitmap, summary_words_for
+from repro.core.config import BFSConfig
+from repro.core.counts import Direction, LevelCounts, RunCounts
+from repro.core.hybrid import DirectionPolicy, FrontierStats
+from repro.core.state import RankState
+from repro.core.timing import BfsTiming, CostConstants, StructureSizes, assemble
+from repro.errors import ConfigError, GraphError
+from repro.graph.partition import (
+    Partition1D,
+    degree_balanced_bounds,
+    word_aligned_bounds,
+)
+from repro.graph.types import Graph
+from repro.machine.spec import ClusterSpec
+from repro.mpi.collectives import allgather
+from repro.mpi.mapping import ProcessMapping
+from repro.mpi.sharedmem import NodeSharedBuffer
+from repro.mpi.simcomm import SimComm
+from repro.util import bitops
+
+__all__ = ["BFSEngine", "BFSResult"]
+
+
+@dataclass
+class BFSResult:
+    """Everything one BFS run produced."""
+
+    root: int
+    parent: np.ndarray  # global parent array, -1 = unreached
+    levels: int
+    counts: RunCounts
+    timing: BfsTiming
+
+    @property
+    def visited(self) -> int:
+        """Number of reached vertices (including the root)."""
+        return int(np.count_nonzero(self.parent >= 0))
+
+    @property
+    def traversed_edges(self) -> int:
+        """Undirected input edges in the root's component (TEPS numerator)."""
+        return self.counts.traversed_edges
+
+    @property
+    def seconds(self) -> float:
+        """Simulated wall time of the traversal."""
+        return self.timing.total_seconds
+
+    @property
+    def teps(self) -> float:
+        """Traversed edges per (simulated) second, the Graph500 metric."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.traversed_edges / self.seconds
+
+
+class BFSEngine:
+    """Reusable BFS executor for one (graph, cluster, config) triple."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        cluster: ClusterSpec,
+        config: BFSConfig,
+        constants: CostConstants = CostConstants(),
+    ) -> None:
+        self.graph = graph
+        self.cluster = cluster
+        self.config = config
+        self.constants = constants
+        ppn = config.resolve_ppn(cluster)
+        self.mapping = ProcessMapping(cluster, ppn, config.binding)
+        self.comm = SimComm(cluster, self.mapping)
+        np_ranks = self.mapping.num_ranks
+
+        n = graph.num_vertices
+        if n % 64 != 0 or n < np_ranks * 64:
+            raise ConfigError(
+                f"num_vertices={n} must be a multiple of 64 and at least "
+                f"64 * num_ranks (= {np_ranks * 64}) so that bitmap parts "
+                f"stay word-aligned"
+            )
+        if config.degree_balanced:
+            bounds = degree_balanced_bounds(graph, np_ranks, alignment=64)
+        else:
+            bounds = word_aligned_bounds(n, np_ranks)
+        self.partition = Partition1D(n, np_ranks, bounds=bounds)
+        self._locals = [
+            self.partition.extract_local(graph, r) for r in range(np_ranks)
+        ]
+        self._part_words = [
+            bitops.words_for_bits(self.partition.size_of(r))
+            for r in range(np_ranks)
+        ]
+        self.sizes = StructureSizes(
+            num_vertices=n,
+            num_arcs=graph.num_directed_edges,
+            num_ranks=np_ranks,
+            granularity=config.granularity,
+        )
+
+    # ---- helpers -------------------------------------------------------------
+
+    def _shared_buffers(self) -> list[NodeSharedBuffer] | None:
+        if not self.config.shares_in_queue:
+            return None
+        total_words = bitops.words_for_bits(self.graph.num_vertices)
+        return [
+            NodeSharedBuffer(node, total_words)
+            for node in range(self.cluster.nodes)
+        ]
+
+    def _frontier_parts(
+        self, frontier_lists: list[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Build per-rank out_queue bitmap parts from local frontier lists."""
+        parts = []
+        for r, lst in enumerate(frontier_lists):
+            words = np.zeros(self._part_words[r], dtype=bitops.WORD_DTYPE)
+            bitops.set_bits(words, np.asarray(lst, dtype=np.int64))
+            parts.append(words)
+        return parts
+
+    def _global_stats(
+        self, states: list[RankState], frontier_lists: list[np.ndarray]
+    ) -> FrontierStats:
+        n_f = sum(len(lst) for lst in frontier_lists)
+        m_f = sum(
+            int(st.degrees[np.asarray(lst, dtype=np.int64)].sum())
+            for st, lst in zip(states, frontier_lists)
+        )
+        m_u = sum(st.unexplored_degree for st in states)
+        return FrontierStats(
+            frontier_vertices=n_f,
+            frontier_edges=m_f,
+            unexplored_edges=m_u,
+            num_vertices=self.graph.num_vertices,
+        )
+
+    # ---- the run -----------------------------------------------------------
+
+    def run(self, root: int) -> BFSResult:
+        """Execute one BFS from ``root`` and price it."""
+        graph = self.graph
+        if not 0 <= root < graph.num_vertices:
+            raise GraphError(f"root {root} out of range")
+        np_ranks = self.mapping.num_ranks
+        states = [RankState(lg) for lg in self._locals]
+        counts = RunCounts(
+            num_vertices=graph.num_vertices, num_ranks=np_ranks
+        )
+        policy = DirectionPolicy(self.config)
+        shared = self._shared_buffers()
+
+        owner = int(self.partition.owner(root))
+        root_local = states[owner].to_local(np.array([root]))
+        states[owner].discover(root_local, np.array([root]))
+        frontier_lists: list[np.ndarray] = [
+            np.zeros(0, dtype=np.int64) for _ in range(np_ranks)
+        ]
+        frontier_lists[owner] = root_local
+
+        level = 0
+        prev_direction: str | None = None
+        while True:
+            stats = self._global_stats(states, frontier_lists)
+            if stats.frontier_vertices == 0:
+                break
+            direction = policy.decide(stats)
+            lc = LevelCounts(level=level, direction=direction)
+            # Frontier statistics + termination check: 3 small allreduces
+            # per level (n_f, m_f, m_u), as the hybrid switch requires.
+            lc.allreduces = 3
+            lc.switched = (
+                prev_direction is not None and prev_direction != direction
+            )
+            lc.frontier_local = np.array(
+                [len(lst) for lst in frontier_lists], dtype=np.int64
+            )
+
+            if direction == Direction.TOP_DOWN:
+                frontier_lists = self._top_down_level(
+                    states, frontier_lists, lc
+                )
+            else:
+                frontier_lists = self._bottom_up_level(
+                    states, frontier_lists, lc, shared
+                )
+
+            lc.discovered = np.array(
+                [len(lst) for lst in frontier_lists], dtype=np.int64
+            )
+            counts.levels.append(lc)
+            prev_direction = direction
+            level += 1
+
+        counts.visited_vertices = sum(st.visited_count() for st in states)
+        counts.traversed_edges = (
+            sum(
+                int(st.degrees[st.parent >= 0].sum()) for st in states
+            )
+            // 2
+        )
+        parent = np.concatenate([st.parent for st in states])
+        timing = assemble(
+            counts, self.comm, self.config, self.sizes, self.constants
+        )
+        return BFSResult(
+            root=root,
+            parent=parent,
+            levels=level,
+            counts=counts,
+            timing=timing,
+        )
+
+    # ---- level kernels -------------------------------------------------------
+
+    def _top_down_level(
+        self,
+        states: list[RankState],
+        frontier_lists: list[np.ndarray],
+        lc: LevelCounts,
+    ) -> list[np.ndarray]:
+        np_ranks = self.mapping.num_ranks
+        sends = [
+            topdown.expand(states[r], frontier_lists[r], self.partition)
+            for r in range(np_ranks)
+        ]
+        lc.examined_edges = np.array(
+            [s.examined_edges for s in sends], dtype=np.int64
+        )
+        lc.candidates = np.zeros(np_ranks, dtype=np.int64)
+        lc.inqueue_reads = np.zeros(np_ranks, dtype=np.int64)
+        send_matrix = [
+            [s.outbox[j].reshape(-1) for j in range(np_ranks)] for s in sends
+        ]
+        lc.td_send_bytes = np.array(
+            [
+                [send_matrix[i][j].nbytes for j in range(np_ranks)]
+                for i in range(np_ranks)
+            ],
+            dtype=np.int64,
+        )
+        res = self.comm.alltoallv(send_matrix)
+        new_lists = []
+        for r in range(np_ranks):
+            received = [m.reshape(-1, 2) for m in res.data[r]]
+            new_lists.append(topdown.apply_received(states[r], received))
+        return new_lists
+
+    def _bottom_up_level(
+        self,
+        states: list[RankState],
+        frontier_lists: list[np.ndarray],
+        lc: LevelCounts,
+        shared: list[NodeSharedBuffer] | None,
+    ) -> list[np.ndarray]:
+        np_ranks = self.mapping.num_ranks
+        n = self.graph.num_vertices
+        parts = self._frontier_parts(frontier_lists)
+        lc.inq_part_words = max((p.size for p in parts), default=0)
+        if self.config.use_summary:
+            summary_words = summary_words_for(n, self.config.granularity)
+            lc.summary_part_words = summary_words / np_ranks
+
+        res = allgather(
+            self.comm, parts, self.config.in_queue_algorithm(), shared
+        )
+        if shared is not None:
+            full_words = shared[0].data
+        else:
+            full_words = res.data
+        in_queue = Bitmap(n, words=full_words.copy())
+        # The summary is built locally from the gathered bitmap — the data
+        # is bit-identical to the reference code's allgathered summary (it
+        # is a pure function of in_queue); its allgather is priced via
+        # lc.summary_part_words in timing.assemble.
+        summary = (
+            SummaryBitmap.build(in_queue, self.config.granularity)
+            if self.config.use_summary
+            else None
+        )
+
+        new_lists = []
+        cand = np.zeros(np_ranks, dtype=np.int64)
+        examined = np.zeros(np_ranks, dtype=np.int64)
+        inq_reads = np.zeros(np_ranks, dtype=np.int64)
+        for r in range(np_ranks):
+            out = bottomup.scan(states[r], in_queue, summary)
+            cand[r] = out.candidates
+            examined[r] = out.examined_edges
+            inq_reads[r] = out.inqueue_reads
+            new_lists.append(out.new_local)
+        lc.candidates = cand
+        lc.examined_edges = examined
+        lc.inqueue_reads = inq_reads
+        return new_lists

@@ -1,0 +1,74 @@
+"""Direction policy of the hybrid BFS (Beamer et al., the paper's [9]).
+
+The policy sees global frontier statistics each level and decides the
+next expansion direction:
+
+* switch top-down -> bottom-up when the frontier's outgoing edges exceed
+  the unexplored edges divided by ``alpha`` (the frontier is expensive to
+  expand edge-by-edge);
+* switch bottom-up -> top-down when the frontier shrinks below
+  ``n / beta`` vertices (scanning all unvisited vertices would waste
+  work).
+
+On Graph500 R-MAT graphs this yields the three-phase run the paper
+describes: top-down, then bottom-up for the few huge levels, then
+top-down again for the stragglers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import BFSConfig, TraversalMode
+from repro.core.counts import Direction
+
+__all__ = ["FrontierStats", "DirectionPolicy"]
+
+
+@dataclass(frozen=True)
+class FrontierStats:
+    """Global (allreduced) frontier statistics at the start of a level."""
+
+    frontier_vertices: int
+    frontier_edges: int  # sum of degrees of frontier vertices
+    unexplored_edges: int  # sum of degrees of undiscovered vertices
+    num_vertices: int
+
+
+class DirectionPolicy:
+    """Stateful next-direction chooser."""
+
+    def __init__(self, config: BFSConfig) -> None:
+        self.config = config
+        self._direction = Direction.TOP_DOWN
+        self._finished_bottom_up = False
+
+    @property
+    def direction(self) -> str:
+        """Direction chosen for the current level."""
+        return self._direction
+
+    def decide(self, stats: FrontierStats) -> str:
+        """Direction to use for the level about to be expanded.
+
+        A run switches to bottom-up at most once: R-MAT frontiers ramp up
+        and down exponentially, giving the paper's three-phase structure
+        (II.A); near exhaustion the alpha test would otherwise re-trigger
+        spuriously because the unexplored edge count goes to zero.
+        """
+        mode = self.config.mode
+        if mode is TraversalMode.TOP_DOWN:
+            self._direction = Direction.TOP_DOWN
+        elif mode is TraversalMode.BOTTOM_UP:
+            self._direction = Direction.BOTTOM_UP
+        elif self._direction == Direction.TOP_DOWN:
+            if not self._finished_bottom_up and (
+                stats.frontier_edges
+                > stats.unexplored_edges / self.config.alpha
+            ):
+                self._direction = Direction.BOTTOM_UP
+        else:
+            if stats.frontier_vertices < stats.num_vertices / self.config.beta:
+                self._direction = Direction.TOP_DOWN
+                self._finished_bottom_up = True
+        return self._direction

@@ -1,0 +1,433 @@
+"""Assembly of simulated time from event counts.
+
+``assemble`` converts a :class:`~repro.core.counts.RunCounts` into the
+per-phase time breakdown the paper profiles (Fig. 11): top-down
+computation, top-down communication, bottom-up computation, bottom-up
+communication, switch (frontier representation conversion) and stall
+(load imbalance at the level barriers).
+
+Timing is a pure function of the counts, the machine model and the
+configuration, so the same run can be priced at its actual scale (the
+engine does this) or at a paper scale after
+:meth:`~repro.core.counts.RunCounts.scaled` (the :mod:`repro.model`
+extrapolation does that), with structure sizes — and therefore cache hit
+rates — evaluated at the target scale.
+
+Compute phases use the roofline combination of
+:mod:`repro.machine.costmodel`: ``max(latency term, bandwidth term,
+cpu term)``, vectorized over ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.bitmap import summary_words_for
+from repro.core.config import BFSConfig
+from repro.core.counts import Direction, LevelCounts, RunCounts
+from repro.errors import SimulationError
+from repro.machine.memory import MemoryModel, Placement, StructureAccess
+from repro.mpi.collectives import allgather_time
+from repro.mpi.simcomm import SimComm
+from repro.util import bitops
+
+__all__ = [
+    "CostConstants",
+    "StructureSizes",
+    "LevelTiming",
+    "PhaseBreakdown",
+    "BfsTiming",
+    "assemble",
+]
+
+# Scalar-work constants (CPU cycles per event).  These are the knobs a
+# profile-calibrated simulator exposes; defaults chosen for a tight BFS
+# inner loop on the 2 GHz X7550.
+@dataclass(frozen=True)
+class CostConstants:
+    cycles_per_td_edge: float = 8.0
+    cycles_per_td_frontier_vertex: float = 12.0
+    cycles_per_td_received_pair: float = 10.0
+    cycles_per_bu_edge: float = 6.0
+    cycles_per_bu_candidate: float = 4.0
+    cycles_per_switch_vertex: float = 6.0
+    bytes_per_adjacency_entry: float = 8.0
+    # Compute-phase inflation under OpenMP *static* chunking: power-law
+    # per-vertex work leaves some threads idle while the hub chunks
+    # finish (the paper uses the dynamic scheduler to avoid this, IV.C).
+    omp_static_penalty: float = 1.4
+
+
+@dataclass(frozen=True)
+class StructureSizes:
+    """Structure sizes at the *priced* scale."""
+
+    num_vertices: int
+    num_arcs: int  # directed arcs (2x undirected edges)
+    num_ranks: int
+    granularity: int
+
+    @property
+    def in_queue_bytes(self) -> float:
+        """Bytes of the full frontier bitmap."""
+        return bitops.words_for_bits(self.num_vertices) * 8.0
+
+    @property
+    def summary_bytes(self) -> float:
+        """Bytes of the summary bitmap at this granularity."""
+        return summary_words_for(self.num_vertices, self.granularity) * 8.0
+
+    @property
+    def local_vertices(self) -> float:
+        """Vertices per rank."""
+        return self.num_vertices / self.num_ranks
+
+    @property
+    def out_part_bytes(self) -> float:
+        """Bytes of one rank's out_queue bitmap part."""
+        return self.local_vertices / 8.0
+
+    @property
+    def parent_bytes(self) -> float:
+        """Bytes of one rank's parent array."""
+        return self.local_vertices * 8.0
+
+    @property
+    def local_graph_bytes(self) -> float:
+        """Bytes of one rank's CSR partition."""
+        return self.num_arcs / self.num_ranks * 8.0 + self.local_vertices * 8.0
+
+    @classmethod
+    def from_counts(
+        cls, counts: RunCounts, num_arcs: int, config: BFSConfig
+    ) -> "StructureSizes":
+        """Sizes implied by a run's counts at its own scale."""
+        return cls(
+            num_vertices=counts.num_vertices,
+            num_arcs=num_arcs,
+            num_ranks=counts.num_ranks,
+            granularity=config.granularity,
+        )
+
+
+@dataclass
+class LevelTiming:
+    level: int
+    direction: str
+    compute_mean_ns: float
+    compute_max_ns: float
+    comm_ns: float
+    switch_ns: float
+    stall_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        """Level total: compute + comm + switch + stall."""
+        return self.compute_mean_ns + self.comm_ns + self.switch_ns + self.stall_ns
+
+
+@dataclass
+class PhaseBreakdown:
+    """Fig. 11 categories, in nanoseconds of the critical path."""
+
+    td_compute: float = 0.0
+    td_comm: float = 0.0
+    bu_compute: float = 0.0
+    bu_comm: float = 0.0
+    switch: float = 0.0
+    stall: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Sum of all six phases."""
+        return (
+            self.td_compute
+            + self.td_comm
+            + self.bu_compute
+            + self.bu_comm
+            + self.switch
+            + self.stall
+        )
+
+    @property
+    def comm_fraction(self) -> float:
+        """Share of bottom-up communication in the total (the Fig. 12/14
+        curve)."""
+        return self.bu_comm / self.total if self.total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """The six phases as a plain dict (ns)."""
+        return {
+            "td_compute": self.td_compute,
+            "td_comm": self.td_comm,
+            "bu_compute": self.bu_compute,
+            "bu_comm": self.bu_comm,
+            "switch": self.switch,
+            "stall": self.stall,
+        }
+
+
+@dataclass
+class BfsTiming:
+    levels: list[LevelTiming] = field(default_factory=list)
+    breakdown: PhaseBreakdown = field(default_factory=PhaseBreakdown)
+
+    @property
+    def total_ns(self) -> float:
+        """Total simulated nanoseconds."""
+        return self.breakdown.total
+
+    @property
+    def total_seconds(self) -> float:
+        """Total simulated seconds."""
+        return self.total_ns / 1e9
+
+
+def _roofline(
+    lat_ns: np.ndarray,
+    stream_time_ns: np.ndarray,
+    cpu_cycles: np.ndarray,
+    threads: int,
+    mlp: float,
+    frequency_hz: float,
+) -> np.ndarray:
+    """Vectorized roofline combination over ranks."""
+    latency_term = lat_ns / (threads * mlp)
+    cpu_term = cpu_cycles / (threads * frequency_hz) * 1e9
+    return np.maximum(np.maximum(latency_term, stream_time_ns), cpu_term)
+
+
+class _Pricer:
+    """Precomputes per-structure latencies/bandwidths for one run."""
+
+    def __init__(
+        self,
+        comm: SimComm,
+        config: BFSConfig,
+        sizes: StructureSizes,
+        constants: CostConstants,
+    ) -> None:
+        self.comm = comm
+        self.config = config
+        self.sizes = sizes
+        self.c = constants
+        self.mapping = comm.mapping
+        node = comm.cluster.node
+        self.socket = node.socket
+        self.memory: MemoryModel = comm.memory
+
+        loc = self.mapping.location(0)  # mapping is symmetric across ranks
+        self.threads = loc.threads
+        self.threads_sockets = loc.threads_sockets
+        self.omp_penalty = (
+            1.0 if config.omp_dynamic else constants.omp_static_penalty
+        )
+        private = loc.private_placement
+
+        self.lat_graph = self._lat("graph", sizes.local_graph_bytes, private)
+        self.lat_out_queue = self._lat("out_queue", sizes.in_queue_bytes, private)
+        self.lat_parent = self._lat("parent", sizes.parent_bytes, private)
+        self.lat_in_queue = self._lat(
+            "in_queue", sizes.in_queue_bytes, config.in_queue_placement(private)
+        )
+        self.lat_summary = self._lat(
+            "summary", sizes.summary_bytes, config.summary_placement(private)
+        )
+        self.graph_stream_bw = self.memory.effective(
+            private, self.threads_sockets
+        ).stream_bandwidth
+        self.line_bytes = self.socket.caches[0].line_bytes if self.socket.caches else 64
+        # DRAM-miss fractions for miss-traffic bandwidth accounting.
+        cachemod = self.memory.caches
+        self.miss_in_queue = cachemod.dram_miss_fraction(
+            sizes.in_queue_bytes,
+            shared_sockets=self.memory.effective(
+                config.in_queue_placement(private), self.threads_sockets
+            ).shared_sockets,
+        )
+        self.miss_summary = cachemod.dram_miss_fraction(
+            sizes.summary_bytes,
+            shared_sockets=self.memory.effective(
+                config.summary_placement(private), self.threads_sockets
+            ).shared_sockets,
+        )
+
+    def _lat(self, name: str, size: float, placement: Placement) -> float:
+        return self.memory.access_latency(
+            StructureAccess(name, size, placement), self.threads_sockets
+        )
+
+    # ---- per-level compute pricing -----------------------------------------
+
+    def _adjacency_reads(
+        self, vertices: np.ndarray, examined: np.ndarray
+    ) -> np.ndarray:
+        """Random line accesses into the CSR arrays.
+
+        BFS adjacency access is *not* a long stream: each scanned vertex's
+        neighbour list is a short burst at a random position, so it costs
+        roughly one miss per vertex plus one per cache line of entries.
+        This is the dominant latency-bound term of the computation phase
+        and the one the paper's socket binding accelerates.
+        """
+        entries_per_line = self.line_bytes / self.c.bytes_per_adjacency_entry
+        return vertices + examined / entries_per_line
+
+    def top_down_compute(self, lc: LevelCounts) -> np.ndarray:
+        examined = lc.examined_edges.astype(np.float64)
+        frontier = lc.frontier_local.astype(np.float64)
+        received = (
+            lc.td_send_bytes.sum(axis=0) / 16.0
+            if lc.td_send_bytes is not None
+            else np.zeros_like(examined)
+        )
+        graph_reads = self._adjacency_reads(frontier, examined)
+        lat = (
+            graph_reads * self.lat_graph
+            + examined * self.lat_out_queue
+            + received * self.lat_parent
+        )
+        stream_bytes = graph_reads * self.line_bytes
+        stream_t = stream_bytes / self.graph_stream_bw * 1e9
+        cpu = (
+            examined * self.c.cycles_per_td_edge
+            + frontier * self.c.cycles_per_td_frontier_vertex
+            + received * self.c.cycles_per_td_received_pair
+        )
+        return _roofline(
+            lat, stream_t, cpu, self.threads, self.socket.mlp,
+            self.socket.frequency_hz,
+        )
+
+    def bottom_up_compute(self, lc: LevelCounts) -> np.ndarray:
+        examined = lc.examined_edges.astype(np.float64)
+        candidates = lc.candidates.astype(np.float64)
+        inq_reads = lc.inqueue_reads.astype(np.float64)
+        graph_reads = self._adjacency_reads(candidates, examined)
+        # The reference code probes summary and in_queue *simultaneously*
+        # (II.B.2): on a zero summary bit the scan proceeds as soon as the
+        # (fast, cache-resident) summary answers; otherwise the slower
+        # in_queue read governs.  The summary therefore substitutes the
+        # in_queue latency on empty blocks rather than adding to it.
+        lat = graph_reads * self.lat_graph
+        if self.config.use_summary:
+            lat = (
+                lat
+                + (examined - inq_reads) * self.lat_summary
+                + inq_reads * max(self.lat_in_queue, self.lat_summary)
+            )
+        else:
+            lat = lat + inq_reads * self.lat_in_queue
+        stream_bytes = (
+            graph_reads * self.line_bytes
+            # scan of the local visited/out_queue part, plus writing the
+            # new out_queue part and its summary slice
+            + 2.0 * self.sizes.out_part_bytes
+            # miss traffic of the random bitmap reads
+            + inq_reads * self.miss_in_queue * self.line_bytes
+        )
+        if self.config.use_summary:
+            stream_bytes = stream_bytes + examined * self.miss_summary * self.line_bytes
+        stream_t = stream_bytes / self.graph_stream_bw * 1e9
+        cpu = (
+            examined * self.c.cycles_per_bu_edge
+            + candidates * self.c.cycles_per_bu_candidate
+        )
+        return _roofline(
+            lat, stream_t, cpu, self.threads, self.socket.mlp,
+            self.socket.frequency_hz,
+        )
+
+    def switch_time(self, lc: LevelCounts) -> float:
+        """Frontier representation conversion (bitmap <-> queue)."""
+        if not lc.switched:
+            return 0.0
+        vertices = float(lc.frontier_local.max(initial=0))
+        stream_t = self.sizes.out_part_bytes / self.graph_stream_bw * 1e9
+        cpu_t = (
+            vertices
+            * self.c.cycles_per_switch_vertex
+            / (self.threads * self.socket.frequency_hz)
+            * 1e9
+        )
+        return stream_t + cpu_t
+
+    # ---- per-level communication pricing ------------------------------------
+
+    def top_down_comm(self, lc: LevelCounts) -> float:
+        t = 0.0
+        if lc.td_send_bytes is not None:
+            t += float(self.comm.alltoallv_time(lc.td_send_bytes).max(initial=0.0))
+        t += lc.allreduces * self.comm.allreduce_time()
+        return t
+
+    def bottom_up_comm(self, lc: LevelCounts) -> tuple[float, dict[str, float]]:
+        inq_t, inq_steps = allgather_time(
+            self.comm,
+            self.config.in_queue_algorithm(),
+            part_bytes=lc.inq_part_words * 8.0,
+        )
+        total = inq_t
+        steps = {f"inq_{k}": v for k, v in inq_steps.items()}
+        if self.config.use_summary:
+            sum_t, sum_steps = allgather_time(
+                self.comm,
+                self.config.summary_algorithm(),
+                part_bytes=lc.summary_part_words * 8.0,
+            )
+            total += sum_t
+            steps.update({f"summary_{k}": v for k, v in sum_steps.items()})
+        total += lc.allreduces * self.comm.allreduce_time()
+        return total, steps
+
+
+def assemble(
+    counts: RunCounts,
+    comm: SimComm,
+    config: BFSConfig,
+    sizes: StructureSizes,
+    constants: CostConstants = CostConstants(),
+) -> BfsTiming:
+    """Price a run's counts on the machine model."""
+    counts.validate()
+    if counts.num_ranks != comm.num_ranks:
+        raise SimulationError(
+            f"counts recorded for {counts.num_ranks} ranks, communicator "
+            f"has {comm.num_ranks}"
+        )
+    pricer = _Pricer(comm, config, sizes, constants)
+    timing = BfsTiming()
+    bd = timing.breakdown
+    for lc in counts.levels:
+        if lc.direction == Direction.TOP_DOWN:
+            comp = pricer.top_down_compute(lc) * pricer.omp_penalty
+            comm_t = pricer.top_down_comm(lc)
+        else:
+            comp = pricer.bottom_up_compute(lc) * pricer.omp_penalty
+            comm_t, _steps = pricer.bottom_up_comm(lc)
+        switch_t = pricer.switch_time(lc)
+        comp_mean = float(comp.mean())
+        comp_max = float(comp.max())
+        stall = comp_max - comp_mean
+        timing.levels.append(
+            LevelTiming(
+                level=lc.level,
+                direction=lc.direction,
+                compute_mean_ns=comp_mean,
+                compute_max_ns=comp_max,
+                comm_ns=comm_t,
+                switch_ns=switch_t,
+                stall_ns=stall,
+            )
+        )
+        if lc.direction == Direction.TOP_DOWN:
+            bd.td_compute += comp_mean
+            bd.td_comm += comm_t
+        else:
+            bd.bu_compute += comp_mean
+            bd.bu_comm += comm_t
+        bd.switch += switch_t
+        bd.stall += stall
+    return timing

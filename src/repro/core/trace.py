@@ -1,0 +1,143 @@
+"""Per-level trace export for BFS runs.
+
+The paper's profiling figures (11-14) are built from per-phase, per-level
+timings; this module exposes the same data programmatically and as
+CSV/JSON so downstream tooling (spreadsheets, plotting) can consume a
+run without touching internal objects.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass
+
+from repro.core.engine import BFSResult
+
+__all__ = ["LevelTraceRow", "trace_rows", "to_csv", "to_json", "gantt"]
+
+_FIELDS = [
+    "level",
+    "direction",
+    "switched",
+    "frontier",
+    "candidates",
+    "examined_edges",
+    "inqueue_reads",
+    "discovered",
+    "compute_mean_ns",
+    "compute_max_ns",
+    "comm_ns",
+    "switch_ns",
+    "stall_ns",
+    "total_ns",
+]
+
+
+@dataclass(frozen=True)
+class LevelTraceRow:
+    level: int
+    direction: str
+    switched: bool
+    frontier: int
+    candidates: int
+    examined_edges: int
+    inqueue_reads: int
+    discovered: int
+    compute_mean_ns: float
+    compute_max_ns: float
+    comm_ns: float
+    switch_ns: float
+    stall_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        """Level total: compute + comm + switch + stall."""
+        return self.compute_mean_ns + self.comm_ns + self.switch_ns + self.stall_ns
+
+    def as_dict(self) -> dict:
+        """The row as a plain dict (CSV/JSON field order)."""
+        d = {f: getattr(self, f) for f in _FIELDS[:-1]}
+        d["total_ns"] = self.total_ns
+        return d
+
+
+def trace_rows(result: BFSResult) -> list[LevelTraceRow]:
+    """One row per BFS level combining counts and timings."""
+    rows = []
+    for lc, lt in zip(result.counts.levels, result.timing.levels):
+        rows.append(
+            LevelTraceRow(
+                level=lc.level,
+                direction=lc.direction,
+                switched=lc.switched,
+                frontier=int(lc.frontier_local.sum()),
+                candidates=int(lc.candidates.sum()),
+                examined_edges=int(lc.examined_edges.sum()),
+                inqueue_reads=int(lc.inqueue_reads.sum()),
+                discovered=int(lc.discovered.sum()),
+                compute_mean_ns=lt.compute_mean_ns,
+                compute_max_ns=lt.compute_max_ns,
+                comm_ns=lt.comm_ns,
+                switch_ns=lt.switch_ns,
+                stall_ns=lt.stall_ns,
+            )
+        )
+    return rows
+
+
+def to_csv(result: BFSResult) -> str:
+    """The run's per-level trace as CSV text."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=_FIELDS)
+    writer.writeheader()
+    for row in trace_rows(result):
+        writer.writerow(row.as_dict())
+    return buf.getvalue()
+
+
+def gantt(result: BFSResult, width: int = 60) -> str:
+    """ASCII per-level timeline of a run.
+
+    One row per BFS level, proportional segments for compute (#),
+    communication (=), switch (s) and stall (.) — the terminal analogue
+    of the Fig. 11 breakdown, resolved per level.
+    """
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    rows = trace_rows(result)
+    total = sum(r.total_ns for r in rows) or 1.0
+    lines = [
+        f"per-level timeline ({result.levels} levels, "
+        f"{total / 1e6:.3f} ms simulated; # compute, = comm, s switch, . stall)"
+    ]
+    for r in rows:
+        cells = max(1, int(round(r.total_ns / total * width)))
+
+        def seg(part_ns: float) -> int:
+            return int(round(part_ns / r.total_ns * cells)) if r.total_ns else 0
+
+        comp = seg(r.compute_mean_ns)
+        comm = seg(r.comm_ns)
+        sw = seg(r.switch_ns)
+        stall = max(0, cells - comp - comm - sw)
+        bar = "#" * comp + "=" * comm + "s" * sw + "." * stall
+        tag = "TD" if r.direction == "top_down" else "BU"
+        lines.append(f"L{r.level:<2d} {tag} |{bar}")
+    return "\n".join(lines)
+
+
+def to_json(result: BFSResult) -> str:
+    """The run's trace plus summary as a JSON document."""
+    doc = {
+        "root": result.root,
+        "levels": result.levels,
+        "visited": result.visited,
+        "traversed_edges": result.traversed_edges,
+        "simulated_seconds": result.seconds,
+        "teps": result.teps,
+        "breakdown": result.timing.breakdown.as_dict(),
+        "per_level": [row.as_dict() for row in trace_rows(result)],
+    }
+    return json.dumps(doc, indent=2)

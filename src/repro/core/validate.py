@@ -1,0 +1,125 @@
+"""Graph500-style BFS tree validation.
+
+The Graph500 specification requires each BFS result to pass five checks;
+we implement them all on the global parent array:
+
+1. the root's parent is itself;
+2. every reached vertex has a parent that is also reached;
+3. the parent edges exist in the input graph;
+4. following parents from any reached vertex terminates at the root,
+   and the implied levels satisfy ``level[v] == level[parent[v]] + 1``;
+5. every input edge connects vertices whose levels differ by at most one,
+   and no edge connects a reached vertex to an unreached one (so the
+   whole component was discovered).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.graph.types import Graph
+
+__all__ = ["compute_levels", "validate_parent_tree"]
+
+
+def compute_levels(graph: Graph, root: int, parent: np.ndarray) -> np.ndarray:
+    """BFS levels implied by a parent array (-1 for unreached vertices).
+
+    Levels are derived by repeated parent-pointer jumping, which also
+    proves that every reached vertex drains to the root (check 4): if a
+    parent chain does not terminate within ``num_vertices`` hops, a cycle
+    exists and validation fails.
+    """
+    n = graph.num_vertices
+    if parent.shape != (n,):
+        raise ValidationError(
+            f"parent array has shape {parent.shape}, expected ({n},)"
+        )
+    if parent[root] != root:
+        raise ValidationError(f"root {root} is not its own parent")
+
+    level = np.full(n, -1, dtype=np.int64)
+    level[root] = 0
+    frontier = np.array([root], dtype=np.int64)
+    reached = parent >= 0
+    # Children of the current frontier = reached vertices whose parent is
+    # in the frontier and that have no level yet.
+    remaining = np.flatnonzero(reached & (level < 0))
+    depth = 0
+    while remaining.size:
+        depth += 1
+        if depth > n:
+            raise ValidationError("parent chains contain a cycle")
+        is_front = np.zeros(n, dtype=bool)
+        is_front[frontier] = True
+        next_mask = is_front[parent[remaining]]
+        frontier = remaining[next_mask]
+        if frontier.size == 0:
+            raise ValidationError(
+                f"{remaining.size} reached vertices do not drain to the root"
+            )
+        level[frontier] = depth
+        remaining = remaining[~next_mask]
+    return level
+
+
+def validate_parent_tree(
+    graph: Graph, root: int, parent: np.ndarray
+) -> np.ndarray:
+    """Run all five Graph500 checks; returns the level array on success."""
+    n = graph.num_vertices
+    parent = np.asarray(parent, dtype=np.int64)
+    reached = parent >= 0
+    if not reached[root]:
+        raise ValidationError("root is unreached")
+
+    # Check 2: parents of reached vertices are reached and in range.
+    p = parent[reached]
+    if p.size and (int(p.min()) < 0 or int(p.max()) >= n):
+        raise ValidationError("parent id out of range")
+    if not np.all(reached[p]):
+        raise ValidationError("a reached vertex has an unreached parent")
+
+    # Check 3: non-root parent edges exist in the graph (vectorized via
+    # sorted edge keys: arc (u, v) -> u * n + v).
+    children = np.flatnonzero(reached)
+    children = children[children != root]
+    if children.size:
+        row = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(graph.offsets)
+        )
+        edge_keys = row * np.int64(n) + graph.targets  # sorted by CSR order
+        pair_keys = parent[children] * np.int64(n) + children
+        pos = np.searchsorted(edge_keys, pair_keys)
+        present = (pos < edge_keys.size) & (
+            edge_keys[np.minimum(pos, edge_keys.size - 1)] == pair_keys
+        )
+        if not np.all(present):
+            v = int(children[np.flatnonzero(~present)[0]])
+            raise ValidationError(
+                f"tree edge ({int(parent[v])}, {v}) is not an edge of "
+                f"the graph"
+            )
+
+    # Checks 1 and 4 (cycle-freedom, drainage, level consistency).
+    level = compute_levels(graph, root, parent)
+    if np.any(reached & (level < 0)):
+        raise ValidationError("a reached vertex received no level")
+
+    # Check 5: every graph edge spans at most one level, and reached
+    # vertices have no unreached neighbours (completeness).
+    row = np.repeat(
+        np.arange(n, dtype=np.int64), np.diff(graph.offsets)
+    )
+    col = graph.targets
+    lr, lcol = level[row], level[col]
+    both = (lr >= 0) & (lcol >= 0)
+    if np.any((lr >= 0) != (lcol >= 0)):
+        raise ValidationError(
+            "an edge connects a reached vertex to an unreached one "
+            "(BFS did not exhaust the component)"
+        )
+    if np.any(np.abs(lr[both] - lcol[both]) > 1):
+        raise ValidationError("an edge spans more than one BFS level")
+    return level

@@ -1,0 +1,44 @@
+"""Exception types used across the :mod:`repro` package.
+
+Keeping a small, explicit hierarchy makes failures easy to catch at API
+boundaries: configuration problems raise :class:`ConfigError`, malformed
+graphs raise :class:`GraphError`, violations detected by the Graph500
+validator raise :class:`ValidationError`, and internal simulator invariant
+breaks raise :class:`SimulationError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "GraphError",
+    "ValidationError",
+    "SimulationError",
+    "CommunicationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid configuration value (machine spec, BFS config, mapping)."""
+
+
+class GraphError(ReproError, ValueError):
+    """A malformed graph or an operation on an incompatible graph."""
+
+
+class ValidationError(ReproError):
+    """A BFS result failed Graph500-style validation."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """An internal invariant of the simulator was violated."""
+
+
+class CommunicationError(SimulationError):
+    """A simulated MPI operation was used incorrectly (mismatched sizes,
+    unknown rank, message left undelivered, ...)."""

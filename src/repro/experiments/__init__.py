@@ -1,0 +1,20 @@
+"""One experiment module per table/figure of the paper's evaluation.
+
+Each experiment exposes ``run(settings) -> ExperimentResult`` producing
+the same rows/series the paper reports, plus the qualitative claims the
+reproduction is held to (DESIGN.md §4).  ``repro.experiments.registry``
+maps experiment ids (``fig09``, ``table1``, ...) to their runners;
+``benchmarks/`` wraps each in a pytest-benchmark harness and the
+``repro-experiment`` console script runs them standalone.
+"""
+
+from repro.experiments.common import ExperimentResult, ExperimentSettings
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSettings",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

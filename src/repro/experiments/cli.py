@@ -1,0 +1,98 @@
+"""``repro-experiment`` console entry point.
+
+Usage::
+
+    repro-experiment list
+    repro-experiment fig09 [--roots N] [--offset K] [--quick]
+    repro-experiment all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.common import ExperimentSettings
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description=(
+            "Reproduce a table/figure of 'Evaluation and Optimization of "
+            "Breadth-First Search on NUMA Cluster' (CLUSTER 2012)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. fig09), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--roots", type=int, default=3, help="BFS roots per evaluation"
+    )
+    parser.add_argument(
+        "--offset",
+        type=int,
+        default=15,
+        help="functional runs execute at paper_scale - offset",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=4, help="root sampling seed"
+    )
+    parser.add_argument(
+        "--no-weak-node",
+        action="store_true",
+        help="model all 16 nodes with healthy InfiniBand",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="fastest settings (2 roots)"
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="PATH",
+        help="also write the result rows as CSV to PATH "
+        "(the experiment id is appended when running several)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for eid, mod in EXPERIMENTS.items():
+            print(f"{eid:12s} {mod.TITLE}")
+        return 0
+    settings = ExperimentSettings(
+        scale_offset=args.offset,
+        num_roots=args.roots,
+        seed=args.seed,
+        include_weak_node=not args.no_weak_node,
+    )
+    if args.quick:
+        settings = settings.quick()
+    ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for eid in ids:
+        if eid not in EXPERIMENTS:
+            print(f"unknown experiment {eid!r}; try 'list'", file=sys.stderr)
+            return 2
+        start = time.perf_counter()
+        result = run_experiment(eid, settings)
+        elapsed = time.perf_counter() - start
+        print(result.to_text())
+        if args.csv:
+            path = args.csv if len(ids) == 1 else f"{args.csv}.{eid}.csv"
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(result.to_csv())
+            print(f"[csv written to {path}]")
+        print(f"[{eid} completed in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""Fig. 4 — inter-node bandwidth vs processes per node.
+
+The OSU-style measurement the paper uses to motivate the parallel
+allgather: one process per node drives only about half of the dual-port
+InfiniBand peak; eight concurrent processes saturate it.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, ExperimentSettings
+from repro.machine.network import NetworkModel
+from repro.machine.spec import paper_cluster
+from repro.util.formatting import format_si
+
+EXPERIMENT_ID = "fig04"
+TITLE = "Fig. 4: bandwidth between two nodes vs processes per node"
+
+MESSAGE_BYTES = 4 << 20  # large messages, as in the OSU bandwidth test
+
+
+def run(settings: ExperimentSettings | None = None) -> ExperimentResult:
+    """Reproduce Fig. 4 (node bandwidth vs processes per node)."""
+    cluster = paper_cluster(nodes=2)
+    net = NetworkModel(cluster)
+    res = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=["ppn", "aggregate bandwidth", "fraction of peak"],
+    )
+    peak = net.osu_bandwidth(8, MESSAGE_BYTES)
+    for ppn in (1, 2, 4, 8):
+        bw = net.osu_bandwidth(ppn, MESSAGE_BYTES)
+        res.rows.append([ppn, format_si(bw, "B/s"), bw / peak])
+
+    # OSU-style message-size sweep (small messages are latency-bound).
+    sweep_rows = []
+    for size_kb in (1, 16, 256, 4096):
+        row = [f"{size_kb} KiB"]
+        for ppn in (1, 8):
+            bw = net.osu_bandwidth(ppn, size_kb * 1024)
+            row.append(format_si(bw, "B/s"))
+        sweep_rows.append(row)
+    from repro.util.formatting import format_table
+
+    res.notes.append(
+        "message-size sweep (aggregate bandwidth): "
+        + "; ".join(
+            f"{r[0]}: 1ppn {r[1]}, 8ppn {r[2]}" for r in sweep_rows
+        )
+    )
+    one = net.osu_bandwidth(1, MESSAGE_BYTES)
+    res.add_claim(
+        "1 ppn reaches about half of peak",
+        "~0.5",
+        f"{one / peak:.2f}",
+    )
+    res.add_claim(
+        "8 ppn saturates both IB ports",
+        "highest bandwidth at 8 ppn",
+        f"{format_si(peak, 'B/s')} at 8 ppn (monotone in ppn)",
+    )
+    return res

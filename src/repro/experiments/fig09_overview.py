@@ -1,0 +1,105 @@
+"""Fig. 9 — overview of all optimizations (16 nodes, scale 32).
+
+The headline figure: the full stack from ``Original.ppn=1`` to the tuned
+granularity.  The first five bars come from functional runs re-priced at
+scale 32; the granularity bar applies the analytic-mode multiplier for
+the best tested granularity, because the summary's zero-block trade-off
+only exists at paper-scale frontier densities (see
+:mod:`repro.model.levelprofile`).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import BFSConfig, paper_variants
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSettings,
+    cluster_for,
+    evaluate_variant,
+)
+from repro.model.analytic import analytic_graph500
+
+EXPERIMENT_ID = "fig09"
+TITLE = "Fig. 9: overview of all optimizations (16 nodes, scale 32)"
+NODES = 16
+BEST_GRANULARITY = 256
+
+
+def granularity_multiplier(settings: ExperimentSettings) -> float:
+    """Analytic-mode speedup of the best granularity over the default 64
+    on top of the 'Par allgather' stack."""
+    cluster = cluster_for(NODES, settings)
+    base = analytic_graph500(
+        cluster, BFSConfig.par_allgather_variant(), 32
+    ).seconds
+    best = analytic_graph500(
+        cluster, BFSConfig.granularity_variant(BEST_GRANULARITY), 32
+    ).seconds
+    return base / best
+
+
+def run(settings: ExperimentSettings | None = None) -> ExperimentResult:
+    """Reproduce Fig. 9 (the optimization-stack overview)."""
+    settings = settings or ExperimentSettings()
+    res = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=["variant", "GTEPS", "speedup vs Original.ppn=1"],
+    )
+    teps = {}
+    for name, cfg in paper_variants(BEST_GRANULARITY).items():
+        if name == "Granularity":
+            continue
+        pred = evaluate_variant(NODES, cfg, settings)
+        teps[name] = pred.harmonic_mean_teps
+    teps["Granularity"] = teps["Par allgather"] * granularity_multiplier(
+        settings
+    )
+
+    base = teps["Original.ppn=1"]
+    for name, value in teps.items():
+        res.rows.append([name, value / 1e9, value / base])
+    from repro.util import bar_chart
+
+    res.charts.append(
+        bar_chart(
+            list(teps),
+            [v / 1e9 for v in teps.values()],
+            unit="GTEPS",
+            title="Fig. 9 shape:",
+        )
+    )
+
+    res.add_claim(
+        "NUMA mapping alone (ppn=8 vs ppn=1)",
+        "1.53x",
+        f"{teps['Original.ppn=8'] / base:.2f}x",
+    )
+    res.add_claim(
+        "Share in_queue over Original.ppn=8",
+        "+34.1%",
+        f"+{(teps['Share in_queue'] / teps['Original.ppn=8'] - 1) * 100:.1f}%",
+    )
+    res.add_claim(
+        "Share all (additional)",
+        "+6.5%",
+        f"+{(teps['Share all'] / teps['Share in_queue'] - 1) * 100:.1f}%",
+    )
+    res.add_claim(
+        "Par allgather (additional)",
+        "+4.6%",
+        f"+{(teps['Par allgather'] / teps['Share all'] - 1) * 100:.1f}%",
+    )
+    res.add_claim(
+        "Granularity (additional)",
+        "+14.8%",
+        f"+{(teps['Granularity'] / teps['Par allgather'] - 1) * 100:.1f}%",
+    )
+    res.add_claim(
+        "overall speedup", "2.44x", f"{teps['Granularity'] / base:.2f}x"
+    )
+    res.add_claim(
+        "final performance", "39.2 GTEPS",
+        f"{teps['Granularity'] / 1e9:.1f} GTEPS",
+    )
+    return res

@@ -1,0 +1,68 @@
+"""Fig. 10 — execution policies on a single node (scale 28).
+
+Sweeps the ``mpirun``/``numactl`` policy space of the paper: the bound
+one-process-per-socket mapping must win, interleaving must beat naive
+first-touch, and unbound multi-process must be the worst.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import BFSConfig
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSettings,
+    evaluate_variant,
+)
+from repro.mpi.mapping import BindingPolicy
+
+EXPERIMENT_ID = "fig10"
+TITLE = "Fig. 10: execution policies on one node (scale 28)"
+NODES = 1
+
+POLICIES = {
+    "ppn=1.noflag": BFSConfig(ppn=1, binding=BindingPolicy.NOFLAG),
+    "ppn=1.interleave": BFSConfig(ppn=1, binding=BindingPolicy.INTERLEAVE),
+    "ppn=8.noflag": BFSConfig(binding=BindingPolicy.NOFLAG),
+    "ppn=8.bind-to-socket": BFSConfig(binding=BindingPolicy.BIND_TO_SOCKET),
+}
+
+
+def run(settings: ExperimentSettings | None = None) -> ExperimentResult:
+    """Reproduce Fig. 10 (single-node execution policies)."""
+    settings = settings or ExperimentSettings()
+    res = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=["policy", "GTEPS", "relative to best"],
+    )
+    teps = {
+        name: evaluate_variant(NODES, cfg, settings).harmonic_mean_teps
+        for name, cfg in POLICIES.items()
+    }
+    best = max(teps.values())
+    for name, value in teps.items():
+        res.rows.append([name, value / 1e9, value / best])
+
+    bind = teps["ppn=8.bind-to-socket"]
+    res.add_claim(
+        "bind-to-socket vs ppn=1.interleave",
+        "1.74x",
+        f"{bind / teps['ppn=1.interleave']:.2f}x",
+    )
+    res.add_claim(
+        "bind-to-socket vs ppn=8.noflag",
+        "2.08x",
+        f"{bind / teps['ppn=8.noflag']:.2f}x",
+    )
+    res.add_claim(
+        "interleave beats ppn=1.noflag",
+        "interleave > noflag",
+        f"{teps['ppn=1.interleave'] / teps['ppn=1.noflag']:.2f}x "
+        f"({'holds' if teps['ppn=1.interleave'] > teps['ppn=1.noflag'] else 'VIOLATED'})",
+    )
+    res.add_claim(
+        "bind-to-socket is best",
+        "best of all policies",
+        "holds" if bind == best else "VIOLATED",
+    )
+    return res

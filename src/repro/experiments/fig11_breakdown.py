@@ -1,0 +1,79 @@
+"""Fig. 11 — execution-time breakdown and computation speedups (1 node).
+
+The per-phase profile of the "Original" implementation at scale 28 under
+the two interesting policies: binding speeds up both computation phases;
+the paper reports a 1.58x bottom-up computation speedup attributable
+purely to the removal of remote memory accesses.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import BFSConfig
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSettings,
+    evaluate_variant,
+)
+from repro.mpi.mapping import BindingPolicy
+
+EXPERIMENT_ID = "fig11"
+TITLE = "Fig. 11: time breakdown on one node (scale 28)"
+NODES = 1
+
+
+def run(settings: ExperimentSettings | None = None) -> ExperimentResult:
+    """Reproduce Fig. 11 (per-phase time breakdown)."""
+    settings = settings or ExperimentSettings()
+    cases = {
+        "ppn=1.interleave": BFSConfig(ppn=1, binding=BindingPolicy.INTERLEAVE),
+        "ppn=8.bind-to-socket": BFSConfig(),
+    }
+    res = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=[
+            "policy",
+            "top-down comp [ms]",
+            "top-down comm [ms]",
+            "bottom-up comp [ms]",
+            "bottom-up comm [ms]",
+            "switch [ms]",
+            "stall [ms]",
+            "total [ms]",
+        ],
+    )
+    breakdowns = {}
+    for name, cfg in cases.items():
+        pred = evaluate_variant(NODES, cfg, settings)
+        bd = pred.mean_breakdown()
+        breakdowns[name] = bd
+        res.rows.append(
+            [
+                name,
+                bd.td_compute / 1e6,
+                bd.td_comm / 1e6,
+                bd.bu_compute / 1e6,
+                bd.bu_comm / 1e6,
+                bd.switch / 1e6,
+                bd.stall / 1e6,
+                bd.total / 1e6,
+            ]
+        )
+    interleave = breakdowns["ppn=1.interleave"]
+    bind = breakdowns["ppn=8.bind-to-socket"]
+    res.add_claim(
+        "bottom-up computation speedup from binding",
+        "1.58x",
+        f"{interleave.bu_compute / bind.bu_compute:.2f}x",
+    )
+    res.add_claim(
+        "top-down computation speedup from binding",
+        "speeds up (Fig. 11 bars)",
+        f"{interleave.td_compute / bind.td_compute:.2f}x",
+    )
+    res.add_claim(
+        "communication proportion on one node (ppn=8)",
+        "~12%",
+        f"{bind.comm_fraction * 100:.0f}%",
+    )
+    return res

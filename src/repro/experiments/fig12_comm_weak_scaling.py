@@ -1,0 +1,84 @@
+"""Fig. 12 — communication cost of the "Original" implementation under
+weak scaling (1 -> 8 nodes, scales 28 -> 31).
+
+Two series of bars (absolute time of one bottom-up communication phase
+for ``ppn=1.interleave`` and ``ppn=8.bind``) plus the proportion curve
+for ``ppn=8``: the cost grows exponentially with weak scaling, ppn=8
+costs ~2.34x more than ppn=1 at 8 nodes, and the proportion reaches ~54%.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import BFSConfig
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSettings,
+    evaluate_variant,
+    paper_scale_for_nodes,
+)
+from repro.mpi.mapping import BindingPolicy
+
+EXPERIMENT_ID = "fig12"
+TITLE = "Fig. 12: communication cost under weak scaling (Original)"
+NODE_COUNTS = (1, 2, 4, 8)
+
+
+def run(settings: ExperimentSettings | None = None) -> ExperimentResult:
+    """Reproduce Fig. 12 (communication cost under weak scaling)."""
+    settings = settings or ExperimentSettings()
+    res = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=[
+            "nodes",
+            "scale",
+            "ppn=1 comm/phase [ms]",
+            "ppn=8 comm/phase [ms]",
+            "ppn8/ppn1",
+            "ppn=8 comm proportion",
+        ],
+    )
+    ratios = {}
+    proportions = {}
+    for nodes in NODE_COUNTS:
+        ppn1 = evaluate_variant(
+            nodes,
+            BFSConfig(ppn=1, binding=BindingPolicy.INTERLEAVE),
+            settings,
+        )
+        ppn8 = evaluate_variant(nodes, BFSConfig(), settings)
+        c1 = ppn1.mean_bu_comm_per_level()
+        c8 = ppn8.mean_bu_comm_per_level()
+        prop = ppn8.mean_breakdown().comm_fraction
+        ratios[nodes] = c8 / c1 if c1 else float("inf")
+        proportions[nodes] = prop
+        res.rows.append(
+            [
+                nodes,
+                paper_scale_for_nodes(nodes),
+                c1 / 1e6,
+                c8 / 1e6,
+                ratios[nodes],
+                f"{prop * 100:.0f}%",
+            ]
+        )
+    res.add_claim(
+        "ppn=8 comm vs ppn=1 comm at 8 nodes",
+        "2.34x",
+        f"{ratios[8]:.2f}x",
+    )
+    res.add_claim(
+        "comm proportion growth (1 -> 8 nodes)",
+        "12% -> 54%",
+        f"{proportions[1] * 100:.0f}% -> {proportions[8] * 100:.0f}%",
+    )
+    monotone = all(
+        proportions[a] <= proportions[b] + 1e-9
+        for a, b in zip(NODE_COUNTS, NODE_COUNTS[1:])
+    )
+    res.add_claim(
+        "proportion grows with node count",
+        "monotone",
+        "holds" if monotone else "VIOLATED",
+    )
+    return res

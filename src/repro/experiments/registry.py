@@ -1,0 +1,60 @@
+"""Registry mapping experiment ids to their runner modules."""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    ext_modern,
+    fig03_numa_speedup,
+    fig04_network_bw,
+    fig06_leader_allgather,
+    fig09_overview,
+    fig10_binding,
+    fig11_breakdown,
+    fig12_comm_weak_scaling,
+    fig13_comm_reduction,
+    fig14_comm_proportion,
+    fig15_weak_scalability,
+    fig16_granularity,
+    table1_config,
+    text_claims,
+)
+from repro.experiments.common import ExperimentResult, ExperimentSettings
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+
+_MODULES = (
+    table1_config,
+    fig03_numa_speedup,
+    fig04_network_bw,
+    fig06_leader_allgather,
+    fig09_overview,
+    fig10_binding,
+    fig11_breakdown,
+    fig12_comm_weak_scaling,
+    fig13_comm_reduction,
+    fig14_comm_proportion,
+    fig15_weak_scalability,
+    fig16_granularity,
+    text_claims,
+    ext_modern,
+)
+
+EXPERIMENTS = {mod.EXPERIMENT_ID: mod for mod in _MODULES}
+
+
+def get_experiment(experiment_id: str):
+    """The runner module for an experiment id (``fig09``, ``table1``...)."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def run_experiment(
+    experiment_id: str, settings: ExperimentSettings | None = None
+) -> ExperimentResult:
+    """Run one experiment and return its result table."""
+    return get_experiment(experiment_id).run(settings)

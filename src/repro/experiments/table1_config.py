@@ -1,0 +1,49 @@
+"""Table I — node configuration.
+
+Renders the machine model's defaults in the layout of the paper's table,
+so any recalibration of the specs is immediately visible next to the
+published values.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, ExperimentSettings
+from repro.machine.spec import paper_cluster
+from repro.util.formatting import format_bytes, format_si
+
+EXPERIMENT_ID = "table1"
+TITLE = "Table I: node configuration (model defaults vs paper)"
+
+
+def run(settings: ExperimentSettings | None = None) -> ExperimentResult:
+    """Reproduce Table I (node configuration)."""
+    cluster = paper_cluster()
+    node = cluster.node
+    sock = node.socket
+    res = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=["item", "paper (Table I)", "model"],
+    )
+    rows = [
+        ["CPUs per node", "8x Intel Xeon X7550", f"{node.sockets} sockets"],
+        ["cores per CPU", "8 @ 2.0 GHz", f"{sock.cores} @ {sock.frequency_hz/1e9:.1f} GHz"],
+        ["L1D per core", "32 KB", format_bytes(sock.caches[0].capacity_bytes, 0)],
+        ["L2 per core", "256 KB", format_bytes(sock.caches[1].capacity_bytes, 0)],
+        ["L3 per CPU (shared)", "18 MB", format_bytes(sock.caches[2].capacity_bytes, 0)],
+        ["QPI", "4x 6.4 GT/s", f"{node.qpi.links_per_socket} coherence links x "
+                                f"{format_si(node.qpi.link_bandwidth, 'B/s')}"],
+        ["memory bandwidth per CPU", "17.1 GB/s", format_si(sock.dram_bandwidth, "B/s")],
+        ["memory per node", "256 GB", format_bytes(node.dram_total, 0)],
+        ["network", "2x 40 Gb/s InfiniBand",
+         f"{node.ib.ports} ports x {format_si(node.ib.port_bandwidth * 8, 'b/s')}"
+         " effective data rate"],
+        ["nodes / total cores", "16 / 1024", f"{cluster.nodes} / {cluster.total_cores}"],
+    ]
+    res.rows = rows
+    res.add_claim("total cores", "1024", str(cluster.total_cores))
+    res.add_claim(
+        "per-CPU memory bandwidth", "17.1 GB/s",
+        format_si(sock.dram_bandwidth, "B/s"),
+    )
+    return res

@@ -1,0 +1,61 @@
+"""Section II.A text claim — the hybrid algorithm against its pure
+parents on one 64-core node.
+
+"the *hybrid* approach is 27.3 times faster than the top-down approach
+and 4.7 times faster than the bottom-up approach" (scale 28, Graph500
+method).  Evaluated in the analytic mode: pure top-down pays the full
+edge mass of every level plus the pair exchange; pure bottom-up pays the
+giant unvisited scans of the early, near-empty-frontier levels."""
+
+from __future__ import annotations
+
+from repro.core.config import BFSConfig, TraversalMode
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSettings,
+    cluster_for,
+)
+from repro.model.analytic import analytic_graph500
+
+EXPERIMENT_ID = "text_hybrid"
+TITLE = "Text II.A: hybrid vs pure top-down / bottom-up (1 node, scale 28)"
+NODES = 1
+SCALE = 28
+
+
+def run(settings: ExperimentSettings | None = None) -> ExperimentResult:
+    """Reproduce the Section II.A hybrid-vs-pure speedup claims."""
+    settings = settings or ExperimentSettings()
+    cluster = cluster_for(NODES, settings)
+    res = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=["algorithm", "time [s]", "GTEPS", "hybrid speedup over it"],
+    )
+    results = {
+        "hybrid": analytic_graph500(
+            cluster, BFSConfig.original_ppn8(), SCALE
+        ),
+        "pure top-down": analytic_graph500(
+            cluster, BFSConfig(mode=TraversalMode.TOP_DOWN), SCALE
+        ),
+        "pure bottom-up": analytic_graph500(
+            cluster, BFSConfig(mode=TraversalMode.BOTTOM_UP), SCALE
+        ),
+    }
+    hybrid_s = results["hybrid"].seconds
+    for name, r in results.items():
+        res.rows.append(
+            [name, r.seconds, r.teps / 1e9, r.seconds / hybrid_s]
+        )
+    res.add_claim(
+        "hybrid vs pure top-down",
+        "27.3x",
+        f"{results['pure top-down'].seconds / hybrid_s:.1f}x",
+    )
+    res.add_claim(
+        "hybrid vs pure bottom-up",
+        "4.7x",
+        f"{results['pure bottom-up'].seconds / hybrid_s:.1f}x",
+    )
+    return res

@@ -1,0 +1,58 @@
+"""Graph substrate: CSR representation, Graph500 R-MAT generator, synthetic
+generators for testing, 1-D partitioning across MPI ranks, and edge-list IO.
+"""
+
+from repro.graph.types import Graph, EdgeList
+from repro.graph.builder import build_graph, from_edge_arrays
+from repro.graph.rmat import RmatParams, generate_rmat_edges, rmat_graph
+from repro.graph.generators import (
+    path_graph,
+    cycle_graph,
+    star_graph,
+    complete_graph,
+    grid_graph,
+    erdos_renyi_graph,
+    binary_tree_graph,
+)
+from repro.graph.partition import (
+    Partition1D,
+    degree_balanced_bounds,
+    word_aligned_bounds,
+)
+from repro.graph.degree import degree_statistics, DegreeStatistics
+from repro.graph.io import (
+    save_edge_list,
+    load_edge_list,
+    save_graph,
+    load_graph,
+    load_text_edges,
+    save_text_edges,
+)
+
+__all__ = [
+    "Graph",
+    "EdgeList",
+    "build_graph",
+    "from_edge_arrays",
+    "RmatParams",
+    "generate_rmat_edges",
+    "rmat_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "erdos_renyi_graph",
+    "binary_tree_graph",
+    "Partition1D",
+    "degree_balanced_bounds",
+    "word_aligned_bounds",
+    "degree_statistics",
+    "DegreeStatistics",
+    "save_edge_list",
+    "load_edge_list",
+    "save_graph",
+    "load_graph",
+    "load_text_edges",
+    "save_text_edges",
+]

@@ -1,0 +1,62 @@
+"""Degree statistics of a graph.
+
+Graph500 requires BFS roots to have degree >= 1, and the paper's analysis
+(e.g. the share of isolated vertices in an R-MAT graph, which affects
+frontier densities) relies on the degree distribution; this module computes
+both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.types import Graph
+
+__all__ = ["DegreeStatistics", "degree_statistics", "sample_roots"]
+
+
+@dataclass(frozen=True)
+class DegreeStatistics:
+    num_vertices: int
+    num_edges: int
+    max_degree: int
+    mean_degree: float
+    isolated_vertices: int
+
+    @property
+    def isolated_fraction(self) -> float:
+        """Share of degree-0 vertices."""
+        if self.num_vertices == 0:
+            return 0.0
+        return self.isolated_vertices / self.num_vertices
+
+
+def degree_statistics(graph: Graph) -> DegreeStatistics:
+    """Compute summary degree statistics."""
+    deg = graph.degrees()
+    return DegreeStatistics(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        max_degree=int(deg.max()) if deg.size else 0,
+        mean_degree=float(deg.mean()) if deg.size else 0.0,
+        isolated_vertices=int(np.count_nonzero(deg == 0)),
+    )
+
+
+def sample_roots(graph: Graph, count: int, seed: int = 2) -> np.ndarray:
+    """Sample distinct BFS roots with degree >= 1, Graph500 style.
+
+    Raises ``ValueError`` if the graph has fewer than ``count`` non-isolated
+    vertices.
+    """
+    deg = graph.degrees()
+    candidates = np.flatnonzero(deg > 0)
+    if candidates.size < count:
+        raise ValueError(
+            f"graph has only {candidates.size} non-isolated vertices, "
+            f"cannot sample {count} roots"
+        )
+    rng = np.random.default_rng(seed)
+    return rng.choice(candidates, size=count, replace=False).astype(np.int64)

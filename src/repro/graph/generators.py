@@ -1,0 +1,112 @@
+"""Deterministic synthetic graphs with analytically known BFS structure.
+
+These are used by the test suite (BFS levels on a path, a grid or a binary
+tree are known in closed form) and by the examples; the paper's evaluation
+itself uses :mod:`repro.graph.rmat`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builder import from_edge_arrays
+from repro.graph.types import Graph
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "binary_tree_graph",
+    "erdos_renyi_graph",
+]
+
+
+def path_graph(n: int) -> Graph:
+    """Path 0 - 1 - ... - (n-1)."""
+    if n < 1:
+        raise GraphError("path_graph requires n >= 1")
+    src = np.arange(n - 1, dtype=np.int64)
+    return from_edge_arrays(n, src, src + 1, meta={"kind": "path", "n": n})
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle over n >= 3 vertices."""
+    if n < 3:
+        raise GraphError("cycle_graph requires n >= 3")
+    src = np.arange(n, dtype=np.int64)
+    dst = (src + 1) % n
+    return from_edge_arrays(n, src, dst, meta={"kind": "cycle", "n": n})
+
+
+def star_graph(n: int) -> Graph:
+    """Star: vertex 0 connected to vertices 1..n-1."""
+    if n < 2:
+        raise GraphError("star_graph requires n >= 2")
+    dst = np.arange(1, n, dtype=np.int64)
+    src = np.zeros(n - 1, dtype=np.int64)
+    return from_edge_arrays(n, src, dst, meta={"kind": "star", "n": n})
+
+
+def complete_graph(n: int) -> Graph:
+    """Complete graph K_n."""
+    if n < 1:
+        raise GraphError("complete_graph requires n >= 1")
+    idx = np.arange(n, dtype=np.int64)
+    src, dst = np.meshgrid(idx, idx, indexing="ij")
+    mask = src < dst
+    return from_edge_arrays(
+        n, src[mask], dst[mask], meta={"kind": "complete", "n": n}
+    )
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """4-connected rows x cols grid; vertex (r, c) has id r * cols + c."""
+    if rows < 1 or cols < 1:
+        raise GraphError("grid_graph requires positive dimensions")
+    n = rows * cols
+    ids = np.arange(n, dtype=np.int64).reshape(rows, cols)
+    right_src = ids[:, :-1].ravel()
+    right_dst = ids[:, 1:].ravel()
+    down_src = ids[:-1, :].ravel()
+    down_dst = ids[1:, :].ravel()
+    src = np.concatenate([right_src, down_src])
+    dst = np.concatenate([right_dst, down_dst])
+    return from_edge_arrays(
+        n, src, dst, meta={"kind": "grid", "rows": rows, "cols": cols}
+    )
+
+
+def binary_tree_graph(depth: int) -> Graph:
+    """Complete binary tree with 2**(depth+1) - 1 vertices, root 0.
+
+    Vertex v has children 2v + 1 and 2v + 2; BFS level of v from the root
+    is floor(log2(v + 1)).
+    """
+    if depth < 0:
+        raise GraphError("binary_tree_graph requires depth >= 0")
+    n = (1 << (depth + 1)) - 1
+    child = np.arange(1, n, dtype=np.int64)
+    parent = (child - 1) // 2
+    return from_edge_arrays(
+        n, parent, child, meta={"kind": "binary_tree", "depth": depth}
+    )
+
+
+def erdos_renyi_graph(n: int, p: float, seed: int = 0) -> Graph:
+    """G(n, p) random graph (dense sampling; intended for small n)."""
+    if n < 1:
+        raise GraphError("erdos_renyi_graph requires n >= 1")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"p must be in [0, 1], got {p}")
+    rng = np.random.default_rng(seed)
+    mat = rng.random((n, n)) < p
+    iu = np.triu_indices(n, k=1)
+    mask = mat[iu]
+    src = iu[0][mask].astype(np.int64)
+    dst = iu[1][mask].astype(np.int64)
+    return from_edge_arrays(
+        n, src, dst, meta={"kind": "erdos_renyi", "n": n, "p": p, "seed": seed}
+    )

@@ -1,0 +1,115 @@
+"""Graph500-style R-MAT (Kronecker) graph generator [Chakrabarti et al.].
+
+The paper evaluates on R-MAT graphs with the Graph500 parameters
+(A, B, C, D) = (0.57, 0.19, 0.19, 0.05) and ``edgefactor = 16`` (so a
+scale-32 graph has 2^32 vertices and 16 * 2^32 = 64 G undirected edges).
+The generator is fully vectorized: one pass per scale level over all edges.
+
+Vertex labels are randomly permuted by default, as mandated by the
+Graph500 specification, which destroys the locality the recursive process
+would otherwise put into low vertex IDs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builder import build_graph
+from repro.graph.types import EdgeList, Graph
+
+__all__ = ["RmatParams", "generate_rmat_edges", "rmat_graph"]
+
+GRAPH500_EDGEFACTOR = 16
+
+
+@dataclass(frozen=True)
+class RmatParams:
+    """Quadrant probabilities of the recursive matrix."""
+
+    a: float = 0.57
+    b: float = 0.19
+    c: float = 0.19
+    d: float = 0.05
+
+    def __post_init__(self) -> None:
+        total = self.a + self.b + self.c + self.d
+        if not np.isclose(total, 1.0, atol=1e-9):
+            raise GraphError(f"R-MAT probabilities must sum to 1, got {total}")
+        if min(self.a, self.b, self.c, self.d) < 0:
+            raise GraphError("R-MAT probabilities must be non-negative")
+
+
+def generate_rmat_edges(
+    scale: int,
+    edgefactor: int = GRAPH500_EDGEFACTOR,
+    params: RmatParams = RmatParams(),
+    seed: int = 1,
+    permute_labels: bool = True,
+) -> EdgeList:
+    """Generate ``edgefactor * 2**scale`` raw edges over ``2**scale`` vertices.
+
+    The returned edge list may contain duplicates and self-loops, exactly as
+    the Graph500 generator's output does; CSR construction cleans them up.
+    """
+    if scale < 0:
+        raise GraphError(f"scale must be non-negative, got {scale}")
+    if edgefactor <= 0:
+        raise GraphError(f"edgefactor must be positive, got {edgefactor}")
+    n = 1 << scale
+    m = edgefactor * n
+    rng = np.random.default_rng(seed)
+
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    p_right = params.b + params.d  # P(column bit = 1)
+    # Conditional probabilities of the row bit given the column bit.
+    p_row1_given_right = params.d / p_right if p_right > 0 else 0.0
+    p_row1_given_left = (
+        params.c / (params.a + params.c) if (params.a + params.c) > 0 else 0.0
+    )
+    for _level in range(scale):
+        col = rng.random(m) < p_right
+        p_row1 = np.where(col, p_row1_given_right, p_row1_given_left)
+        row = rng.random(m) < p_row1
+        src = (src << 1) | row.astype(np.int64)
+        dst = (dst << 1) | col.astype(np.int64)
+
+    if permute_labels:
+        perm = rng.permutation(n).astype(np.int64)
+        src = perm[src]
+        dst = perm[dst]
+    # Randomize edge direction as the reference generator does.
+    flip = rng.random(m) < 0.5
+    src2 = np.where(flip, dst, src)
+    dst2 = np.where(flip, src, dst)
+    return EdgeList(num_vertices=n, sources=src2, targets=dst2)
+
+
+def rmat_graph(
+    scale: int,
+    edgefactor: int = GRAPH500_EDGEFACTOR,
+    params: RmatParams = RmatParams(),
+    seed: int = 1,
+    permute_labels: bool = True,
+) -> Graph:
+    """Generate an R-MAT edge list and build the CSR graph."""
+    edges = generate_rmat_edges(
+        scale,
+        edgefactor=edgefactor,
+        params=params,
+        seed=seed,
+        permute_labels=permute_labels,
+    )
+    return build_graph(
+        edges,
+        meta={
+            "kind": "rmat",
+            "scale": scale,
+            "edgefactor": edgefactor,
+            "seed": seed,
+            "raw_edges": edges.num_edges,
+        },
+    )

@@ -1,0 +1,112 @@
+"""Graph data types.
+
+:class:`Graph` is an immutable undirected graph in CSR (compressed sparse
+row) form — the layout the Graph500 reference code and the paper's BFS
+kernels operate on.  Adjacency of vertex ``v`` is
+``targets[offsets[v]:offsets[v + 1]]``, sorted ascending, with no
+self-loops and no duplicate edges.  Both directions of every undirected
+edge are stored, so ``offsets[-1] == 2 * num_edges``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GraphError
+
+__all__ = ["EdgeList", "Graph"]
+
+
+@dataclass(frozen=True)
+class EdgeList:
+    """A raw (possibly duplicated, possibly self-looped) list of edges, as
+    produced by a generator such as R-MAT before CSR construction."""
+
+    num_vertices: int
+    sources: np.ndarray
+    targets: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.num_vertices < 0:
+            raise GraphError("num_vertices must be non-negative")
+        if self.sources.shape != self.targets.shape or self.sources.ndim != 1:
+            raise GraphError("sources/targets must be 1-D arrays of equal length")
+        if self.sources.size:
+            lo = min(int(self.sources.min()), int(self.targets.min()))
+            hi = max(int(self.sources.max()), int(self.targets.max()))
+            if lo < 0 or hi >= self.num_vertices:
+                raise GraphError(
+                    f"edge endpoints out of range [0, {self.num_vertices}): "
+                    f"saw [{lo}, {hi}]"
+                )
+
+    @property
+    def num_edges(self) -> int:
+        """Number of raw edges (duplicates included)."""
+        return int(self.sources.size)
+
+
+@dataclass(frozen=True)
+class Graph:
+    """Undirected graph in CSR form (see module docstring for invariants)."""
+
+    num_vertices: int
+    offsets: np.ndarray  # int64, shape (num_vertices + 1,)
+    targets: np.ndarray  # int64, shape (2 * num_edges,)
+    # Metadata for provenance; benchmarks report it alongside results.
+    meta: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.offsets.ndim != 1 or self.offsets.size != self.num_vertices + 1:
+            raise GraphError(
+                f"offsets must have length num_vertices + 1 = "
+                f"{self.num_vertices + 1}, got {self.offsets.size}"
+            )
+        if self.offsets[0] != 0 or self.offsets[-1] != self.targets.size:
+            raise GraphError("offsets must span the targets array")
+        if np.any(np.diff(self.offsets) < 0):
+            raise GraphError("offsets must be non-decreasing")
+
+    @property
+    def num_directed_edges(self) -> int:
+        """Number of stored directed arcs (2x the undirected edge count)."""
+        return int(self.targets.size)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return self.num_directed_edges // 2
+
+    def degree(self, v: int | np.ndarray) -> np.ndarray | int:
+        """Degree of vertex/vertices ``v``."""
+        d = self.offsets[np.asarray(v) + 1] - self.offsets[np.asarray(v)]
+        return d
+
+    def degrees(self) -> np.ndarray:
+        """Degrees of all vertices as int64."""
+        return np.diff(self.offsets)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbour array of vertex ``v`` (a view, do not mutate)."""
+        if not 0 <= v < self.num_vertices:
+            raise GraphError(f"vertex {v} out of range [0, {self.num_vertices})")
+        return self.targets[self.offsets[v] : self.offsets[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff the undirected edge (u, v) is present."""
+        nbrs = self.neighbors(u)
+        i = int(np.searchsorted(nbrs, v))
+        return i < nbrs.size and int(nbrs[i]) == v
+
+    def memory_bytes(self) -> int:
+        """Bytes occupied by the CSR arrays (the `graph` of the paper's
+        placement discussion)."""
+        return int(self.offsets.nbytes + self.targets.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Graph(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges}, meta={self.meta})"
+        )

@@ -1,0 +1,57 @@
+"""Analytic model of the paper's hardware: a cluster of multi-socket NUMA
+nodes (Table I: 16 nodes x 8 Intel X7550 sockets, QPI interconnect, dual
+40 Gb/s InfiniBand ports per node).
+
+The model is the substitution for the physical testbed (see DESIGN.md §2):
+it charges simulated nanoseconds for the access classes that drive every
+effect the paper evaluates — random latency-bound reads with cache-capacity
+dependent hit rates, per-socket memory bandwidth caps, QPI hop latency,
+shared-memory copy contention, and an InfiniBand node bandwidth that grows
+with the number of concurrently communicating processes (Fig. 4).
+"""
+
+from repro.machine.spec import (
+    CacheLevel,
+    SocketSpec,
+    QpiSpec,
+    IbSpec,
+    NodeSpec,
+    ClusterSpec,
+    x7550_socket,
+    x7550_node,
+    paper_cluster,
+)
+from repro.machine.caches import CacheModel
+from repro.machine.interconnect import QpiTopology
+from repro.machine.network import NetworkModel
+from repro.machine.memory import (
+    Placement,
+    StructureAccess,
+    MemoryModel,
+)
+from repro.machine.costmodel import (
+    CostModel,
+    ComputeContext,
+    AccessCounts,
+)
+
+__all__ = [
+    "CacheLevel",
+    "SocketSpec",
+    "QpiSpec",
+    "IbSpec",
+    "NodeSpec",
+    "ClusterSpec",
+    "x7550_socket",
+    "x7550_node",
+    "paper_cluster",
+    "CacheModel",
+    "QpiTopology",
+    "NetworkModel",
+    "Placement",
+    "StructureAccess",
+    "MemoryModel",
+    "CostModel",
+    "ComputeContext",
+    "AccessCounts",
+]

@@ -1,0 +1,143 @@
+"""Analytic cache model.
+
+The BFS inner loops make essentially uniform random single-word reads into
+bitmap structures (``in_queue``, ``in_queue_summary``) whose sizes span
+five orders of magnitude as the graph scales — which is exactly the lever
+of the paper's granularity optimization (Section III.C): a smaller summary
+has a higher cache hit rate but fewer zero bits.
+
+For random accesses over a working set of ``S`` bytes, the fraction of
+accesses served by a cache of effective capacity ``C`` is ``min(1, C/S)``
+(a fully-associative, LRU-in-the-limit approximation).  The model exposes
+average access latency given
+
+* the structure size,
+* how many sockets' L3 capacity effectively caches the structure
+  (``shared_sockets > 1`` models the paper's node-shared ``in_queue``:
+  II.D "larger cache size" / "faster remote cache access" arguments),
+* the fraction of DRAM-resident accesses that are local to the socket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.machine.interconnect import QpiTopology
+from repro.machine.spec import NodeSpec
+
+__all__ = ["CacheModel", "LatencyBreakdown"]
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Average access latency and where the accesses were served."""
+
+    avg_latency_ns: float
+    fractions: dict  # level name -> fraction of accesses
+
+
+class CacheModel:
+    """Average latency of random single-word reads into a structure."""
+
+    def __init__(self, node: NodeSpec, topology: QpiTopology | None = None) -> None:
+        self.node = node
+        self.socket = node.socket
+        self.topology = topology or QpiTopology(node)
+
+    def coverage(self, capacity: float, size_bytes: float) -> float:
+        """Fraction of a ``size_bytes`` structure resident in a cache of
+        nominal ``capacity``, under the socket's cache-pressure model
+        (only ``cache_usable_fraction`` of each level is effectively
+        available to any one structure)."""
+        if size_bytes <= 0:
+            return 1.0
+        usable = capacity * self.socket.cache_usable_fraction
+        return min(1.0, usable / size_bytes)
+
+    def access_latency(
+        self,
+        size_bytes: float,
+        local_dram_fraction: float = 1.0,
+        shared_sockets: int = 1,
+        remote_congestion: float = 1.0,
+    ) -> LatencyBreakdown:
+        """Average latency for random reads over a ``size_bytes`` structure.
+
+        ``local_dram_fraction`` is the probability that a DRAM-level access
+        is served by the accessing core's own socket; the rest pays the
+        mean QPI hop penalty.  ``shared_sockets`` > 1 additionally lets the
+        L3s of that many sockets cache the structure cooperatively; the
+        portion cached beyond the local L3 is served at remote-LLC latency
+        (which is still cheaper than local DRAM on this platform).
+
+        ``remote_congestion`` multiplies the QPI hop cost of remote *DRAM*
+        accesses: when many threads hammer the links simultaneously (the
+        ``interleave``/``noflag`` policies with 64 unbound threads),
+        queueing inflates the loaded remote latency well beyond the idle
+        number — the congestion the paper's Section II.C warns about.
+
+        DRAM-level accesses into structures larger than the TLB coverage
+        additionally pay the page-walk penalty.
+        """
+        if not 0.0 <= local_dram_fraction <= 1.0:
+            raise ConfigError(
+                f"local_dram_fraction must be in [0,1], got {local_dram_fraction}"
+            )
+        if shared_sockets < 1 or shared_sockets > self.node.sockets:
+            raise ConfigError(
+                f"shared_sockets must be in [1, {self.node.sockets}]"
+            )
+        if remote_congestion < 1.0:
+            raise ConfigError("remote_congestion must be >= 1")
+        fractions: dict[str, float] = {}
+        total = 0.0
+        covered = 0.0
+        for level in self.socket.caches[:-1]:
+            c = self.coverage(level.capacity_bytes, size_bytes)
+            frac = max(0.0, c - covered)
+            fractions[level.name] = frac
+            total += frac * level.latency_ns
+            covered = max(covered, c)
+
+        llc = self.socket.llc
+        local_llc_cov = self.coverage(llc.capacity_bytes, size_bytes)
+        frac_local_llc = max(0.0, local_llc_cov - covered)
+        fractions[llc.name] = frac_local_llc
+        total += frac_local_llc * llc.latency_ns
+        covered = max(covered, local_llc_cov)
+
+        if shared_sockets > 1:
+            group_cov = self.coverage(
+                llc.capacity_bytes * shared_sockets, size_bytes
+            )
+            frac_remote_llc = max(0.0, group_cov - covered)
+            fractions["remote_" + llc.name] = frac_remote_llc
+            total += frac_remote_llc * self.topology.remote_llc_latency()
+            covered = max(covered, group_cov)
+
+        dram_frac = max(0.0, 1.0 - covered)
+        local = dram_frac * local_dram_fraction
+        remote = dram_frac * (1.0 - local_dram_fraction)
+        fractions["local_dram"] = local
+        fractions["remote_dram"] = remote
+        tlb = (
+            self.socket.tlb_penalty_ns
+            if size_bytes > self.socket.tlb_coverage_bytes
+            else 0.0
+        )
+        hops = self.topology.mean_remote_hops()
+        loaded_remote = (
+            self.socket.dram_latency_ns
+            + hops * self.topology.qpi.hop_latency_ns * remote_congestion
+        )
+        total += local * (self.socket.dram_latency_ns + tlb)
+        total += remote * (loaded_remote + tlb)
+        return LatencyBreakdown(avg_latency_ns=total, fractions=fractions)
+
+    def dram_miss_fraction(
+        self, size_bytes: float, shared_sockets: int = 1
+    ) -> float:
+        """Fraction of random accesses that reach DRAM."""
+        bd = self.access_latency(size_bytes, 1.0, shared_sockets)
+        return bd.fractions["local_dram"] + bd.fractions["remote_dram"]

@@ -1,0 +1,147 @@
+"""Roofline-style compute-phase cost model.
+
+The BFS computation phases are characterized by three resource classes:
+
+* **latency-bound random reads** into bitmaps and adjacency headers —
+  throughput limited by (threads x MLP) outstanding misses at the average
+  access latency the cache model yields;
+* **streamed bytes** (sequential scans of adjacency arrays and bitmaps) —
+  limited by the DRAM bandwidth reachable under the data's placement;
+* **cpu work** (bit tests, queue bookkeeping) — limited by core throughput.
+
+Phase time is the maximum of the three terms (perfect overlap, as in a
+classic roofline), which is the level of fidelity the paper's analysis
+uses: its NUMA argument is entirely about the latency/bandwidth terms
+growing when accesses cross sockets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.machine.memory import MemoryModel, Placement, StructureAccess
+from repro.machine.spec import NodeSpec
+
+__all__ = ["AccessCounts", "ComputeContext", "CostModel", "ComputeTimeBreakdown"]
+
+
+@dataclass
+class AccessCounts:
+    """Event counts of one rank in one compute phase."""
+
+    # (structure, number of random single-word reads)
+    random_reads: list[tuple[StructureAccess, float]] = field(default_factory=list)
+    # (structure, bytes scanned sequentially)
+    streamed: list[tuple[StructureAccess, float]] = field(default_factory=list)
+    # CPU cycles of scalar work.
+    cpu_cycles: float = 0.0
+
+    def add_random(self, structure: StructureAccess, count: float) -> None:
+        """Record random single-word reads into a structure."""
+        if count < 0:
+            raise ConfigError("negative random read count")
+        if count:
+            self.random_reads.append((structure, float(count)))
+
+    def add_stream(self, structure: StructureAccess, nbytes: float) -> None:
+        """Record sequentially streamed bytes through a structure."""
+        if nbytes < 0:
+            raise ConfigError("negative streamed byte count")
+        if nbytes:
+            self.streamed.append((structure, float(nbytes)))
+
+    def add_cpu(self, cycles: float) -> None:
+        """Record scalar CPU work in cycles."""
+        if cycles < 0:
+            raise ConfigError("negative cpu cycles")
+        self.cpu_cycles += float(cycles)
+
+
+@dataclass(frozen=True)
+class ComputeContext:
+    """Execution environment of one rank during a compute phase."""
+
+    threads: int
+    # How many sockets the rank's threads span (1 when bound to a socket,
+    # node.sockets for a one-rank-per-node or unbound configuration).
+    threads_sockets: int = 1
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise ConfigError("threads must be >= 1")
+        if self.threads_sockets < 1:
+            raise ConfigError("threads_sockets must be >= 1")
+
+
+@dataclass(frozen=True)
+class ComputeTimeBreakdown:
+    latency_term_ns: float
+    bandwidth_term_ns: float
+    cpu_term_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        """Roofline total: max of the three terms."""
+        return max(self.latency_term_ns, self.bandwidth_term_ns, self.cpu_term_ns)
+
+
+class CostModel:
+    """Converts :class:`AccessCounts` into simulated nanoseconds."""
+
+    def __init__(self, node: NodeSpec) -> None:
+        self.node = node
+        self.memory = MemoryModel(node)
+
+    def compute_time(
+        self, counts: AccessCounts, ctx: ComputeContext
+    ) -> ComputeTimeBreakdown:
+        """Price one phase's access counts on the machine."""
+        socket = self.node.socket
+        if ctx.threads_sockets > self.node.sockets:
+            raise ConfigError(
+                f"rank threads span {ctx.threads_sockets} sockets but the "
+                f"node has {self.node.sockets}"
+            )
+
+        # Latency term: outstanding-miss-limited random reads.
+        lat_ns = 0.0
+        miss_bytes: dict[Placement, float] = {}
+        for structure, count in counts.random_reads:
+            avg = self.memory.access_latency(structure, ctx.threads_sockets)
+            lat_ns += count * avg
+            # DRAM-resident misses also consume memory bandwidth.
+            miss_frac = self.memory.caches.dram_miss_fraction(
+                structure.size_bytes,
+                shared_sockets=self.memory.effective(
+                    structure.placement, ctx.threads_sockets
+                ).shared_sockets,
+            )
+            line = socket.caches[0].line_bytes if socket.caches else 64
+            miss_bytes[structure.placement] = (
+                miss_bytes.get(structure.placement, 0.0)
+                + count * miss_frac * line
+            )
+        parallel_misses = ctx.threads * socket.mlp
+        latency_term = lat_ns / parallel_misses
+
+        # Bandwidth term: streamed bytes plus miss traffic, per placement.
+        stream_bytes: dict[Placement, float] = dict(miss_bytes)
+        for structure, nbytes in counts.streamed:
+            stream_bytes[structure.placement] = (
+                stream_bytes.get(structure.placement, 0.0) + nbytes
+            )
+        bandwidth_term = 0.0
+        for placement, nbytes in stream_bytes.items():
+            eff = self.memory.effective(placement, ctx.threads_sockets)
+            bandwidth_term += nbytes / eff.stream_bandwidth * 1e9
+
+        cpu_term = counts.cpu_cycles / (
+            ctx.threads * socket.frequency_hz
+        ) * 1e9
+
+        return ComputeTimeBreakdown(
+            latency_term_ns=latency_term,
+            bandwidth_term_ns=bandwidth_term,
+            cpu_term_ns=cpu_term,
+        )

@@ -1,0 +1,166 @@
+"""Data-placement policies and their effective memory behaviour.
+
+This module captures the lever of the paper's NUMA experiments (Fig. 10):
+where a structure's pages live relative to the threads that access it.
+
+* ``LOCAL_SOCKET`` — pages on the accessing rank's own socket
+  (``ppn=8 --bind-to-socket``: the graph partition, private bitmaps);
+* ``INTERLEAVED`` — pages round-robined over all sockets of the node
+  (``numactl --interleave=all``);
+* ``SINGLE_SOCKET`` — all pages on one socket while threads run
+  everywhere (first-touch of a non-bound multi-threaded run: the
+  ``noflag`` policies);
+* ``NODE_SHARED`` — one copy per node in shared memory, interleaved over
+  the sockets and read by every rank of the node (the paper's shared
+  ``in_queue``); cooperative L3 caching applies.
+
+For each placement the model yields the local-DRAM fraction seen by an
+accessing thread, the DRAM bandwidth reachable for streaming, and how many
+sockets' L3 capacity effectively caches the structure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.machine.caches import CacheModel
+from repro.machine.interconnect import QpiTopology
+from repro.machine.spec import NodeSpec
+
+__all__ = ["Placement", "StructureAccess", "EffectiveMemory", "MemoryModel"]
+
+
+class Placement(enum.Enum):
+    """Where a structure's pages live relative to its readers."""
+    LOCAL_SOCKET = "local_socket"
+    INTERLEAVED = "interleaved"
+    SINGLE_SOCKET = "single_socket"
+    NODE_SHARED = "node_shared"
+
+
+@dataclass(frozen=True)
+class StructureAccess:
+    """A structure accessed with uniform random single-word reads."""
+
+    name: str
+    size_bytes: float
+    placement: Placement
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ConfigError(f"structure {self.name}: negative size")
+
+
+@dataclass(frozen=True)
+class EffectiveMemory:
+    """Resolved behaviour of one placement."""
+
+    local_dram_fraction: float
+    # DRAM bandwidth available to ONE rank streaming through the structure.
+    stream_bandwidth: float
+    shared_sockets: int
+    # Loaded-latency multiplier on the QPI hop cost of remote DRAM reads.
+    remote_congestion: float = 1.0
+
+
+class MemoryModel:
+    """Maps placements to effective latencies and bandwidths on a node."""
+
+    def __init__(self, node: NodeSpec) -> None:
+        self.node = node
+        self.topology = QpiTopology(node)
+        self.caches = CacheModel(node, self.topology)
+
+    def effective(
+        self, placement: Placement, threads_sockets: int = 1
+    ) -> EffectiveMemory:
+        """Resolve a placement for a rank whose threads span
+        ``threads_sockets`` sockets (1 for a bound rank, ``node.sockets``
+        for an unbound/one-per-node rank)."""
+        s = self.node.sockets
+        if not 1 <= threads_sockets <= s:
+            raise ConfigError(
+                f"threads_sockets must be in [1, {s}], got {threads_sockets}"
+            )
+        sock_bw = self.node.socket.dram_bandwidth
+        qpi = self.node.qpi
+        qpi_bw = self.topology.cross_socket_bandwidth()
+        spread_congestion = 1.0 + qpi.congestion_per_socket * (threads_sockets - 1)
+
+        if placement is Placement.LOCAL_SOCKET:
+            return EffectiveMemory(
+                local_dram_fraction=1.0,
+                stream_bandwidth=sock_bw,
+                shared_sockets=1,
+            )
+        if placement is Placement.INTERLEAVED:
+            # 1/s of pages are local to any given accessing socket; the
+            # rest arrives over QPI, capped by the socket's QPI links.
+            local_frac = 1.0 / s
+            remote_bw = min((s - 1) * sock_bw / s * threads_sockets, qpi_bw)
+            bw = sock_bw / s * threads_sockets + remote_bw
+            return EffectiveMemory(
+                local_dram_fraction=local_frac,
+                stream_bandwidth=bw,
+                shared_sockets=1,
+                remote_congestion=spread_congestion,
+            )
+        if placement is Placement.SINGLE_SOCKET:
+            # All pages on one socket: only its memory controller serves
+            # traffic; threads on other sockets see remote latency, and
+            # the single controller's queue inflates it further.
+            local_frac = 1.0 / threads_sockets if threads_sockets > 1 else 1.0
+            congestion = spread_congestion * (
+                qpi.single_socket_congestion if threads_sockets > 1 else 1.0
+            )
+            return EffectiveMemory(
+                local_dram_fraction=local_frac,
+                stream_bandwidth=sock_bw,
+                shared_sockets=1,
+                remote_congestion=congestion,
+            )
+        if placement is Placement.NODE_SHARED:
+            # One interleaved copy per node, read by all ranks; the L3s of
+            # all sockets cooperatively cache it (paper II.D reasons b-d).
+            local_frac = 1.0 / s
+            remote_bw = min((s - 1) * sock_bw / s * threads_sockets, qpi_bw)
+            bw = sock_bw / s * threads_sockets + remote_bw
+            return EffectiveMemory(
+                local_dram_fraction=local_frac,
+                stream_bandwidth=bw,
+                shared_sockets=s,
+                remote_congestion=max(qpi.shared_congestion, spread_congestion),
+            )
+        raise ConfigError(f"unknown placement {placement!r}")
+
+    def access_latency(
+        self, structure: StructureAccess, threads_sockets: int = 1
+    ) -> float:
+        """Average random-read latency into ``structure``."""
+        eff = self.effective(structure.placement, threads_sockets)
+        bd = self.caches.access_latency(
+            structure.size_bytes,
+            local_dram_fraction=eff.local_dram_fraction,
+            shared_sockets=eff.shared_sockets,
+            remote_congestion=eff.remote_congestion,
+        )
+        return bd.avg_latency_ns
+
+    def copy_bandwidth(self, concurrent_flows: int = 1) -> float:
+        """Per-flow bandwidth of an intra-node memcpy when
+        ``concurrent_flows`` copies traverse the node simultaneously.
+
+        A copy reads and writes every byte, so a single flow sustains at
+        most half the controller bandwidth; concurrent flows share the
+        node's aggregate controller bandwidth (this is the contention that
+        makes leader-based gather/broadcast expensive in Fig. 6).
+        """
+        if concurrent_flows < 1:
+            raise ConfigError("concurrent_flows must be >= 1")
+        sock_bw = self.node.socket.dram_bandwidth
+        # Leader-centric traffic funnels into one socket's controller:
+        # total copy throughput is bounded by roughly one socket's
+        # bandwidth halved (read + write), shared across flows.
+        return sock_bw / 2.0 / concurrent_flows

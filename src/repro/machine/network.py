@@ -1,0 +1,76 @@
+"""InfiniBand network model.
+
+Reproduces the behaviour the paper measures with the OSU micro-benchmark
+in Fig. 4: the bandwidth achieved between two nodes grows with the number
+of processes per node communicating simultaneously, because a single
+process cannot drive both IB ports — one process reaches about half the
+peak, eight processes saturate it.
+
+The model interpolates the Fig. 4 concurrency curve (stored in
+:class:`~repro.machine.spec.IbSpec`) and divides node bandwidth fairly
+among concurrent flows.  Per-node deratings from
+:class:`~repro.machine.spec.ClusterSpec.weak_nodes` model the paper's one
+ill-performing node.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.machine.spec import ClusterSpec, IbSpec
+
+__all__ = ["NetworkModel"]
+
+
+class NetworkModel:
+    """Bandwidth/latency of inter-node transfers behind one switch."""
+
+    def __init__(self, cluster: ClusterSpec) -> None:
+        self.cluster = cluster
+        self.ib: IbSpec = cluster.node.ib
+        self._ks = np.array([k for k, _ in self.ib.bw_vs_flows], dtype=float)
+        self._fs = np.array([f for _, f in self.ib.bw_vs_flows], dtype=float)
+
+    def concurrency_fraction(self, flows: int) -> float:
+        """Fraction of peak node bandwidth reached with ``flows``
+        concurrent streams (interpolated Fig. 4 curve; saturates at the
+        last calibration point)."""
+        if flows < 1:
+            raise ConfigError(f"flows must be >= 1, got {flows}")
+        return float(np.interp(float(flows), self._ks, self._fs))
+
+    def node_bandwidth(self, flows: int, node_index: int | None = None) -> float:
+        """Aggregate IB bandwidth of one node with ``flows`` streams."""
+        derate = (
+            1.0
+            if node_index is None
+            else self.cluster.network_derating(node_index)
+        )
+        return self.ib.peak_bandwidth * self.concurrency_fraction(flows) * derate
+
+    def flow_bandwidth(self, flows: int, node_index: int | None = None) -> float:
+        """Bandwidth of each stream when ``flows`` share the node's NICs."""
+        return self.node_bandwidth(flows, node_index) / flows
+
+    def transfer_time(
+        self,
+        nbytes: float,
+        flows: int = 1,
+        node_index: int | None = None,
+    ) -> float:
+        """Time (ns) for one flow to move ``nbytes`` while ``flows``
+        streams share the node's NICs."""
+        if nbytes < 0:
+            raise ConfigError("nbytes must be non-negative")
+        bw = self.flow_bandwidth(flows, node_index)
+        return self.ib.message_latency_ns + nbytes / bw * 1e9
+
+    def osu_bandwidth(self, ppn: int, message_bytes: float = 4 << 20) -> float:
+        """Fig. 4 measurement protocol: ``ppn`` process pairs between two
+        nodes stream large messages; report aggregate bandwidth (B/s)."""
+        if ppn < 1:
+            raise ConfigError("ppn must be >= 1")
+        time_ns = self.transfer_time(message_bytes, flows=ppn)
+        per_flow_bw = message_bytes / (time_ns / 1e9)
+        return per_flow_bw * ppn

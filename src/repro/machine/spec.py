@@ -1,0 +1,283 @@
+"""Hardware specifications (Table I of the paper) as frozen dataclasses.
+
+Default values describe one node of the paper's "thousand-core" platform:
+
+* eight Intel Xeon X7550 sockets — 8 cores @ 2.0 GHz each, 32 KB private
+  L1D, 256 KB private L2, 18 MB shared L3 per socket;
+* four 6.4 GT/s QPI links per socket (Fig. 2 topology);
+* per-socket memory bandwidth of 17.1 GB/s (only half the raw DDR3
+  bandwidth is reachable through the Intel SMB, per Table I footnote);
+* two 40 Gb/s InfiniBand ports per node, one 36-port switch.
+
+Latency numbers are not in the paper; they are taken from published
+measurements of Nehalem-EX systems (Molka et al., PACT'09, cited by the
+paper as [35]) and are documented per field.  All latencies are in
+nanoseconds, bandwidths in bytes/second, capacities in bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "CacheLevel",
+    "SocketSpec",
+    "QpiSpec",
+    "IbSpec",
+    "NodeSpec",
+    "ClusterSpec",
+    "x7550_socket",
+    "x7550_node",
+    "paper_cluster",
+    "GB",
+    "MB",
+    "KB",
+]
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the on-chip cache hierarchy."""
+
+    name: str
+    capacity_bytes: int
+    latency_ns: float
+    line_bytes: int = 64
+    shared: bool = False  # shared by all cores of the socket (L3)?
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.latency_ns <= 0:
+            raise ConfigError(f"cache {self.name}: non-positive capacity/latency")
+        if self.line_bytes <= 0:
+            raise ConfigError(f"cache {self.name}: non-positive line size")
+
+
+@dataclass(frozen=True)
+class SocketSpec:
+    """One CPU socket with its attached local memory."""
+
+    cores: int = 8
+    frequency_hz: float = 2.0e9
+    caches: tuple[CacheLevel, ...] = ()
+    # Local DRAM access latency, including the SMB buffer on this platform.
+    dram_latency_ns: float = 220.0
+    # Sustainable local memory bandwidth (Table I: 17.1 GB/s per CPU).
+    dram_bandwidth: float = 17.1e9
+    # Memory-level parallelism: outstanding misses a core keeps in flight
+    # during the pointer-heavy BFS inner loop (Nehalem has 10 line-fill
+    # buffers; irregular code sustains roughly half).
+    mlp: float = 4.0
+    # Page-walk penalty added to DRAM accesses into structures too large
+    # for the TLB to cover (BFS's random reads into multi-GB graphs and
+    # bitmaps miss the TLB almost every time with 4 KB pages).
+    tlb_penalty_ns: float = 110.0
+    tlb_coverage_bytes: int = 4 * 1024 * 1024
+    # Fraction of each cache level one structure can effectively occupy:
+    # during BFS the graph stream and the bitmap misses continuously evict
+    # everything else, so a structure that nominally "fits" a cache only
+    # keeps a slice of it resident.  This is the mechanism behind the
+    # paper's granularity optimization (a smaller summary survives cache
+    # pressure better, Fig. 16).
+    cache_usable_fraction: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigError("socket must have at least one core")
+        if self.frequency_hz <= 0 or self.dram_bandwidth <= 0:
+            raise ConfigError("socket frequency/bandwidth must be positive")
+        if self.dram_latency_ns <= 0 or self.mlp <= 0:
+            raise ConfigError("socket latency/mlp must be positive")
+        caps = [c.capacity_bytes for c in self.caches]
+        if caps != sorted(caps):
+            raise ConfigError("cache levels must be ordered smallest first")
+
+    @property
+    def llc(self) -> CacheLevel:
+        """Last-level cache."""
+        if not self.caches:
+            raise ConfigError("socket has no caches")
+        return self.caches[-1]
+
+
+@dataclass(frozen=True)
+class QpiSpec:
+    """Cross-socket interconnect of one node."""
+
+    # 6.4 GT/s full-width QPI: 12.8 GB/s raw per direction; ~85% payload.
+    link_bandwidth: float = 10.8e9
+    # Extra latency added per QPI hop on the coherent-read path.
+    hop_latency_ns: float = 105.0
+    # Links per socket used for coherence traffic (Fig. 2: four QPI per
+    # socket, one of which leads to the IOH on commodity boards).
+    links_per_socket: int = 3
+    # Loaded-latency inflation of the per-hop cost when a rank's threads
+    # span k sockets and hammer the links with random misses:
+    # multiplier = 1 + congestion_per_socket * (k - 1).  Calibrated so the
+    # 64-thread interleaved policy reproduces the Fig. 3 NUMA penalty.
+    congestion_per_socket: float = 0.55
+    # Milder fixed inflation for node-shared structures read by bound
+    # ranks (their miss traffic is summary-filtered and far lighter).
+    shared_congestion: float = 1.2
+    # Extra queueing when ALL pages sit on one socket (the noflag
+    # first-touch placement): every miss of every thread funnels into a
+    # single memory controller.
+    single_socket_congestion: float = 1.6
+
+    def __post_init__(self) -> None:
+        if self.link_bandwidth <= 0 or self.hop_latency_ns <= 0:
+            raise ConfigError("QPI bandwidth/latency must be positive")
+        if self.links_per_socket < 1:
+            raise ConfigError("QPI needs at least one link per socket")
+        if self.congestion_per_socket < 0 or self.shared_congestion < 1:
+            raise ConfigError("invalid QPI congestion parameters")
+
+
+@dataclass(frozen=True)
+class IbSpec:
+    """InfiniBand NICs of one node.
+
+    ``bw_vs_flows`` holds the Fig. 4 concurrency curve: fraction of the
+    peak node bandwidth achieved when ``k`` processes of the node
+    communicate simultaneously.  One process cannot saturate two ports
+    (it achieves about half of peak); eight processes do.
+    """
+
+    ports: int = 2
+    # 40 Gb/s QDR: 32 Gb/s data rate after 8b/10b = 4 GB/s; ~80% achievable.
+    port_bandwidth: float = 3.2e9
+    message_latency_ns: float = 1500.0
+    bw_vs_flows: tuple[tuple[int, float], ...] = (
+        (1, 0.50),
+        (2, 0.74),
+        (4, 0.90),
+        (8, 1.00),
+    )
+
+    def __post_init__(self) -> None:
+        if self.ports < 1 or self.port_bandwidth <= 0:
+            raise ConfigError("IB ports/bandwidth must be positive")
+        if self.message_latency_ns < 0:
+            raise ConfigError("IB latency must be non-negative")
+        ks = [k for k, _ in self.bw_vs_flows]
+        fs = [f for _, f in self.bw_vs_flows]
+        if ks != sorted(ks) or len(set(ks)) != len(ks) or ks[0] < 1:
+            raise ConfigError("bw_vs_flows must have increasing flow counts >= 1")
+        if any(not 0 < f <= 1 for f in fs) or fs != sorted(fs):
+            raise ConfigError("bw_vs_flows fractions must be in (0,1], increasing")
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """All ports combined, fully saturated."""
+        return self.ports * self.port_bandwidth
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One NUMA node: ``sockets`` identical sockets plus QPI and IB."""
+
+    sockets: int = 8
+    socket: SocketSpec = field(default_factory=SocketSpec)
+    qpi: QpiSpec = field(default_factory=QpiSpec)
+    ib: IbSpec = field(default_factory=IbSpec)
+    # Per-socket memory capacity (Table I: 32 GB per CPU, 256 GB total).
+    dram_per_socket: int = 32 * GB
+    # Software overhead of a shared-memory pipe per message (MPI stack).
+    shm_latency_ns: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1:
+            raise ConfigError("node must have at least one socket")
+        if self.dram_per_socket <= 0:
+            raise ConfigError("dram_per_socket must be positive")
+
+    @property
+    def cores(self) -> int:
+        """Cores per node."""
+        return self.sockets * self.socket.cores
+
+    @property
+    def dram_total(self) -> int:
+        """DRAM capacity per node."""
+        return self.sockets * self.dram_per_socket
+
+    @property
+    def total_dram_bandwidth(self) -> float:
+        """Aggregate DRAM bandwidth of all sockets."""
+        return self.sockets * self.socket.dram_bandwidth
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A cluster of identical nodes behind one switch.
+
+    ``weak_nodes`` maps node index -> network derating factor in (0, 1];
+    the paper notes one of the 16 nodes had degraded InfiniBand
+    performance, which shows in Figs. 13/15 at 16 nodes.
+    """
+
+    nodes: int = 16
+    node: NodeSpec = field(default_factory=NodeSpec)
+    weak_nodes: dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ConfigError("cluster must have at least one node")
+        for idx, factor in self.weak_nodes.items():
+            if not 0 <= idx < self.nodes:
+                raise ConfigError(f"weak node index {idx} out of range")
+            if not 0 < factor <= 1:
+                raise ConfigError(f"weak node factor {factor} not in (0, 1]")
+
+    @property
+    def total_cores(self) -> int:
+        """Cores in the whole cluster."""
+        return self.nodes * self.node.cores
+
+    @property
+    def total_sockets(self) -> int:
+        """Sockets in the whole cluster."""
+        return self.nodes * self.node.sockets
+
+    def network_derating(self, node_index: int) -> float:
+        """Fraction of nominal IB bandwidth node ``node_index`` achieves."""
+        return self.weak_nodes.get(node_index, 1.0)
+
+    def with_nodes(self, nodes: int) -> "ClusterSpec":
+        """Same hardware, different node count (weak nodes outside the new
+        range are dropped)."""
+        weak = {i: f for i, f in self.weak_nodes.items() if i < nodes}
+        return replace(self, nodes=nodes, weak_nodes=weak)
+
+
+def x7550_socket() -> SocketSpec:
+    """Intel Xeon X7550 (Nehalem-EX) socket per Table I."""
+    return SocketSpec(
+        cores=8,
+        frequency_hz=2.0e9,
+        caches=(
+            CacheLevel("L1D", 32 * KB, 2.0),
+            CacheLevel("L2", 256 * KB, 5.0),
+            CacheLevel("L3", 18 * MB, 25.0, shared=True),
+        ),
+        dram_latency_ns=220.0,
+        dram_bandwidth=17.1e9,
+        mlp=4.0,
+    )
+
+
+def x7550_node() -> NodeSpec:
+    """Eight-socket X7550 node per Table I / Fig. 2."""
+    return NodeSpec(sockets=8, socket=x7550_socket())
+
+
+def paper_cluster(nodes: int = 16, weak_node: bool = False) -> ClusterSpec:
+    """The paper's 16-node platform; ``weak_node=True`` adds the one node
+    with degraded InfiniBand noted in Section IV.A."""
+    weak = {nodes - 1: 0.7} if weak_node and nodes > 1 else {}
+    return ClusterSpec(nodes=nodes, node=x7550_node(), weak_nodes=weak)

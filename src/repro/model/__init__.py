@@ -1,0 +1,28 @@
+"""Paper-scale prediction.
+
+The functional simulator runs at laptop scale (2^11-2^20 vertices); the
+paper evaluates at 2^28-2^32.  Because timing is a pure function of event
+counts and structure sizes (:mod:`repro.core.timing`), a measured run can
+be *re-priced* at a paper scale: per-level counts scale linearly with the
+graph (R-MAT frontier densities are scale-invariant to first order), and
+structure sizes — which drive the cache model and the allgather payloads
+— are evaluated at the target scale.
+
+This is what all the weak-scaling figures use: each experiment runs the
+real algorithm at ``scale - offset`` and prices it at ``scale``.
+"""
+
+from repro.model.extrapolate import (
+    ScaledPrediction,
+    extrapolate_result,
+    scale_factor,
+)
+from repro.model.predict import PredictedGraph500, predict_graph500
+
+__all__ = [
+    "ScaledPrediction",
+    "extrapolate_result",
+    "scale_factor",
+    "PredictedGraph500",
+    "predict_graph500",
+]

@@ -1,0 +1,142 @@
+"""Automatic re-calibration of the machine constants.
+
+DESIGN.md §6 documents the constants that were fit to the paper's
+headline ratios.  This module makes that procedure reproducible: a
+coordinate-descent search over the calibration constants that minimizes
+the log-error against a set of target ratios, each evaluated in the
+(fast) analytic mode.  Use it after changing the cost model:
+
+    from repro.model.fit import PAPER_TARGETS, calibrate
+    best, err = calibrate(PAPER_TARGETS)
+
+The default targets are the paper's Fig. 9/16 ratios; custom targets can
+encode any other machine's measured behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.config import BFSConfig
+from repro.errors import ConfigError
+from repro.machine.spec import ClusterSpec, paper_cluster
+from repro.model.analytic import analytic_graph500
+from repro.model.sensitivity import CALIBRATION_CONSTANTS, perturb
+
+__all__ = ["CalibrationTarget", "PAPER_TARGETS", "objective", "calibrate"]
+
+
+@dataclass(frozen=True)
+class CalibrationTarget:
+    """One measured ratio the model should reproduce."""
+
+    name: str
+    # Configurations whose simulated-seconds ratio is the measurement:
+    slow: BFSConfig
+    fast: BFSConfig
+    target_ratio: float
+    weight: float = 1.0
+    scale: int = 32
+
+    def measured(self, cluster: ClusterSpec) -> float:
+        """The ratio the model currently produces on ``cluster``."""
+        t_slow = analytic_graph500(cluster, self.slow, self.scale).seconds
+        t_fast = analytic_graph500(cluster, self.fast, self.scale).seconds
+        return t_slow / t_fast
+
+
+def _paper_targets() -> tuple[CalibrationTarget, ...]:
+    return (
+        CalibrationTarget(
+            name="numa_mapping (Fig. 9)",
+            slow=BFSConfig.original_ppn1(),
+            fast=BFSConfig.original_ppn8(),
+            target_ratio=1.53,
+            weight=2.0,
+        ),
+        CalibrationTarget(
+            name="overall_stack (Fig. 9)",
+            slow=BFSConfig.original_ppn1(),
+            fast=BFSConfig.granularity_variant(256),
+            target_ratio=2.44,
+            weight=2.0,
+        ),
+        CalibrationTarget(
+            name="share_in_queue (Fig. 9)",
+            slow=BFSConfig.original_ppn8(),
+            fast=BFSConfig.share_in_queue_variant(),
+            target_ratio=1.341,
+        ),
+        CalibrationTarget(
+            name="granularity_256 (Fig. 16)",
+            slow=BFSConfig.granularity_variant(64),
+            fast=BFSConfig.granularity_variant(256),
+            target_ratio=1.102,
+        ),
+    )
+
+
+PAPER_TARGETS = _paper_targets()
+
+
+def objective(
+    cluster: ClusterSpec,
+    targets: tuple[CalibrationTarget, ...] = PAPER_TARGETS,
+) -> float:
+    """Weighted sum of squared log-errors against the targets."""
+    total = 0.0
+    for target in targets:
+        measured = target.measured(cluster)
+        total += target.weight * math.log(measured / target.target_ratio) ** 2
+    return total
+
+
+@dataclass
+class CalibrationResult:
+    cluster: ClusterSpec
+    error: float
+    # constant -> cumulative multiplier applied relative to the start.
+    multipliers: dict[str, float] = field(default_factory=dict)
+
+
+def calibrate(
+    targets: tuple[CalibrationTarget, ...] = PAPER_TARGETS,
+    start: ClusterSpec | None = None,
+    constants: tuple[str, ...] = (
+        "congestion_per_socket",
+        "cache_usable_fraction",
+        "tlb_penalty_ns",
+        "hop_latency_ns",
+    ),
+    rounds: int = 3,
+    step: float = 1.3,
+) -> CalibrationResult:
+    """Coordinate descent with a shrinking multiplicative step.
+
+    Each round tries multiplying every constant by ``step`` and
+    ``1/step`` and keeps improvements; the step shrinks between rounds.
+    Deterministic and cheap (analytic-mode evaluations only).
+    """
+    for name in constants:
+        if name not in CALIBRATION_CONSTANTS:
+            raise ConfigError(f"unknown calibration constant {name!r}")
+    if rounds < 1 or step <= 1.0:
+        raise ConfigError("rounds must be >= 1 and step > 1")
+    cluster = start or paper_cluster(nodes=16)
+    best_err = objective(cluster, targets)
+    multipliers = {name: 1.0 for name in constants}
+    current_step = step
+    for _ in range(rounds):
+        for name in constants:
+            for factor in (current_step, 1.0 / current_step):
+                candidate = perturb(cluster, name, factor)
+                err = objective(candidate, targets)
+                if err < best_err - 1e-12:
+                    cluster = candidate
+                    best_err = err
+                    multipliers[name] *= factor
+        current_step = 1.0 + (current_step - 1.0) / 2.0
+    return CalibrationResult(
+        cluster=cluster, error=best_err, multipliers=multipliers
+    )

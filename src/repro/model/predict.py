@@ -1,0 +1,108 @@
+"""Graph500 protocol with paper-scale pricing.
+
+``predict_graph500`` runs the real algorithm on a reduced-scale R-MAT
+graph and prices every root's run at the paper's target scale.  All the
+weak-scaling experiments (Figs. 9, 12-16) are built on this: the paper
+pairs node counts with scales (1 node -> 28, 2 -> 29, 4 -> 30, 8 -> 31,
+16 -> 32), and the reproduction runs each at ``scale - offset``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import BFSConfig
+from repro.core.engine import BFSEngine
+from repro.core.teps import run_graph500
+from repro.core.timing import CostConstants, PhaseBreakdown
+from repro.graph.types import Graph
+from repro.machine.spec import ClusterSpec
+from repro.model.extrapolate import ScaledPrediction, extrapolate_result
+from repro.util import harmonic_mean
+
+__all__ = ["PredictedGraph500", "predict_graph500"]
+
+
+@dataclass
+class PredictedGraph500:
+    """Aggregate of a Graph500 evaluation priced at ``target_scale``."""
+
+    config: BFSConfig
+    target_scale: int
+    measured_scale: int
+    predictions: list[ScaledPrediction] = field(default_factory=list)
+
+    @property
+    def per_root_teps(self) -> list[float]:
+        """Predicted TEPS per root."""
+        return [p.teps for p in self.predictions]
+
+    @property
+    def harmonic_mean_teps(self) -> float:
+        """The Graph500 headline figure at the target scale."""
+        return harmonic_mean(self.per_root_teps)
+
+    @property
+    def mean_seconds(self) -> float:
+        """Arithmetic mean of per-root predicted times."""
+        return float(np.mean([p.seconds for p in self.predictions]))
+
+    def mean_breakdown(self) -> PhaseBreakdown:
+        """Per-phase times averaged over the roots (ns)."""
+        agg = PhaseBreakdown()
+        k = len(self.predictions)
+        for p in self.predictions:
+            bd = p.timing.breakdown
+            agg.td_compute += bd.td_compute / k
+            agg.td_comm += bd.td_comm / k
+            agg.bu_compute += bd.bu_compute / k
+            agg.bu_comm += bd.bu_comm / k
+            agg.switch += bd.switch / k
+            agg.stall += bd.stall / k
+        return agg
+
+    def mean_bu_comm_per_level(self) -> float:
+        """Average cost of one bottom-up communication phase (Fig. 12/13
+        bars), in ns."""
+        times = []
+        for p in self.predictions:
+            times.extend(
+                lt.comm_ns
+                for lt in p.timing.levels
+                if lt.direction == "bottom_up"
+            )
+        return float(np.mean(times)) if times else 0.0
+
+
+def predict_graph500(
+    graph: Graph,
+    cluster: ClusterSpec,
+    config: BFSConfig,
+    target_scale: int,
+    num_roots: int = 8,
+    seed: int = 2,
+    constants: CostConstants = CostConstants(),
+) -> PredictedGraph500:
+    """Run the Graph500 protocol on ``graph`` and price it at
+    ``2**target_scale`` vertices."""
+    measured = run_graph500(
+        graph,
+        cluster,
+        config,
+        num_roots=num_roots,
+        seed=seed,
+        constants=constants,
+    )
+    engine = BFSEngine(graph, cluster, config, constants=constants)
+    out = PredictedGraph500(
+        config=config,
+        target_scale=target_scale,
+        measured_scale=int(np.log2(graph.num_vertices)),
+    )
+    for res in measured.results:
+        out.predictions.append(
+            extrapolate_result(res, engine, target_scale)
+        )
+    return out

@@ -1,0 +1,330 @@
+"""The allgather algorithm family (Figs. 5-7 of the paper).
+
+Every algorithm is *functionally* an allgatherv: rank ``r`` contributes
+``parts[r]`` and afterwards every rank can read the concatenation.  What
+differs is the message schedule, and therefore the simulated time:
+
+``RING`` / ``RECURSIVE_DOUBLING`` / ``DEFAULT``
+    The classic algorithms Open MPI 1.5.5 selects by message size
+    (Thakur & Gropp): recursive doubling for small payloads, ring for
+    large ones.  With eight ranks per node most ring traffic is
+    intra-node copies contending for the memory system.
+
+``LEADER``
+    Fig. 5a: gather to the node leader, allgather among leaders over
+    InfiniBand, broadcast to the node's children.  The two intra-node
+    steps move 1x and (np-1)/np x the *full* payload through one
+    socket's memory controller — this is why Fig. 6 shows intra-node
+    time dominating.
+
+``SHARED_IN``
+    Fig. 5b applied to ``in_queue`` only: the destination buffer is
+    node-shared, so the broadcast step disappears; the gather step
+    remains because each rank's contribution still lives in private
+    memory.
+
+``SHARED_ALL``
+    Source slots are shared too (``out_queue`` lives in the shared
+    space): leaders read the children's parts directly, only the
+    inter-node step remains.
+
+``PARALLEL_SHARED``
+    Fig. 7: the ranks of a node each lead one subgroup (ranks with equal
+    local index across nodes); each subgroup allgathers its slice of the
+    data concurrently, so all eight flows drive the two IB ports at the
+    Fig. 4 saturated rate.  Transmitted volume is unchanged (eq. 2).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import CommunicationError
+from repro.mpi.sharedmem import NodeSharedBuffer
+from repro.mpi.simcomm import CollectiveResult, SimComm
+
+__all__ = [
+    "AllgatherAlgorithm",
+    "allgather",
+    "allgather_time",
+    "parallel_allgather_time",
+    "alltoallv",
+]
+
+# Thakur-Gropp switchover: recursive doubling below, ring at or above.
+_RING_THRESHOLD_BYTES = 512 * 1024
+
+
+class AllgatherAlgorithm(enum.Enum):
+    """The allgather algorithm menu (see module docstring)."""
+    RING = "ring"
+    RECURSIVE_DOUBLING = "recursive_doubling"
+    DEFAULT = "default"
+    LEADER = "leader"
+    SHARED_IN = "shared_in"
+    SHARED_ALL = "shared_all"
+    PARALLEL_SHARED = "parallel_shared"
+    # Kandalla et al. [21], the related-work comparator of Section III.B:
+    # one leader per socket, but *every* leader still receives the full
+    # payload, so the transmitted volume is ppn x that of Fig. 7.
+    MULTI_LEADER = "multi_leader"
+    # HierKNEM-style perfect overlap of the leader scheme's intra- and
+    # inter-node steps (Ma et al. [25]).  The paper's Fig. 6 argument:
+    # when the intra-node steps dominate, "overlapping will not help" —
+    # only sharing removes them.
+    LEADER_OVERLAPPED = "leader_overlapped"
+
+
+def alltoallv(comm: SimComm, send: list[list[np.ndarray]]) -> CollectiveResult:
+    """Re-exported convenience wrapper (see :meth:`SimComm.alltoallv`)."""
+    return comm.alltoallv(send)
+
+
+def _concatenate(parts: list[np.ndarray]) -> np.ndarray:
+    return np.concatenate(parts) if parts else np.zeros(0, dtype=np.uint64)
+
+
+def _deliver(
+    comm: SimComm,
+    full: np.ndarray,
+    shared_buffers: list[NodeSharedBuffer] | None,
+):
+    """Write the gathered data to its destination.
+
+    With shared buffers, each node's single copy receives the data; the
+    engine hands every rank of the node the same view.  Without them the
+    result is one logically-replicated read-only array (ranks never write
+    to ``in_queue`` between allgathers, so a single backing array is
+    functionally identical to per-rank private copies).
+    """
+    if shared_buffers is None:
+        full.flags.writeable = False
+        return full
+    if len(shared_buffers) != comm.cluster.nodes:
+        raise CommunicationError(
+            f"need one shared buffer per node "
+            f"({comm.cluster.nodes}), got {len(shared_buffers)}"
+        )
+    for buf in shared_buffers:
+        if buf.data.size != full.size:
+            raise CommunicationError(
+                f"shared buffer on node {buf.node} has {buf.data.size} words, "
+                f"expected {full.size}"
+            )
+        buf.data[:] = full
+    return shared_buffers
+
+
+def _uniform_times(comm: SimComm, total: float, breakdown: dict) -> CollectiveResult:
+    return CollectiveResult(
+        data=None,
+        rank_times=np.full(comm.num_ranks, total),
+        breakdown=breakdown,
+    )
+
+
+def _ring_time(comm: SimComm, part_bytes: float) -> float:
+    """Ring allgather over all ranks with node-major rank order."""
+    np_ranks = comm.num_ranks
+    if np_ranks == 1 or part_bytes == 0:
+        return 0.0
+    ppn = comm.mapping.ppn
+    inter = (
+        comm.slowest_node_inter_time(part_bytes, flows=1)
+        if comm.cluster.nodes > 1
+        else 0.0
+    )
+    intra = comm.shm_copy_time(part_bytes, max(1, ppn - 1)) if ppn > 1 else 0.0
+    step = max(inter, intra)
+    return (np_ranks - 1) * step
+
+
+def _recursive_doubling_time(comm: SimComm, part_bytes: float) -> float:
+    np_ranks = comm.num_ranks
+    if np_ranks == 1 or part_bytes == 0:
+        return 0.0
+    if np_ranks & (np_ranks - 1):
+        # Non-power-of-two rank counts fall back to ring (as MPICH does
+        # with an extra fix-up phase we do not model).
+        return _ring_time(comm, part_bytes)
+    ppn = comm.mapping.ppn
+    total = 0.0
+    for k in range(int(np.log2(np_ranks))):
+        nbytes = part_bytes * (1 << k)
+        if (1 << k) < ppn:
+            total += comm.shm_copy_time(nbytes, ppn)
+        else:
+            total += comm.slowest_node_inter_time(nbytes, flows=min(ppn, 8))
+    return total
+
+
+def _leader_steps(
+    comm: SimComm,
+    part_bytes: float,
+    total_bytes: float,
+    *,
+    gather: bool,
+    bcast: bool,
+    parallel: bool,
+) -> dict[str, float]:
+    """Per-step times of the leader-based family."""
+    ppn = comm.mapping.ppn
+    nodes = comm.cluster.nodes
+    steps = {"intra_gather": 0.0, "inter": 0.0, "intra_bcast": 0.0}
+
+    if gather and ppn > 1:
+        steps["intra_gather"] = comm.shm_copy_time(part_bytes, ppn - 1)
+
+    if nodes > 1:
+        if parallel:
+            # Fig. 7: ppn concurrent subgroup rings; each step moves one
+            # rank-part per flow, all flows sharing the node's NICs at the
+            # saturated Fig. 4 rate.
+            step = comm.slowest_node_inter_time(part_bytes, flows=ppn)
+            steps["inter"] = (nodes - 1) * step
+        else:
+            node_block = part_bytes * ppn
+            step = comm.slowest_node_inter_time(node_block, flows=1)
+            steps["inter"] = (nodes - 1) * step
+
+    if bcast and ppn > 1:
+        steps["intra_bcast"] = comm.shm_copy_time(total_bytes, ppn - 1)
+    return steps
+
+
+def parallel_allgather_time(
+    comm: SimComm,
+    part_bytes: float,
+    subgroups: int,
+) -> float:
+    """Inter-node time of the Fig. 7 scheme with a configurable subgroup
+    count (the ablation knob): ``subgroups`` concurrent flows per node,
+    each carrying ``1/subgroups`` of the node block per ring step.  With
+    ``subgroups == 1`` this degenerates to the single-leader step; with
+    ``subgroups == ppn`` it is the paper's parallel allgather."""
+    if subgroups < 1 or subgroups > comm.mapping.ppn:
+        raise CommunicationError(
+            f"subgroups must be in [1, ppn={comm.mapping.ppn}]"
+        )
+    nodes = comm.cluster.nodes
+    if nodes <= 1 or part_bytes <= 0:
+        return 0.0
+    block = part_bytes * comm.mapping.ppn / subgroups
+    step = comm.slowest_node_inter_time(block, flows=subgroups)
+    return (nodes - 1) * step
+
+
+def allgather_time(
+    comm: SimComm,
+    algorithm: AllgatherAlgorithm,
+    part_bytes: float,
+    total_bytes: float | None = None,
+) -> tuple[float, dict[str, float]]:
+    """Simulated time of an allgather without moving any data.
+
+    This is the closed-form used both by :func:`allgather` during a
+    functional run and by the paper-scale extrapolation in
+    :mod:`repro.model`, which replays the same message schedule with the
+    structure sizes of a larger graph.
+    """
+    if part_bytes < 0:
+        raise CommunicationError("negative part size")
+    if total_bytes is None:
+        total_bytes = part_bytes * comm.num_ranks
+
+    if algorithm is AllgatherAlgorithm.DEFAULT:
+        algorithm = (
+            AllgatherAlgorithm.RING
+            if total_bytes >= _RING_THRESHOLD_BYTES
+            else AllgatherAlgorithm.RECURSIVE_DOUBLING
+        )
+
+    if algorithm is AllgatherAlgorithm.RING:
+        t = _ring_time(comm, part_bytes)
+        return t, {"ring": t}
+    if algorithm is AllgatherAlgorithm.RECURSIVE_DOUBLING:
+        t = _recursive_doubling_time(comm, part_bytes)
+        return t, {"recursive_doubling": t}
+    if algorithm is AllgatherAlgorithm.LEADER:
+        steps = _leader_steps(
+            comm, part_bytes, total_bytes, gather=True, bcast=True, parallel=False
+        )
+    elif algorithm is AllgatherAlgorithm.SHARED_IN:
+        steps = _leader_steps(
+            comm, part_bytes, total_bytes, gather=True, bcast=False, parallel=False
+        )
+    elif algorithm is AllgatherAlgorithm.SHARED_ALL:
+        steps = _leader_steps(
+            comm, part_bytes, total_bytes, gather=False, bcast=False, parallel=False
+        )
+    elif algorithm is AllgatherAlgorithm.PARALLEL_SHARED:
+        steps = _leader_steps(
+            comm, part_bytes, total_bytes, gather=False, bcast=False, parallel=True
+        )
+    elif algorithm is AllgatherAlgorithm.LEADER_OVERLAPPED:
+        plain = _leader_steps(
+            comm, part_bytes, total_bytes, gather=True, bcast=True, parallel=False
+        )
+        intra = plain["intra_gather"] + plain["intra_bcast"]
+        overlapped = max(intra, plain["inter"])
+        steps = {
+            "intra_gather": 0.0,
+            "inter": 0.0,
+            "intra_bcast": 0.0,
+            "overlapped": overlapped,
+        }
+    elif algorithm is AllgatherAlgorithm.MULTI_LEADER:
+        # Every per-socket leader receives the full payload: per ring
+        # step all ppn flows of a node carry a full node block each.
+        steps = {"intra_gather": 0.0, "inter": 0.0, "intra_bcast": 0.0}
+        nodes = comm.cluster.nodes
+        ppn = comm.mapping.ppn
+        if nodes > 1 and part_bytes > 0:
+            node_block = part_bytes * ppn
+            steps["inter"] = (nodes - 1) * comm.slowest_node_inter_time(
+                node_block, flows=min(ppn, 8)
+            )
+    else:  # pragma: no cover - exhaustive enum
+        raise CommunicationError(f"unknown algorithm {algorithm!r}")
+    return sum(steps.values()), steps
+
+
+def allgather(
+    comm: SimComm,
+    parts: list[np.ndarray],
+    algorithm: AllgatherAlgorithm = AllgatherAlgorithm.DEFAULT,
+    shared_buffers: list[NodeSharedBuffer] | None = None,
+) -> CollectiveResult:
+    """Allgatherv of per-rank word arrays under a given algorithm.
+
+    Returns a :class:`CollectiveResult` whose ``data`` is either the full
+    concatenated (read-only) array or, when ``shared_buffers`` are passed,
+    the list of filled per-node buffers.  ``breakdown`` holds per-step
+    times for the leader-based family (Fig. 6).
+    """
+    if len(parts) != comm.num_ranks:
+        raise CommunicationError(
+            f"allgather expects {comm.num_ranks} parts, got {len(parts)}"
+        )
+    shared_family = algorithm in (
+        AllgatherAlgorithm.SHARED_IN,
+        AllgatherAlgorithm.SHARED_ALL,
+        AllgatherAlgorithm.PARALLEL_SHARED,
+        AllgatherAlgorithm.MULTI_LEADER,
+    )
+    if shared_family and shared_buffers is None:
+        raise CommunicationError(
+            f"{algorithm.value} allgather requires node-shared destination buffers"
+        )
+
+    part_bytes = float(max((p.nbytes for p in parts), default=0))
+    total_bytes = float(sum(p.nbytes for p in parts))
+    full = _concatenate(parts)
+
+    t, breakdown = allgather_time(comm, algorithm, part_bytes, total_bytes)
+    data = _deliver(comm, full, shared_buffers if shared_family else None)
+    result = _uniform_times(comm, t, breakdown)
+    result.data = data
+    return result

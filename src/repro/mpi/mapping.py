@@ -1,0 +1,152 @@
+"""Process-to-hardware mapping and binding policies.
+
+This encodes the execution policies the paper sweeps in Fig. 10:
+
+* ``ppn=1, noflag``        — one rank per node, 64 OpenMP threads, memory
+  first-touched on one socket (worst-case placement);
+* ``ppn=1, interleave``    — one rank per node, ``numactl --interleave=all``;
+* ``ppn=8, noflag``        — eight ranks per node, threads unbound so they
+  drift across sockets while their memory stays where it was touched;
+* ``ppn=8, bind-to-socket``— eight ranks per node, each bound to one socket
+  (``mpirun --bind-to-socket --bysocket``): the paper's recommended NUMA
+  mapping.
+
+Ranks are laid out node-major (consecutive ranks share a node), matching
+Open MPI's default ``--bysocket`` slot allocation on this platform.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.machine.memory import Placement
+from repro.machine.spec import ClusterSpec
+
+__all__ = ["BindingPolicy", "ProcessMapping", "RankLocation"]
+
+
+class BindingPolicy(enum.Enum):
+    """The mpirun/numactl policies of Fig. 10."""
+    NOFLAG = "noflag"
+    INTERLEAVE = "interleave"
+    BIND_TO_SOCKET = "bind-to-socket"
+
+
+@dataclass(frozen=True)
+class RankLocation:
+    """Where one rank runs and how its threads/memory behave."""
+
+    rank: int
+    node: int
+    socket: int | None  # None when the rank is not bound to a socket
+    threads: int
+    threads_sockets: int
+    private_placement: Placement
+
+
+class ProcessMapping:
+    """Maps ``nodes * ppn`` MPI ranks onto the cluster."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        ppn: int,
+        policy: BindingPolicy = BindingPolicy.BIND_TO_SOCKET,
+    ) -> None:
+        node = cluster.node
+        if ppn < 1 or ppn > node.sockets:
+            raise ConfigError(
+                f"ppn must be in [1, {node.sockets}], got {ppn}"
+            )
+        if node.sockets % ppn != 0:
+            raise ConfigError(
+                f"ppn={ppn} must divide the socket count {node.sockets}"
+            )
+        if policy is BindingPolicy.BIND_TO_SOCKET and ppn == 1 and node.sockets > 1:
+            raise ConfigError(
+                "bind-to-socket with ppn=1 would idle all but one socket "
+                "(the paper notes it 'only works when more than 8 processes "
+                "are spawned'); use interleave or noflag for ppn=1"
+            )
+        self.cluster = cluster
+        self.ppn = ppn
+        self.policy = policy
+        self.num_ranks = cluster.nodes * ppn
+        self.threads_per_rank = node.cores // ppn
+        self.sockets_per_rank = node.sockets // ppn
+
+    # ---- topology queries -------------------------------------------------
+
+    def node_of(self, rank: int) -> int:
+        """Node hosting ``rank``."""
+        self._check_rank(rank)
+        return rank // self.ppn
+
+    def local_index(self, rank: int) -> int:
+        """Index of the rank among the ranks of its node (0..ppn-1)."""
+        self._check_rank(rank)
+        return rank % self.ppn
+
+    def socket_of(self, rank: int) -> int | None:
+        """Socket the rank is bound to, or None if unbound."""
+        self._check_rank(rank)
+        if self.policy is BindingPolicy.BIND_TO_SOCKET:
+            return (rank % self.ppn) * self.sockets_per_rank
+        return None
+
+    def ranks_on_node(self, node: int) -> range:
+        """Ranks hosted by ``node``."""
+        if not 0 <= node < self.cluster.nodes:
+            raise ConfigError(f"node {node} out of range")
+        return range(node * self.ppn, (node + 1) * self.ppn)
+
+    def leader_of_node(self, node: int) -> int:
+        """The node's leader rank (lowest rank on the node)."""
+        return self.ranks_on_node(node)[0]
+
+    def is_leader(self, rank: int) -> bool:
+        """True for the node's lowest rank."""
+        return self.local_index(rank) == 0
+
+    def subgroup_of(self, rank: int) -> list[int]:
+        """Fig. 7 subgroup: the ranks with the same local index across all
+        nodes (these perform one slice of the parallel allgather)."""
+        k = self.local_index(rank)
+        return [n * self.ppn + k for n in range(self.cluster.nodes)]
+
+    # ---- placement resolution ---------------------------------------------
+
+    def location(self, rank: int) -> RankLocation:
+        """Full placement description of one rank under the policy."""
+        self._check_rank(rank)
+        if self.policy is BindingPolicy.BIND_TO_SOCKET:
+            placement = Placement.LOCAL_SOCKET
+            threads_sockets = self.sockets_per_rank
+        elif self.policy is BindingPolicy.INTERLEAVE:
+            placement = Placement.INTERLEAVED
+            threads_sockets = self.cluster.node.sockets
+        else:  # NOFLAG: first-touch on one socket, threads unbound
+            placement = Placement.SINGLE_SOCKET
+            threads_sockets = self.cluster.node.sockets
+        return RankLocation(
+            rank=rank,
+            node=self.node_of(rank),
+            socket=self.socket_of(rank),
+            threads=self.threads_per_rank,
+            threads_sockets=threads_sockets,
+            private_placement=placement,
+        )
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.num_ranks:
+            raise ConfigError(
+                f"rank {rank} out of range [0, {self.num_ranks})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProcessMapping(nodes={self.cluster.nodes}, ppn={self.ppn}, "
+            f"policy={self.policy.value})"
+        )

@@ -1,0 +1,167 @@
+"""Tag-matched point-to-point messaging (the MPI send/recv layer).
+
+The BFS engine itself uses bulk collectives, but a complete MPI substrate
+needs point-to-point semantics — and some consumers (custom exchange
+patterns, the 2-D engine's fold phase, user experiments) are most natural
+as send/recv.  Because ranks execute bulk-synchronously in one process,
+the layer is superstep-structured, like BSP or MPI with non-blocking
+sends completed at a barrier:
+
+1. during a superstep every rank may ``send()`` any number of messages;
+2. ``exchange()`` ends the superstep: it prices all posted traffic on the
+   machine model (the same alltoallv cost as :meth:`SimComm.alltoallv`)
+   and makes every message receivable;
+3. ``recv()`` retrieves messages with MPI-style matching: FIFO per
+   (source, destination, tag) channel, wildcards for source and tag.
+
+Misuse is caught loudly: receiving a message that was never delivered
+raises (the deadlock analogue), and ``assert_drained()`` reports messages
+nobody received (the lost-message analogue).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CommunicationError
+from repro.mpi.simcomm import CollectiveResult, SimComm
+
+__all__ = ["ANY", "Message", "MessageLedger"]
+
+# MPI_ANY_SOURCE / MPI_ANY_TAG analogue.
+ANY = -1
+
+
+@dataclass(frozen=True)
+class Message:
+    src: int
+    dst: int
+    tag: int
+    payload: np.ndarray
+
+
+class MessageLedger:
+    """Superstep-structured point-to-point messaging over a SimComm."""
+
+    def __init__(self, comm: SimComm) -> None:
+        self.comm = comm
+        self._outbox: list[Message] = []
+        # Delivered messages: (src, dst, tag) -> FIFO of payloads.
+        self._delivered: dict[tuple[int, int, int], deque[Message]] = {}
+        self._superstep = 0
+
+    # ---- sending -------------------------------------------------------------
+
+    def send(
+        self, src: int, dst: int, payload: np.ndarray, tag: int = 0
+    ) -> None:
+        """Post a message for delivery at the next ``exchange()``."""
+        self._check_rank(src, "source")
+        self._check_rank(dst, "destination")
+        if tag < 0:
+            raise CommunicationError("tags must be non-negative")
+        self._outbox.append(
+            Message(src=src, dst=dst, tag=tag, payload=np.asarray(payload))
+        )
+
+    # ---- superstep boundary ----------------------------------------------------
+
+    def exchange(self) -> CollectiveResult:
+        """Deliver all posted messages; returns the superstep's timing."""
+        n = self.comm.num_ranks
+        send_bytes = np.zeros((n, n), dtype=np.float64)
+        for msg in self._outbox:
+            send_bytes[msg.src, msg.dst] += msg.payload.nbytes
+            self._delivered.setdefault(
+                (msg.src, msg.dst, msg.tag), deque()
+            ).append(msg)
+        times = self.comm.alltoallv_time(send_bytes)
+        delivered = len(self._outbox)
+        self._outbox = []
+        self._superstep += 1
+        return CollectiveResult(
+            data=delivered,
+            rank_times=times,
+            breakdown={"p2p_exchange": float(times.max(initial=0.0))},
+        )
+
+    # ---- receiving ----------------------------------------------------------
+
+    def recv(self, dst: int, src: int = ANY, tag: int = ANY) -> Message:
+        """Retrieve one delivered message for rank ``dst``.
+
+        Matching is FIFO within a (src, dst, tag) channel; ``ANY`` matches
+        any source and/or tag (lowest source, then lowest tag, wins when
+        several channels qualify, keeping the semantics deterministic).
+        Raises if no matching message was delivered — the sequential
+        analogue of a deadlocked ``MPI_Recv``.
+        """
+        self._check_rank(dst, "destination")
+        keys = sorted(
+            key
+            for key, queue in self._delivered.items()
+            if queue
+            and key[1] == dst
+            and (src == ANY or key[0] == src)
+            and (tag == ANY or key[2] == tag)
+        )
+        if not keys:
+            raise CommunicationError(
+                f"rank {dst} has no delivered message matching "
+                f"src={'ANY' if src == ANY else src}, "
+                f"tag={'ANY' if tag == ANY else tag} "
+                f"(deadlock: was exchange() called?)"
+            )
+        queue = self._delivered[keys[0]]
+        msg = queue.popleft()
+        return msg
+
+    def probe(self, dst: int, src: int = ANY, tag: int = ANY) -> bool:
+        """True if a matching message is waiting for ``dst``."""
+        return any(
+            queue
+            and key[1] == dst
+            and (src == ANY or key[0] == src)
+            and (tag == ANY or key[2] == tag)
+            for key, queue in self._delivered.items()
+        )
+
+    def recv_all(self, dst: int, tag: int = ANY) -> list[Message]:
+        """All waiting messages for ``dst`` (ordered by source, FIFO)."""
+        out = []
+        while self.probe(dst, tag=tag):
+            out.append(self.recv(dst, tag=tag))
+        return out
+
+    # ---- hygiene ---------------------------------------------------------------
+
+    def assert_drained(self) -> None:
+        """Raise if any delivered message was never received, or if sends
+        are still posted without an ``exchange()``."""
+        leftovers = [
+            (key, len(queue))
+            for key, queue in self._delivered.items()
+            if queue
+        ]
+        if self._outbox:
+            raise CommunicationError(
+                f"{len(self._outbox)} messages posted but never exchanged"
+            )
+        if leftovers:
+            detail = ", ".join(
+                f"src={k[0]}->dst={k[1]} tag={k[2]} x{count}"
+                for k, count in leftovers[:5]
+            )
+            raise CommunicationError(
+                f"{sum(c for _, c in leftovers)} delivered messages were "
+                f"never received ({detail}...)"
+            )
+
+    def _check_rank(self, rank: int, what: str) -> None:
+        if not 0 <= rank < self.comm.num_ranks:
+            raise CommunicationError(
+                f"{what} rank {rank} out of range [0, {self.comm.num_ranks})"
+            )

@@ -1,0 +1,83 @@
+"""Node-level shared memory buffers.
+
+Models the paper's ``mmap``-based sharing (Section III.A): the processes
+of one node map a single copy of ``in_queue`` (and optionally the
+``out_queue`` slots and the summaries).  Functionally this is simply one
+numpy array per node that every rank of the node references; the single
+writer / many readers discipline the paper relies on is enforced here by
+an explicit per-region owner check so that misuse is caught in tests
+rather than silently producing the wrong overlap semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CommunicationError
+
+__all__ = ["NodeSharedBuffer"]
+
+
+class NodeSharedBuffer:
+    """One shared array per node, partitioned into per-rank write regions.
+
+    ``region_bounds`` delimit the slots: rank with local index ``i`` owns
+    ``data[region_bounds[i]:region_bounds[i+1]]`` for writing; every rank
+    of the node may read everything.  A region may also be owned by
+    ``None`` (leader-written during the allgather).
+    """
+
+    def __init__(
+        self,
+        node: int,
+        num_words: int,
+        region_bounds: np.ndarray | None = None,
+        dtype=np.uint64,
+    ) -> None:
+        if num_words < 0:
+            raise CommunicationError("num_words must be non-negative")
+        self.node = node
+        self.data = np.zeros(num_words, dtype=dtype)
+        if region_bounds is None:
+            region_bounds = np.array([0, num_words], dtype=np.int64)
+        region_bounds = np.asarray(region_bounds, dtype=np.int64)
+        if (
+            region_bounds[0] != 0
+            or region_bounds[-1] != num_words
+            or np.any(np.diff(region_bounds) < 0)
+        ):
+            raise CommunicationError("invalid shared-buffer region bounds")
+        self.region_bounds = region_bounds
+
+    @property
+    def num_regions(self) -> int:
+        """Number of per-rank write regions."""
+        return self.region_bounds.size - 1
+
+    def region(self, index: int) -> np.ndarray:
+        """Writable view of one region (the owning rank's slot)."""
+        if not 0 <= index < self.num_regions:
+            raise CommunicationError(
+                f"region {index} out of range [0, {self.num_regions})"
+            )
+        lo, hi = self.region_bounds[index], self.region_bounds[index + 1]
+        return self.data[lo:hi]
+
+    def write_region(self, index: int, values: np.ndarray) -> None:
+        """Replace the contents of one region."""
+        region = self.region(index)
+        if region.shape != values.shape:
+            raise CommunicationError(
+                f"region {index} has {region.size} words, got {values.size}"
+            )
+        region[:] = values
+
+    def read_all(self) -> np.ndarray:
+        """Read-only view of the whole buffer (any rank of the node)."""
+        view = self.data.view()
+        view.flags.writeable = False
+        return view
+
+    def fill(self, value) -> None:
+        """Fill the whole buffer with ``value``."""
+        self.data.fill(value)

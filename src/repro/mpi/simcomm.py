@@ -1,0 +1,220 @@
+"""The simulated communicator.
+
+``SimComm`` owns the channel timing primitives (shared-memory copies
+inside a node, InfiniBand transfers between nodes) and the functional
+implementations of the small collectives the BFS engine needs besides
+allgather (``alltoallv`` for the top-down queue exchange, ``allreduce``
+for frontier counts and termination detection, ``barrier`` for stall
+accounting).  The allgather family lives in
+:mod:`repro.mpi.collectives`.
+
+Ranks execute bulk-synchronously in one Python process, so a collective
+receives every rank's contribution at once, moves the real bytes, and
+returns both the received data and the simulated per-rank durations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CommunicationError
+from repro.machine.memory import MemoryModel
+from repro.machine.network import NetworkModel
+from repro.machine.spec import ClusterSpec
+from repro.mpi.mapping import ProcessMapping
+
+__all__ = ["SimComm", "CollectiveResult"]
+
+
+@dataclass
+class CollectiveResult:
+    """Outcome of one simulated collective."""
+
+    data: object
+    rank_times: np.ndarray  # ns per rank
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def max_time(self) -> float:
+        """Slowest rank's time (the collective's completion)."""
+        return float(self.rank_times.max()) if self.rank_times.size else 0.0
+
+
+class SimComm:
+    """Communicator over the ranks of a :class:`ProcessMapping`."""
+
+    def __init__(self, cluster: ClusterSpec, mapping: ProcessMapping) -> None:
+        if mapping.cluster is not cluster and mapping.cluster != cluster:
+            raise CommunicationError("mapping belongs to a different cluster")
+        self.cluster = cluster
+        self.mapping = mapping
+        self.network = NetworkModel(cluster)
+        self.memory = MemoryModel(cluster.node)
+        self.num_ranks = mapping.num_ranks
+
+    # ---- channel primitives ------------------------------------------------
+
+    def same_node(self, r1: int, r2: int) -> bool:
+        """True when two ranks share a node."""
+        return self.mapping.node_of(r1) == self.mapping.node_of(r2)
+
+    def shm_copy_time(self, nbytes: float, concurrent_flows: int = 1) -> float:
+        """Time (ns) for one rank to copy ``nbytes`` within its node while
+        ``concurrent_flows`` copies contend for the memory system."""
+        if nbytes < 0:
+            raise CommunicationError("negative byte count")
+        if nbytes == 0:
+            return 0.0
+        bw = self.memory.copy_bandwidth(concurrent_flows)
+        return self.cluster.node.shm_latency_ns + nbytes / bw * 1e9
+
+    def inter_node_time(
+        self, nbytes: float, flows: int = 1, node_index: int | None = None
+    ) -> float:
+        """Time (ns) to move ``nbytes`` out of ``node_index`` while
+        ``flows`` streams share its NICs."""
+        if nbytes < 0:
+            raise CommunicationError("negative byte count")
+        if nbytes == 0:
+            return 0.0
+        return self.network.transfer_time(nbytes, flows=flows, node_index=node_index)
+
+    def slowest_node_inter_time(self, nbytes: float, flows: int = 1) -> float:
+        """Inter-node step time bounded by the slowest (possibly derated)
+        node — a bulk step completes when its worst channel does."""
+        if nbytes <= 0:
+            return 0.0
+        worst = min(
+            (self.cluster.network_derating(n) for n in range(self.cluster.nodes)),
+            default=1.0,
+        )
+        bw = self.network.flow_bandwidth(flows) * worst
+        return self.cluster.node.ib.message_latency_ns + nbytes / bw * 1e9
+
+    # ---- small collectives ---------------------------------------------------
+
+    def barrier(self, clocks: np.ndarray) -> np.ndarray:
+        """Stall times that align every rank to the latest clock."""
+        clocks = np.asarray(clocks, dtype=np.float64)
+        if clocks.shape != (self.num_ranks,):
+            raise CommunicationError(
+                f"barrier expects {self.num_ranks} clocks, got {clocks.shape}"
+            )
+        return clocks.max() - clocks
+
+    def allreduce_time(self) -> float:
+        """Latency of a small-payload allreduce: log2(np) rounds, each at
+        the latency of the slowest channel class in use."""
+        rounds = max(1, math.ceil(math.log2(max(2, self.num_ranks))))
+        if self.cluster.nodes > 1:
+            per_round = self.cluster.node.ib.message_latency_ns
+        else:
+            per_round = self.cluster.node.shm_latency_ns
+        return rounds * per_round
+
+    def allreduce_sum(self, values: np.ndarray) -> CollectiveResult:
+        """Sum a per-rank scalar (or vector) across all ranks."""
+        values = np.asarray(values)
+        if values.shape[0] != self.num_ranks:
+            raise CommunicationError(
+                f"allreduce expects one value per rank ({self.num_ranks})"
+            )
+        total = values.sum(axis=0)
+        t = self.allreduce_time()
+        return CollectiveResult(
+            data=total,
+            rank_times=np.full(self.num_ranks, t),
+            breakdown={"allreduce": t},
+        )
+
+    def allreduce_max(self, values: np.ndarray) -> CollectiveResult:
+        """Elementwise maximum across all ranks."""
+        values = np.asarray(values)
+        if values.shape[0] != self.num_ranks:
+            raise CommunicationError(
+                f"allreduce expects one value per rank ({self.num_ranks})"
+            )
+        total = values.max(axis=0)
+        t = self.allreduce_time()
+        return CollectiveResult(
+            data=total,
+            rank_times=np.full(self.num_ranks, t),
+            breakdown={"allreduce": t},
+        )
+
+    # ---- alltoallv ------------------------------------------------------------
+
+    def alltoallv_time(self, send_bytes: np.ndarray) -> np.ndarray:
+        """Per-rank time of an alltoallv given its byte matrix.
+
+        ``send_bytes[i, j]`` is the payload rank ``i`` sends to rank ``j``;
+        self-messages are free (local pointer hand-off).  A rank's time is
+        the maximum of its send side and its receive side.
+        """
+        np_ranks = self.num_ranks
+        send_bytes = np.asarray(send_bytes, dtype=np.float64)
+        if send_bytes.shape != (np_ranks, np_ranks):
+            raise CommunicationError(
+                f"alltoallv expects a {np_ranks}x{np_ranks} byte matrix"
+            )
+        ppn = self.mapping.ppn
+        ib_lat = self.cluster.node.ib.message_latency_ns
+        shm_lat = self.cluster.node.shm_latency_ns
+        inter_bw = self.network.flow_bandwidth(max(1, ppn))
+        intra_bw = self.memory.copy_bandwidth(max(1, ppn))
+
+        nodes = np.array(
+            [self.mapping.node_of(r) for r in range(np_ranks)], dtype=np.int64
+        )
+        same_node = nodes[:, None] == nodes[None, :]
+        nonzero = send_bytes > 0
+        np.fill_diagonal(nonzero, False)
+        derate = np.array(
+            [self.cluster.network_derating(int(n)) for n in nodes]
+        )
+
+        intra_mask = nonzero & same_node
+        inter_mask = nonzero & ~same_node
+        send_t = (
+            intra_mask.sum(axis=1) * shm_lat
+            + (send_bytes * intra_mask).sum(axis=1) / intra_bw * 1e9
+            + inter_mask.sum(axis=1) * ib_lat
+            + (send_bytes * inter_mask).sum(axis=1) / (inter_bw * derate) * 1e9
+        )
+        recv_t = (
+            nonzero.sum(axis=0) * min(ib_lat, shm_lat)
+            + (send_bytes * intra_mask).sum(axis=0) / intra_bw * 1e9
+            + (send_bytes * inter_mask).sum(axis=0) / inter_bw * 1e9
+        )
+        return np.maximum(send_t, recv_t)
+
+    def alltoallv(self, send: list[list[np.ndarray]]) -> CollectiveResult:
+        """Exchange variable-size arrays between all rank pairs.
+
+        ``send[i][j]`` is the array rank ``i`` sends to rank ``j``; the
+        result's ``data[j][i]`` is what rank ``j`` received from rank ``i``
+        (the same array object — messages are not mutated in transit).
+        Used by the top-down phase to route discovered (vertex, parent)
+        pairs to their owners.
+        """
+        np_ranks = self.num_ranks
+        if len(send) != np_ranks or any(len(row) != np_ranks for row in send):
+            raise CommunicationError(
+                f"alltoallv expects a {np_ranks}x{np_ranks} send matrix"
+            )
+        recv: list[list[np.ndarray]] = [
+            [send[i][j] for i in range(np_ranks)] for j in range(np_ranks)
+        ]
+        send_bytes = np.array(
+            [[send[i][j].nbytes for j in range(np_ranks)] for i in range(np_ranks)],
+            dtype=np.float64,
+        )
+        times = self.alltoallv_time(send_bytes)
+        return CollectiveResult(
+            data=recv,
+            rank_times=times,
+            breakdown={"alltoallv": float(times.max(initial=0.0))},
+        )

@@ -1,0 +1,61 @@
+"""Low-level utilities: bit manipulation, segmented array operations,
+statistics helpers and plain-text table formatting.
+
+These modules are dependency-free (numpy only) and are used by every other
+subpackage.
+"""
+
+from repro.util.bitops import (
+    WORD_BITS,
+    words_for_bits,
+    get_bits,
+    set_bits,
+    clear_bits,
+    popcount_words,
+    count_set_bits,
+    bits_to_bool,
+    bool_to_bits,
+    nonzero_bit_indices,
+)
+from repro.util.segments import (
+    segment_ids,
+    segment_first_true,
+    segment_any,
+    segment_sums,
+    segment_counts_until_first_true,
+)
+from repro.util.stats_util import harmonic_mean, geometric_mean, describe
+from repro.util.ascii_chart import bar_chart, grouped_bar_chart
+from repro.util.formatting import (
+    format_table,
+    format_si,
+    format_bytes,
+    format_time_ns,
+)
+
+__all__ = [
+    "WORD_BITS",
+    "words_for_bits",
+    "get_bits",
+    "set_bits",
+    "clear_bits",
+    "popcount_words",
+    "count_set_bits",
+    "bits_to_bool",
+    "bool_to_bits",
+    "nonzero_bit_indices",
+    "segment_ids",
+    "segment_first_true",
+    "segment_any",
+    "segment_sums",
+    "segment_counts_until_first_true",
+    "harmonic_mean",
+    "geometric_mean",
+    "describe",
+    "bar_chart",
+    "grouped_bar_chart",
+    "format_table",
+    "format_si",
+    "format_bytes",
+    "format_time_ns",
+]

@@ -1,0 +1,79 @@
+"""Terminal bar charts for the experiment output.
+
+The paper's artifacts are figures; these helpers render their bar/series
+shape directly in the terminal so a reproduction run can be eyeballed
+against the paper without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+_FULL = "█"
+_PART = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    if vmax <= 0 or value <= 0:
+        return ""
+    cells = value / vmax * width
+    full = int(cells)
+    frac = cells - full
+    partial = _PART[int(round(frac * 8))] if full < width else ""
+    return _FULL * full + partial
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if width < 1:
+        raise ValueError("width must be positive")
+    vmax = max(values, default=0.0)
+    label_w = max((len(str(x)) for x in labels), default=0)
+    lines = [] if title is None else [title]
+    for label, value in zip(labels, values):
+        bar = _bar(float(value), vmax, width)
+        lines.append(
+            f"{str(label).ljust(label_w)} |{bar.ljust(width)}| "
+            f"{value:.3g}{(' ' + unit) if unit else ''}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[str],
+    series: dict[str, Sequence[float]],
+    width: int = 40,
+    unit: str = "",
+    title: str | None = None,
+) -> str:
+    """Several series per group (the Fig. 12/13-style grouped bars)."""
+    for name, values in series.items():
+        if len(values) != len(groups):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(groups)} groups"
+            )
+    vmax = max(
+        (v for values in series.values() for v in values), default=0.0
+    )
+    name_w = max((len(n) for n in series), default=0)
+    lines = [] if title is None else [title]
+    for gi, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for name, values in series.items():
+            v = float(values[gi])
+            lines.append(
+                f"  {name.ljust(name_w)} |{_bar(v, vmax, width).ljust(width)}| "
+                f"{v:.3g}{(' ' + unit) if unit else ''}"
+            )
+    return "\n".join(lines)

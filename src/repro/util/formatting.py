@@ -1,0 +1,88 @@
+"""Plain-text rendering of experiment results.
+
+Every benchmark harness prints the rows/series the paper's figures and
+tables report; these helpers keep that output aligned and readable in a
+terminal without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_si", "format_bytes", "format_time_ns"]
+
+_SI_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+]
+
+
+def format_si(value: float, unit: str = "", precision: int = 2) -> str:
+    """Format ``value`` with an SI prefix: ``39.2e9 -> '39.20 G'``."""
+    if value == 0:
+        return f"0 {unit}".rstrip()
+    mag = abs(value)
+    for factor, prefix in _SI_PREFIXES:
+        if mag >= factor:
+            return f"{value / factor:.{precision}f} {prefix}{unit}".rstrip()
+    return f"{value:.{precision}f} {unit}".rstrip()
+
+
+def format_bytes(nbytes: float, precision: int = 1) -> str:
+    """Format a byte count with binary prefixes."""
+    mag = abs(nbytes)
+    for factor, prefix in [(2**40, "Ti"), (2**30, "Gi"), (2**20, "Mi"), (2**10, "Ki")]:
+        if mag >= factor:
+            return f"{nbytes / factor:.{precision}f} {prefix}B"
+    return f"{nbytes:.0f} B"
+
+
+def format_time_ns(ns: float, precision: int = 2) -> str:
+    """Format a duration in nanoseconds with a human-scale unit."""
+    mag = abs(ns)
+    if mag >= 1e9:
+        return f"{ns / 1e9:.{precision}f} s"
+    if mag >= 1e6:
+        return f"{ns / 1e6:.{precision}f} ms"
+    if mag >= 1e3:
+        return f"{ns / 1e3:.{precision}f} us"
+    return f"{ns:.{precision}f} ns"
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.4g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)

@@ -1,0 +1,68 @@
+"""Small statistics helpers used by the Graph500 driver and the experiment
+harness (the Graph500 specification reports the harmonic mean of per-root
+TEPS values)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["harmonic_mean", "geometric_mean", "describe", "Summary"]
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean of strictly positive values.
+
+    This is the mean the Graph500 benchmark mandates for TEPS across BFS
+    roots (it is dominated by the *slowest* iterations, as intended).
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("harmonic_mean of an empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("harmonic_mean requires strictly positive values")
+    return float(arr.size / np.sum(1.0 / arr))
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geometric_mean of an empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number summary plus mean/std for a sample of measurements."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+
+def describe(values: Sequence[float]) -> Summary:
+    """Summary statistics for a non-empty sample."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("describe of an empty sequence")
+    q = np.percentile(arr, [25, 50, 75])
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=0)),
+        minimum=float(arr.min()),
+        p25=float(q[0]),
+        median=float(q[1]),
+        p75=float(q[2]),
+        maximum=float(arr.max()),
+    )

@@ -1,0 +1,154 @@
+"""Tests for the BFS-powered analytics layer, against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bfs_tree,
+    connected_components,
+    degrees_of_separation,
+    estimate_diameter,
+    shortest_hops,
+)
+from repro.errors import GraphError
+from repro.graph import (
+    cycle_graph,
+    from_edge_arrays,
+    grid_graph,
+    path_graph,
+    rmat_graph,
+)
+from repro.machine import paper_cluster
+
+
+def to_networkx(graph):
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    for v in range(graph.num_vertices):
+        for u in graph.neighbors(v):
+            g.add_edge(v, int(u))
+    return g
+
+
+@pytest.fixture(scope="module")
+def small_cluster():
+    return paper_cluster(nodes=1)
+
+
+class TestShortestHops:
+    def test_grid_distances(self, small_cluster):
+        g = grid_graph(16, 32)
+        hops, cost = shortest_hops(g, 0, cluster=small_cluster)
+        assert hops[511] == 15 + 31  # manhattan distance on the grid
+        assert cost.traversals == 1
+        assert cost.simulated_seconds > 0
+
+    def test_matches_networkx_on_rmat(self, small_cluster):
+        g = rmat_graph(scale=11, seed=5)
+        root = int(np.argmax(g.degrees()))
+        hops, _ = shortest_hops(g, root, cluster=small_cluster)
+        ref = nx.single_source_shortest_path_length(to_networkx(g), root)
+        expected = np.full(g.num_vertices, -1, dtype=np.int64)
+        for v, d in ref.items():
+            expected[v] = d
+        assert np.array_equal(hops, expected)
+
+
+class TestBfsTree:
+    def test_tree_edges_exist(self, small_cluster):
+        g = cycle_graph(512)
+        parent, _ = bfs_tree(g, 5, cluster=small_cluster)
+        for v in range(512):
+            if v != 5 and parent[v] >= 0:
+                assert g.has_edge(int(parent[v]), v)
+
+
+class TestConnectedComponents:
+    def test_matches_networkx(self, small_cluster):
+        # Three components: a path, a triangle, isolated vertices.
+        src = np.array([0, 1, 2, 10, 11, 12])
+        dst = np.array([1, 2, 3, 11, 12, 10])
+        g = from_edge_arrays(512, src, dst)
+        labels, cost = connected_components(g, cluster=small_cluster)
+        assert np.all(labels >= 0)
+        ref = list(nx.connected_components(to_networkx(g)))
+        assert len(set(labels.tolist())) == len(ref)
+        # Vertices in one reference component share one label.
+        for comp in ref:
+            comp_labels = {int(labels[v]) for v in comp}
+            assert len(comp_labels) == 1
+        assert cost.traversals == 2  # two non-trivial components
+
+    def test_max_components_early_stop(self, small_cluster):
+        src = np.array([0, 10, 20])
+        dst = np.array([1, 11, 21])
+        g = from_edge_arrays(512, src, dst)
+        labels, _ = connected_components(
+            g, cluster=small_cluster, max_components=507
+        )
+        # 506 isolated singletons + 1 BFS component, then stop.
+        assert np.count_nonzero(labels < 0) > 0
+
+    def test_rmat_component_count(self, small_cluster):
+        g = rmat_graph(scale=10, seed=7)
+        labels, _ = connected_components(g, cluster=small_cluster)
+        assert len(set(labels.tolist())) == nx.number_connected_components(
+            to_networkx(g)
+        )
+
+
+class TestDiameter:
+    def test_path_graph_exact(self, small_cluster):
+        g = path_graph(512)
+        diameter, cost = estimate_diameter(g, cluster=small_cluster, sweeps=2)
+        assert diameter == 511  # double sweep is exact on trees
+        assert cost.traversals == 2
+
+    def test_lower_bound_on_rmat(self, small_cluster):
+        g = rmat_graph(scale=10, seed=3)
+        est, _ = estimate_diameter(g, cluster=small_cluster, sweeps=2)
+        # The estimate is a lower bound on the true diameter of the
+        # largest component.
+        comp = max(nx.connected_components(to_networkx(g)), key=len)
+        true = nx.diameter(to_networkx(g).subgraph(comp))
+        assert 0 < est <= true
+
+    def test_sweeps_validation(self, small_cluster):
+        with pytest.raises(GraphError):
+            estimate_diameter(path_graph(512), sweeps=0)
+
+    def test_empty_graph(self, small_cluster):
+        g = from_edge_arrays(512, [], [])
+        est, cost = estimate_diameter(g, cluster=small_cluster)
+        assert est == 0
+        assert cost.traversals == 0
+
+
+class TestDegreesOfSeparation:
+    def test_histogram(self, small_cluster):
+        g = path_graph(512)
+        hist, cost = degrees_of_separation(
+            g, np.array([0]), cluster=small_cluster
+        )
+        assert hist.counts[0] == 1
+        assert hist.counts[511] == 1
+        assert hist.fraction_within(511) == 1.0
+        assert hist.fraction_within(255) == pytest.approx(256 / 512)
+        assert cost.traversals == 1
+
+    def test_unreachable_counted(self, small_cluster):
+        g = from_edge_arrays(512, [0], [1])
+        hist, _ = degrees_of_separation(g, np.array([0]), cluster=small_cluster)
+        assert hist.unreachable == 510
+
+    def test_empty_seeds_rejected(self, small_cluster):
+        with pytest.raises(GraphError):
+            degrees_of_separation(
+                path_graph(512), np.array([], dtype=np.int64)
+            )
+
+    def test_empty_histogram_fraction(self):
+        from repro.analysis.algorithms import SeparationHistogram
+
+        assert SeparationHistogram().fraction_within(3) == 0.0

@@ -1,0 +1,64 @@
+"""Tests for the terminal bar-chart renderer."""
+
+import pytest
+
+from repro.util import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10, unit="x")
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a  |")
+        assert "2 x" in lines[1]
+
+    def test_max_value_fills_width(self):
+        out = bar_chart(["m"], [5.0], width=8)
+        assert "████████" in out
+
+    def test_zero_values(self):
+        out = bar_chart(["z"], [0.0], width=8)
+        assert "█" not in out
+
+    def test_title(self):
+        out = bar_chart(["a"], [1.0], title="T:")
+        assert out.splitlines()[0] == "T:"
+
+    def test_proportionality(self):
+        out = bar_chart(["half", "full"], [1.0, 2.0], width=10)
+        half, full = out.splitlines()
+        assert half.count("█") <= full.count("█") // 2 + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=0)
+
+    def test_empty(self):
+        assert bar_chart([], []) == ""
+
+
+class TestGroupedBarChart:
+    def test_basic(self):
+        out = grouped_bar_chart(
+            ["g1", "g2"],
+            {"s1": [1.0, 2.0], "s2": [3.0, 4.0]},
+            width=10,
+        )
+        lines = out.splitlines()
+        assert lines[0] == "g1:"
+        assert len(lines) == 6
+
+    def test_ragged_series_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["g1"], {"s": [1.0, 2.0]})
+
+    def test_global_max_normalization(self):
+        out = grouped_bar_chart(
+            ["g1", "g2"], {"s": [1.0, 4.0]}, width=8
+        )
+        lines = [l for l in out.splitlines() if "|" in l]
+        assert lines[1].count("█") == 8
+        assert lines[0].count("█") == 2

@@ -1,0 +1,162 @@
+"""Tests for Bitmap and the granularity-tunable SummaryBitmap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.core.bitmap import Bitmap, SummaryBitmap, summary_words_for
+
+
+class TestBitmap:
+    def test_set_test_count(self):
+        bm = Bitmap(300)
+        bm.set(np.array([0, 64, 299]))
+        assert bm.count() == 3
+        assert bm.test(np.array([0, 1, 299])).tolist() == [True, False, True]
+
+    def test_from_indices(self):
+        bm = Bitmap.from_indices(100, np.array([5, 50]))
+        assert bm.indices().tolist() == [5, 50]
+
+    def test_out_of_range_rejected(self):
+        bm = Bitmap(64)
+        with pytest.raises(ConfigError):
+            bm.set(np.array([64]))
+        with pytest.raises(ConfigError):
+            bm.set(np.array([-1]))
+
+    def test_clear_and_copy(self):
+        bm = Bitmap.from_indices(100, np.array([1, 2]))
+        cp = bm.copy()
+        bm.clear()
+        assert bm.count() == 0
+        assert cp.count() == 2
+
+    def test_wrong_word_shape(self):
+        with pytest.raises(ConfigError):
+            Bitmap(100, words=np.zeros(1, dtype=np.uint64))
+
+    def test_zero_bits(self):
+        bm = Bitmap(0)
+        assert bm.count() == 0
+        assert bm.nbytes == 0
+
+
+class TestSummaryWordsFor:
+    def test_values(self):
+        assert summary_words_for(64 * 64, 64) == 1
+        assert summary_words_for(64 * 64, 128) == 1
+        assert summary_words_for(2**20, 64) == 2**20 // 64 // 64
+
+    def test_bad_granularity(self):
+        with pytest.raises(ConfigError):
+            summary_words_for(100, 32)
+        with pytest.raises(ConfigError):
+            summary_words_for(100, 100)
+
+
+class TestSummaryBitmap:
+    def test_build_semantics(self):
+        base = Bitmap.from_indices(512, np.array([0, 100, 300]))
+        s = SummaryBitmap.build(base, granularity=64)
+        # blocks: 0 (bit 0), 1 (bit 100), 4 (bit 300) are non-empty
+        assert s.test_vertices(np.array([0, 63])).tolist() == [True, True]
+        assert s.test_vertices(np.array([64, 127])).tolist() == [True, True]
+        assert s.test_vertices(np.array([128])).tolist() == [False]
+        assert s.test_vertices(np.array([300, 511])).tolist() == [True, False]
+
+    def test_larger_granularity_fewer_zeros(self):
+        """III.C.2: raising granularity cannot increase the zero
+        fraction."""
+        rng = np.random.default_rng(3)
+        base = Bitmap.from_indices(
+            1 << 14, rng.choice(1 << 14, size=200, replace=False)
+        )
+        fractions = [
+            SummaryBitmap.build(base, g).zero_fraction()
+            for g in (64, 128, 256, 512, 1024)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(fractions, fractions[1:]))
+
+    def test_larger_granularity_smaller_size(self):
+        base = Bitmap(1 << 16)
+        sizes = [SummaryBitmap.build(base, g).nbytes for g in (64, 256, 1024)]
+        assert sizes[0] > sizes[1] > sizes[2]
+
+    def test_rebuild_after_change(self):
+        base = Bitmap(256)
+        s = SummaryBitmap.build(base, 64)
+        assert s.zero_fraction() == 1.0
+        base.set(np.array([200]))
+        s.rebuild(base)
+        assert s.test_vertices(np.array([200]))[0]
+
+    def test_rebuild_wrong_base(self):
+        s = SummaryBitmap(128, 64)
+        with pytest.raises(ConfigError):
+            s.rebuild(Bitmap(256))
+
+    def test_unaligned_tail(self):
+        """nbits not a multiple of the granularity still works."""
+        base = Bitmap.from_indices(100, np.array([99]))
+        s = SummaryBitmap.build(base, 64)
+        assert s.nblocks == 2
+        assert s.test_vertices(np.array([99]))[0]
+
+    def test_test_vertices_out_of_range(self):
+        s = SummaryBitmap(100, 64)
+        with pytest.raises(ConfigError):
+            s.test_vertices(np.array([100]))
+
+    def test_empty_bitmap_zero_fraction(self):
+        s = SummaryBitmap(0, 64)
+        assert s.zero_fraction() == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    nbits=st.integers(min_value=1, max_value=2000),
+    granularity=st.sampled_from([64, 128, 256, 512]),
+    data=st.data(),
+)
+def test_property_summary_matches_bruteforce(nbits, granularity, data):
+    idx = data.draw(
+        st.lists(st.integers(min_value=0, max_value=nbits - 1), max_size=40)
+    )
+    base = Bitmap.from_indices(nbits, np.array(idx, dtype=np.int64))
+    s = SummaryBitmap.build(base, granularity)
+    # Brute force: block b non-empty iff some set bit falls in it.
+    blocks_with_bits = {i // granularity for i in idx}
+    for b in range(s.nblocks):
+        probe = min(b * granularity, nbits - 1)
+        if probe // granularity != b:
+            continue
+        expected = b in blocks_with_bits
+        got = bool(s.test_vertices(np.array([probe]))[0])
+        # probe's block is b by construction
+        assert got == expected or (
+            got and (probe // granularity) in blocks_with_bits
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    nbits=st.integers(min_value=64, max_value=4096),
+    data=st.data(),
+)
+def test_property_summary_never_false_negative(nbits, data):
+    """A set bit's block must always read as non-empty (the safety
+    property the bottom-up skip relies on)."""
+    idx = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=nbits - 1),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    g = data.draw(st.sampled_from([64, 128, 256]))
+    base = Bitmap.from_indices(nbits, np.array(idx, dtype=np.int64))
+    s = SummaryBitmap.build(base, g)
+    assert bool(np.all(s.test_vertices(np.array(idx, dtype=np.int64))))

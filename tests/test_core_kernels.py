@@ -1,0 +1,200 @@
+"""Tests for the per-rank BFS kernels (state, top-down, bottom-up) and
+the hybrid direction policy."""
+
+import numpy as np
+import pytest
+
+from repro.core import BFSConfig, Bitmap, SummaryBitmap, TraversalMode
+from repro.core import bottomup, topdown
+from repro.core.counts import Direction
+from repro.core.hybrid import DirectionPolicy, FrontierStats
+from repro.core.state import RankState
+from repro.errors import SimulationError
+from repro.graph import Partition1D, path_graph, star_graph
+from repro.graph.generators import cycle_graph
+
+
+def single_rank_state(graph):
+    part = Partition1D(graph.num_vertices, 1)
+    return RankState(part.extract_local(graph, 0)), part
+
+
+class TestRankState:
+    def test_discover_first_writer_wins(self):
+        st, _ = single_rank_state(path_graph(5))
+        new = st.discover(np.array([2, 2, 3]), np.array([1, 4, 2]))
+        assert new.tolist() == [2, 3]
+        assert st.parent[2] == 1  # first occurrence kept
+
+    def test_discover_skips_visited(self):
+        st, _ = single_rank_state(path_graph(5))
+        st.discover(np.array([2]), np.array([1]))
+        new = st.discover(np.array([2]), np.array([3]))
+        assert new.size == 0
+        assert st.parent[2] == 1
+
+    def test_unexplored_degree_tracked(self):
+        g = star_graph(5)
+        st, _ = single_rank_state(g)
+        before = st.unexplored_degree
+        st.discover(np.array([0]), np.array([0]))
+        assert st.unexplored_degree == before - 4
+
+    def test_unvisited_local_excludes_isolated(self):
+        from repro.graph import from_edge_arrays
+
+        g = from_edge_arrays(4, [0], [1])  # vertices 2, 3 isolated
+        st, _ = single_rank_state(g)
+        assert st.unvisited_local().tolist() == [0, 1]
+
+    def test_to_local_range_check(self):
+        g = path_graph(8)
+        part = Partition1D(8, 2)
+        st = RankState(part.extract_local(g, 1))
+        assert st.to_local(np.array([4])).tolist() == [0]
+        with pytest.raises(SimulationError):
+            st.to_local(np.array([3]))
+
+    def test_discover_shape_mismatch(self):
+        st, _ = single_rank_state(path_graph(3))
+        with pytest.raises(SimulationError):
+            st.discover(np.array([0, 1]), np.array([0]))
+
+
+class TestTopDown:
+    def test_expand_routes_to_owners(self):
+        g = path_graph(8)
+        part = Partition1D(8, 2)
+        st = RankState(part.extract_local(g, 0))
+        # Frontier = global vertex 3 (local id 3 on rank 0); neighbours are
+        # 2 (owned by rank 0) and 4 (owned by rank 1).
+        send = topdown.expand(st, np.array([3]), part)
+        assert send.frontier_size == 1
+        assert send.examined_edges == 2
+        assert send.outbox[0].tolist() == [[2, 3]]
+        assert send.outbox[1].tolist() == [[4, 3]]
+
+    def test_expand_dedupes_children(self):
+        g = cycle_graph(4)
+        part = Partition1D(4, 1)
+        st = RankState(part.extract_local(g, 0))
+        # Vertices 0 and 2 are both adjacent to 1 and 3.
+        send = topdown.expand(st, np.array([0, 2]), part)
+        children = sorted(send.outbox[0][:, 0].tolist())
+        assert children == [1, 3]  # each child once despite two finders
+        assert send.examined_edges == 4
+
+    def test_expand_empty_frontier(self):
+        g = path_graph(4)
+        part = Partition1D(4, 2)
+        st = RankState(part.extract_local(g, 1))
+        send = topdown.expand(st, np.array([], dtype=np.int64), part)
+        assert send.examined_edges == 0
+        assert all(o.size == 0 for o in send.outbox)
+
+    def test_apply_received_discovers_once(self):
+        g = path_graph(4)
+        part = Partition1D(4, 1)
+        st = RankState(part.extract_local(g, 0))
+        received = [
+            np.array([[1, 0], [2, 1]], dtype=np.int64),
+            np.array([[1, 2]], dtype=np.int64),
+        ]
+        new = topdown.apply_received(st, received)
+        assert sorted(new.tolist()) == [1, 2]
+        assert st.parent[1] == 0  # first message wins
+
+    def test_apply_received_empty(self):
+        g = path_graph(4)
+        part = Partition1D(4, 1)
+        st = RankState(part.extract_local(g, 0))
+        new = topdown.apply_received(st, [np.zeros((0, 2), dtype=np.int64)])
+        assert new.size == 0
+
+
+class TestBottomUp:
+    def setup_method(self):
+        # Path 0-1-2-3-4-5, frontier = {2}; unvisited = all but 2.
+        self.g = path_graph(6)
+        self.part = Partition1D(6, 1)
+        self.st = RankState(self.part.extract_local(self.g, 0))
+        self.st.discover(np.array([2]), np.array([2]))
+        self.inq = Bitmap.from_indices(6, np.array([2]))
+
+    def test_scan_finds_neighbors_of_frontier(self):
+        res = bottomup.scan(self.st, self.inq, None)
+        assert sorted(res.new_local.tolist()) == [1, 3]
+        assert self.st.parent[1] == 2
+        assert self.st.parent[3] == 2
+        assert res.candidates == 5  # all unvisited non-isolated
+
+    def test_early_exit_examined_counts(self):
+        res = bottomup.scan(self.st, self.inq, None)
+        # v0: checks 1 -> miss (1 edge). v1: checks 0 (miss), 2 (hit) -> 2.
+        # v3: checks 2 (hit) -> 1. v4: 3, 5 -> 2 misses. v5: 4 -> 1 miss.
+        assert res.examined_edges == 1 + 2 + 1 + 2 + 1
+        assert res.inqueue_reads == res.examined_edges  # no summary
+
+    def test_summary_reduces_inqueue_reads(self):
+        # Frontier block is bits 0..63; all of path fits in one block, so
+        # use a bigger graph for a meaningful filter.
+        g = path_graph(256)
+        part = Partition1D(256, 1)
+        st = RankState(part.extract_local(g, 0))
+        st.discover(np.array([100]), np.array([100]))
+        inq = Bitmap.from_indices(256, np.array([100]))
+        summary = SummaryBitmap.build(inq, 64)
+        res = bottomup.scan(st, inq, summary)
+        st2 = RankState(part.extract_local(g, 0))
+        st2.discover(np.array([100]), np.array([100]))
+        res_nosum = bottomup.scan(st2, inq, None)
+        assert res.examined_edges > 0
+        assert res.inqueue_reads < res.examined_edges
+        # The summary never changes what is discovered or examined.
+        assert res.examined_edges == res_nosum.examined_edges
+
+    def test_scan_without_candidates(self):
+        st, part = self.st, self.part
+        st.discover(np.arange(6)[st.parent < 0], np.zeros(5, dtype=np.int64))
+        res = bottomup.scan(st, self.inq, None)
+        assert res.candidates == 0
+        assert res.new_local.size == 0
+
+    def test_empty_frontier_discovers_nothing(self):
+        res = bottomup.scan(self.st, Bitmap(6), None)
+        assert res.new_local.size == 0
+        # Every unvisited vertex scanned its whole adjacency.
+        assert res.examined_edges == self.st.degrees[self.st.parent < 0].sum()
+
+
+class TestDirectionPolicy:
+    def stats(self, n_f=1, m_f=1, m_u=1000, n=1000):
+        return FrontierStats(
+            frontier_vertices=n_f,
+            frontier_edges=m_f,
+            unexplored_edges=m_u,
+            num_vertices=n,
+        )
+
+    def test_starts_top_down(self):
+        p = DirectionPolicy(BFSConfig())
+        assert p.decide(self.stats()) == Direction.TOP_DOWN
+
+    def test_switches_to_bottom_up_on_alpha(self):
+        p = DirectionPolicy(BFSConfig(alpha=14))
+        assert p.decide(self.stats(m_f=1, m_u=1000)) == Direction.TOP_DOWN
+        assert p.decide(self.stats(m_f=100, m_u=1000)) == Direction.BOTTOM_UP
+
+    def test_switches_back_on_beta_and_stays(self):
+        p = DirectionPolicy(BFSConfig(alpha=14, beta=24))
+        p.decide(self.stats(m_f=500, m_u=1000))  # -> bottom-up
+        assert p.direction == Direction.BOTTOM_UP
+        assert p.decide(self.stats(n_f=10, n=1000)) == Direction.TOP_DOWN
+        # Even with a huge frontier again, no second bottom-up phase.
+        assert p.decide(self.stats(m_f=10**9, m_u=1)) == Direction.TOP_DOWN
+
+    def test_pure_modes(self):
+        p = DirectionPolicy(BFSConfig(mode=TraversalMode.TOP_DOWN))
+        assert p.decide(self.stats(m_f=10**9, m_u=1)) == Direction.TOP_DOWN
+        p = DirectionPolicy(BFSConfig(mode=TraversalMode.BOTTOM_UP))
+        assert p.decide(self.stats()) == Direction.BOTTOM_UP

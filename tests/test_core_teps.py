@@ -1,0 +1,76 @@
+"""Tests for the Graph500 evaluation driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import BFSConfig, run_graph500
+from repro.graph import rmat_graph
+from repro.machine import paper_cluster
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = rmat_graph(scale=11, seed=6)
+    cluster = paper_cluster(nodes=2)
+    return graph, cluster
+
+
+class TestRunGraph500:
+    def test_basic_protocol(self, setup):
+        graph, cluster = setup
+        res = run_graph500(
+            graph, cluster, BFSConfig.original_ppn8(), num_roots=4, seed=1
+        )
+        assert len(res.per_root_teps) == 4
+        assert res.harmonic_mean_teps > 0
+        assert res.mean_seconds > 0
+        assert len(res.results) == 4
+
+    def test_harmonic_mean_dominated_by_slowest(self, setup):
+        graph, cluster = setup
+        res = run_graph500(
+            graph, cluster, BFSConfig.original_ppn8(), num_roots=4, seed=1
+        )
+        assert res.harmonic_mean_teps <= max(res.per_root_teps)
+        assert res.harmonic_mean_teps >= min(res.per_root_teps)
+
+    def test_validation_path(self, setup):
+        graph, cluster = setup
+        res = run_graph500(
+            graph,
+            cluster,
+            BFSConfig.original_ppn8(),
+            num_roots=2,
+            seed=3,
+            validate=True,
+        )
+        assert all(r.visited > 0 for r in res.results)
+
+    def test_deterministic(self, setup):
+        graph, cluster = setup
+        r1 = run_graph500(
+            graph, cluster, BFSConfig.original_ppn8(), num_roots=3, seed=5
+        )
+        r2 = run_graph500(
+            graph, cluster, BFSConfig.original_ppn8(), num_roots=3, seed=5
+        )
+        assert np.array_equal(r1.roots, r2.roots)
+        assert r1.per_root_teps == r2.per_root_teps
+
+    def test_mean_breakdown_averages(self, setup):
+        graph, cluster = setup
+        res = run_graph500(
+            graph, cluster, BFSConfig.original_ppn8(), num_roots=3, seed=2
+        )
+        bd = res.mean_breakdown()
+        expected_total = np.mean(
+            [r.timing.breakdown.total for r in res.results]
+        )
+        assert bd.total == pytest.approx(expected_total)
+
+    def test_mean_bu_comm_per_level(self, setup):
+        graph, cluster = setup
+        res = run_graph500(
+            graph, cluster, BFSConfig.original_ppn8(), num_roots=2, seed=2
+        )
+        assert res.mean_bu_comm_per_level() > 0

@@ -1,0 +1,96 @@
+"""Tests for the per-level trace export."""
+
+import csv
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import BFSConfig, BFSEngine
+from repro.core.trace import to_csv, to_json, trace_rows
+from repro.graph import rmat_graph
+from repro.machine import paper_cluster
+
+
+@pytest.fixture(scope="module")
+def result():
+    g = rmat_graph(scale=11, seed=6)
+    engine = BFSEngine(g, paper_cluster(nodes=2), BFSConfig.original_ppn8())
+    return engine.run(int(np.argmax(g.degrees())))
+
+
+class TestTraceRows:
+    def test_one_row_per_level(self, result):
+        rows = trace_rows(result)
+        assert len(rows) == result.levels
+        assert [r.level for r in rows] == list(range(result.levels))
+
+    def test_totals_consistent(self, result):
+        rows = trace_rows(result)
+        total = sum(r.total_ns for r in rows)
+        assert total == pytest.approx(result.timing.total_ns, rel=1e-9)
+        # The root is discovered at initialization, before level 0.
+        assert sum(r.discovered for r in rows) == result.visited - 1
+
+    def test_directions_match(self, result):
+        rows = trace_rows(result)
+        assert [r.direction for r in rows] == [
+            lc.direction for lc in result.counts.levels
+        ]
+
+
+class TestCsv:
+    def test_round_trip(self, result):
+        text = to_csv(result)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == result.levels
+        assert parsed[0]["direction"] == "top_down"
+        assert int(parsed[0]["frontier"]) == 1  # the root
+
+    def test_numeric_columns(self, result):
+        parsed = list(csv.DictReader(io.StringIO(to_csv(result))))
+        for row in parsed:
+            assert float(row["comm_ns"]) >= 0
+            assert int(row["examined_edges"]) >= 0
+
+
+class TestJson:
+    def test_document_shape(self, result):
+        doc = json.loads(to_json(result))
+        assert doc["root"] == result.root
+        assert doc["visited"] == result.visited
+        assert doc["teps"] == pytest.approx(result.teps)
+        assert len(doc["per_level"]) == result.levels
+        assert set(doc["breakdown"]) == {
+            "td_compute",
+            "td_comm",
+            "bu_compute",
+            "bu_comm",
+            "switch",
+            "stall",
+        }
+
+
+class TestGantt:
+    def test_renders_one_row_per_level(self, result):
+        from repro.core.trace import gantt
+
+        text = gantt(result)
+        lines = text.splitlines()
+        assert len(lines) == result.levels + 1  # header + rows
+        assert "TD" in text and "BU" in text
+
+    def test_width_validation(self, result):
+        from repro.core.trace import gantt
+
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            gantt(result, width=5)
+
+    def test_segments_cover_phases(self, result):
+        from repro.core.trace import gantt
+
+        text = gantt(result, width=120)
+        assert "#" in text or "=" in text

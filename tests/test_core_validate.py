@@ -1,0 +1,120 @@
+"""Tests for the Graph500 validator — it must accept correct trees and
+reject each class of corruption."""
+
+import numpy as np
+import pytest
+
+from repro.core import BFSConfig, BFSEngine
+from repro.core.validate import compute_levels, validate_parent_tree
+from repro.errors import ValidationError
+from repro.graph import grid_graph, path_graph, rmat_graph
+from repro.machine import paper_cluster
+from repro.mpi import BindingPolicy
+
+
+def good_tree():
+    """A valid BFS tree on a path graph."""
+    g = path_graph(6)
+    parent = np.array([0, 0, 1, 2, 3, 4], dtype=np.int64)
+    return g, 0, parent
+
+
+class TestComputeLevels:
+    def test_path_levels(self):
+        g, root, parent = good_tree()
+        levels = compute_levels(g, root, parent)
+        assert levels.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_unreached_gets_minus_one(self):
+        g = path_graph(4)
+        parent = np.array([0, 0, -1, -1], dtype=np.int64)
+        levels = compute_levels(g, 0, parent)
+        assert levels.tolist() == [0, 1, -1, -1]
+
+    def test_root_not_self_parent(self):
+        g, _, parent = good_tree()
+        parent[0] = 1
+        with pytest.raises(ValidationError):
+            compute_levels(g, 0, parent)
+
+    def test_cycle_detected(self):
+        g = path_graph(4)
+        parent = np.array([0, 2, 1, 2], dtype=np.int64)  # 1 <-> 2 cycle
+        with pytest.raises(ValidationError):
+            compute_levels(g, 0, parent)
+
+    def test_wrong_shape(self):
+        g = path_graph(4)
+        with pytest.raises(ValidationError):
+            compute_levels(g, 0, np.zeros(3, dtype=np.int64))
+
+
+class TestValidateParentTree:
+    def test_accepts_valid_tree(self):
+        g, root, parent = good_tree()
+        levels = validate_parent_tree(g, root, parent)
+        assert levels[5] == 5
+
+    def test_rejects_unreached_root(self):
+        g, root, parent = good_tree()
+        parent = np.full(6, -1, dtype=np.int64)
+        with pytest.raises(ValidationError):
+            validate_parent_tree(g, root, parent)
+
+    def test_rejects_nonexistent_tree_edge(self):
+        g, root, parent = good_tree()
+        parent[5] = 2  # (2, 5) is not an edge of the path
+        with pytest.raises(ValidationError):
+            validate_parent_tree(g, root, parent)
+
+    def test_rejects_unreached_parent(self):
+        g = grid_graph(4, 4)
+        parent = np.full(16, -1, dtype=np.int64)
+        parent[0] = 0
+        parent[1] = 0
+        parent[2] = 1
+        parent[5] = 4  # parent 4 unreached
+        with pytest.raises(ValidationError):
+            validate_parent_tree(g, 0, parent)
+
+    def test_rejects_incomplete_component(self):
+        """Check 5: an edge from reached to unreached vertex means the
+        traversal stopped early."""
+        g, root, parent = good_tree()
+        parent[5] = -1  # vertex 5 reachable but unreached
+        with pytest.raises(ValidationError):
+            validate_parent_tree(g, root, parent)
+
+    def test_rejects_level_skip(self):
+        """A 'parent' two levels up breaks the level-difference rule."""
+        g = grid_graph(1, 5)  # path 0-1-2-3-4
+        parent = np.array([0, 0, 1, 2, 2], dtype=np.int64)  # (2,4) not edge
+        with pytest.raises(ValidationError):
+            validate_parent_tree(g, 0, parent)
+
+    def test_rejects_out_of_range_parent(self):
+        g, root, parent = good_tree()
+        parent[3] = 17
+        with pytest.raises(ValidationError):
+            validate_parent_tree(g, root, parent)
+
+    def test_accepts_engine_output_on_rmat(self):
+        g = rmat_graph(scale=11, seed=12)
+        cluster = paper_cluster(nodes=1)
+        cfg = BFSConfig(ppn=1, binding=BindingPolicy.INTERLEAVE)
+        root = int(np.argmax(g.degrees()))
+        res = BFSEngine(g, cluster, cfg).run(root)
+        validate_parent_tree(g, root, res.parent)
+
+    def test_detects_corrupted_engine_output(self):
+        g = rmat_graph(scale=11, seed=12)
+        cluster = paper_cluster(nodes=1)
+        cfg = BFSConfig(ppn=1, binding=BindingPolicy.INTERLEAVE)
+        root = int(np.argmax(g.degrees()))
+        res = BFSEngine(g, cluster, cfg).run(root)
+        parent = res.parent.copy()
+        reached = np.flatnonzero(parent >= 0)
+        victim = int(reached[reached != root][0])
+        parent[victim] = victim  # fake a second root
+        with pytest.raises(ValidationError):
+            validate_parent_tree(g, root, parent)

@@ -1,0 +1,183 @@
+"""Tests for the experiment runners: every table/figure must produce
+well-formed output, and the qualitative paper claims (DESIGN.md §4) must
+hold at test-speed settings."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentSettings,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments import common as exp_common
+from repro.experiments.cli import main as cli_main
+
+FAST = ExperimentSettings(scale_offset=16, num_roots=2)
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run every experiment once at fast settings and share the output."""
+    return {eid: run_experiment(eid, FAST) for eid in EXPERIMENTS}
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        expected = {
+            "table1",
+            "fig03",
+            "fig04",
+            "fig06",
+            "fig09",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "text_hybrid",
+            "ext_modern",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_paper_scale_mapping(self):
+        assert exp_common.paper_scale_for_nodes(1) == 28
+        assert exp_common.paper_scale_for_nodes(16) == 32
+        with pytest.raises(ValueError):
+            exp_common.paper_scale_for_nodes(3)
+
+
+class TestWellFormed:
+    def test_every_experiment_renders(self, results):
+        for eid, res in results.items():
+            text = res.to_text()
+            assert res.title in text
+            assert res.rows, eid
+            for row in res.rows:
+                assert len(row) == len(res.headers), eid
+
+    def test_every_experiment_records_claims(self, results):
+        for eid, res in results.items():
+            assert res.claims, f"{eid} records no paper-vs-measured claims"
+
+    def test_no_violated_claims(self, results):
+        for eid, res in results.items():
+            for name, (_paper, measured) in res.claims.items():
+                assert "VIOLATED" not in measured, f"{eid}: {name}: {measured}"
+
+
+class TestFigureClaims:
+    def test_fig03_numa_bands(self, results):
+        rows = {r[0]: r[2] for r in results["fig03"].rows}
+        eight = rows["8 cores (1 socket, local)"]
+        inter = rows["64 cores (8 sockets, interleave)"]
+        bind = rows["64 cores (8 sockets, bind-to-socket)"]
+        assert 5.0 < eight < 8.5  # paper: 6.98
+        assert 1.5 < inter / eight < 4.0  # paper: 2.77
+        assert 4.0 < bind / eight < 9.0  # paper: 6.31
+        assert bind > inter
+
+    def test_fig04_monotone_and_half(self, results):
+        fractions = [r[2] for r in results["fig04"].rows]
+        assert fractions == sorted(fractions)
+        assert 0.4 < fractions[0] < 0.6  # 1 ppn ~ half of peak
+
+    def test_fig09_stack_ordering(self, results):
+        rows = {r[0]: r[1] for r in results["fig09"].rows}
+        order = [
+            "Original.ppn=1",
+            "Original.ppn=8",
+            "Share in_queue",
+            "Share all",
+            "Par allgather",
+            "Granularity",
+        ]
+        teps = [rows[name] for name in order]
+        assert teps == sorted(teps)
+        overall = teps[-1] / teps[0]
+        assert 1.8 < overall < 3.5  # paper: 2.44
+        numa = teps[1] / teps[0]
+        assert 1.3 < numa < 2.2  # paper: 1.53
+        assert 15 < teps[-1] < 90  # paper: 39.2 GTEPS
+
+    def test_fig10_policy_ordering(self, results):
+        rows = {r[0]: r[1] for r in results["fig10"].rows}
+        assert rows["ppn=8.bind-to-socket"] == max(rows.values())
+        assert rows["ppn=1.interleave"] >= rows["ppn=1.noflag"]
+        assert rows["ppn=8.noflag"] == min(rows.values())
+
+    def test_fig11_binding_speeds_up_computation(self, results):
+        rows = {r[0]: r for r in results["fig11"].rows}
+        inter = rows["ppn=1.interleave"]
+        bind = rows["ppn=8.bind-to-socket"]
+        # bottom-up comp column index 3, top-down comp index 1
+        assert bind[3] < inter[3]
+        assert bind[1] < inter[1]
+
+    def test_fig12_proportion_grows(self, results):
+        props = [float(r[5].rstrip("%")) for r in results["fig12"].rows]
+        assert props == sorted(props)
+        assert props[-1] > 30  # paper: 54% at 8 nodes
+        ratios = [r[4] for r in results["fig12"].rows[1:]]
+        assert all(r > 1.5 for r in ratios)  # ppn8 comm >> ppn1 comm
+
+    def test_fig13_each_optimization_cuts_comm(self, results):
+        for row in results["fig13"].rows:
+            series = row[2:]
+            assert series[0] > series[1] > series[3]
+
+    def test_fig14_proportion_reduction(self, results):
+        last = results["fig14"].rows[-1]  # 8 nodes
+        unopt = float(last[2].rstrip("%"))
+        opt = float(last[5].rstrip("%"))
+        assert unopt > 2.5 * opt  # paper: 54% -> 18%
+
+    def test_fig15_weak_scaling(self, results):
+        rows = results["fig15"].rows
+        par = [r[6] for r in rows]
+        # Optimized TEPS rises monotonically through 8 nodes.
+        assert par[:4] == sorted(par[:4])
+        # 16-node point grows less than 2x over 8 nodes (weak node dent).
+        assert par[4] / par[3] < 2.0
+
+    def test_fig16_granularity_shape(self, results):
+        rows = {r[0]: r[1] for r in results["fig16"].rows}
+        assert rows[256] > rows[64]  # paper: +10.2%
+        assert rows[4096] < rows[64]
+        best = max(rows, key=rows.get)
+        assert best in (128, 256, 512)  # paper: 256
+
+    def test_text_hybrid_dominates(self, results):
+        rows = {r[0]: r[3] for r in results["text_hybrid"].rows}
+        assert 8 < rows["pure top-down"] < 80  # paper: 27.3x
+        assert 2 < rows["pure bottom-up"] < 15  # paper: 4.7x
+
+    def test_table1_matches_paper(self, results):
+        paper, measured = results["table1"].claims["total cores"]
+        assert paper == measured == "1024"
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig09" in out and "table1" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert cli_main(["fig99"]) == 2
+
+    def test_run_one(self, capsys):
+        assert cli_main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_run_fig04_quick(self, capsys):
+        assert cli_main(["fig04", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "paper-vs-measured" in out

@@ -1,0 +1,154 @@
+"""Tests for graph types, the CSR builder and synthetic generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import (
+    EdgeList,
+    build_graph,
+    binary_tree_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    from_edge_arrays,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+
+
+class TestEdgeList:
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            EdgeList(4, np.array([0]), np.array([4]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphError):
+            EdgeList(4, np.array([-1]), np.array([0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            EdgeList(4, np.array([0, 1]), np.array([1]))
+
+
+class TestBuilder:
+    def test_self_loops_dropped(self):
+        g = from_edge_arrays(3, [0, 1, 2], [0, 2, 2])
+        assert g.num_edges == 1
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(0, 0)
+
+    def test_duplicates_merged(self):
+        g = from_edge_arrays(3, [0, 0, 1], [1, 1, 0])
+        assert g.num_edges == 1
+        assert g.degree(0) == 1
+
+    def test_symmetrized(self):
+        g = from_edge_arrays(3, [0], [1])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.num_directed_edges == 2
+
+    def test_adjacency_sorted(self):
+        g = from_edge_arrays(5, [2, 2, 2], [4, 0, 3])
+        assert g.neighbors(2).tolist() == [0, 3, 4]
+
+    def test_empty_graph(self):
+        g = from_edge_arrays(4, [], [])
+        assert g.num_edges == 0
+        assert g.degrees().tolist() == [0, 0, 0, 0]
+
+    def test_memory_bytes_positive(self):
+        g = path_graph(10)
+        assert g.memory_bytes() > 0
+
+
+class TestGraphAccessors:
+    def test_neighbors_out_of_range(self):
+        g = path_graph(3)
+        with pytest.raises(GraphError):
+            g.neighbors(3)
+
+    def test_degree_vectorized(self):
+        g = star_graph(5)
+        assert g.degree(np.array([0, 1])).tolist() == [4, 1]
+
+    def test_offsets_must_match(self):
+        with pytest.raises(GraphError):
+            from repro.graph.types import Graph
+
+            Graph(3, np.array([0, 1], dtype=np.int64), np.zeros(1, np.int64))
+
+
+class TestGenerators:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.degrees().tolist() == [1, 2, 2, 2, 1]
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.num_edges == 6
+        assert np.all(g.degrees() == 2)
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.degree(0) == 6
+        assert g.num_edges == 6
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.num_edges == 10
+        assert np.all(g.degrees() == 4)
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_binary_tree(self):
+        g = binary_tree_graph(3)
+        assert g.num_vertices == 15
+        assert g.num_edges == 14
+        assert g.degree(0) == 2
+
+    def test_erdos_renyi_deterministic(self):
+        g1 = erdos_renyi_graph(30, 0.2, seed=5)
+        g2 = erdos_renyi_graph(30, 0.2, seed=5)
+        assert np.array_equal(g1.targets, g2.targets)
+
+    def test_erdos_renyi_extremes(self):
+        assert erdos_renyi_graph(10, 0.0).num_edges == 0
+        assert erdos_renyi_graph(10, 1.0).num_edges == 45
+
+    def test_generator_validation(self):
+        with pytest.raises(GraphError):
+            path_graph(0)
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(5, 1.5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=20),
+    edges=st.lists(
+        st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=60
+    ),
+)
+def test_property_builder_matches_reference(n, edges):
+    """The CSR builder agrees with a set-based reference implementation."""
+    edges = [(u % n, v % n) for u, v in edges]
+    src = np.array([e[0] for e in edges], dtype=np.int64)
+    dst = np.array([e[1] for e in edges], dtype=np.int64)
+    g = from_edge_arrays(n, src, dst)
+
+    ref = {(u, v) for u, v in edges if u != v}
+    ref |= {(v, u) for u, v in ref}
+    assert g.num_directed_edges == len(ref)
+    for u in range(n):
+        expected = sorted(v for (a, v) in ref if a == u)
+        assert g.neighbors(u).tolist() == expected

@@ -1,0 +1,127 @@
+"""Tests for text edge-list IO, word-aligned bounds and arbitrary rank
+counts in the engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import BFSConfig, BFSEngine
+from repro.core.validate import validate_parent_tree
+from repro.errors import ConfigError, GraphError
+from repro.graph import (
+    build_graph,
+    generate_rmat_edges,
+    load_text_edges,
+    rmat_graph,
+    save_text_edges,
+    word_aligned_bounds,
+)
+from repro.machine.spec import ClusterSpec, NodeSpec, x7550_socket
+
+
+class TestTextEdges:
+    def test_round_trip(self, tmp_path):
+        edges = generate_rmat_edges(scale=7, seed=4)
+        path = tmp_path / "edges.txt"
+        save_text_edges(path, edges)
+        back = load_text_edges(path)
+        assert back.num_vertices == edges.num_vertices
+        assert np.array_equal(back.sources, edges.sources)
+        assert np.array_equal(back.targets, edges.targets)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "e.txt"
+        path.write_text("# header\n\n0 1\n# mid\n1 2\n")
+        edges = load_text_edges(path)
+        assert edges.num_edges == 2
+        assert edges.num_vertices == 64  # aligned up
+
+    def test_explicit_num_vertices(self, tmp_path):
+        path = tmp_path / "e.txt"
+        path.write_text("0 1\n")
+        edges = load_text_edges(path, num_vertices=128)
+        assert edges.num_vertices == 128
+
+    def test_alignment_rounding(self, tmp_path):
+        path = tmp_path / "e.txt"
+        path.write_text("0 200\n")
+        edges = load_text_edges(path)
+        assert edges.num_vertices == 256  # 201 rounded up to 64 multiple
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphError, match="expected"):
+            load_text_edges(path)
+        path.write_text("a b\n")
+        with pytest.raises(GraphError, match="non-integer"):
+            load_text_edges(path)
+        path.write_text("-1 2\n")
+        with pytest.raises(GraphError, match="negative"):
+            load_text_edges(path)
+
+    def test_bfs_on_loaded_text_graph(self, tmp_path):
+        edges = generate_rmat_edges(scale=9, seed=4)
+        path = tmp_path / "e.txt"
+        save_text_edges(path, edges)
+        graph = build_graph(load_text_edges(path))
+        from repro.machine import paper_cluster
+
+        root = int(np.argmax(graph.degrees()))
+        res = BFSEngine(
+            graph, paper_cluster(nodes=1), BFSConfig.original_ppn8()
+        ).run(root)
+        validate_parent_tree(graph, root, res.parent)
+
+
+class TestWordAlignedBounds:
+    def test_divisible_case_uniform(self):
+        bounds = word_aligned_bounds(1024, 4)
+        assert bounds.tolist() == [0, 256, 512, 768, 1024]
+
+    def test_non_divisor_rank_count(self):
+        bounds = word_aligned_bounds(1024, 3)
+        assert bounds[0] == 0 and bounds[-1] == 1024
+        assert np.all(bounds % 64 == 0)
+        sizes = np.diff(bounds)
+        assert sizes.max() - sizes.min() <= 64
+
+    def test_more_ranks_than_blocks(self):
+        bounds = word_aligned_bounds(128, 5)
+        assert bounds[0] == 0 and bounds[-1] == 128
+        assert np.all(np.diff(bounds) >= 0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            word_aligned_bounds(100, 2)  # not 64-aligned
+        with pytest.raises(ConfigError):
+            word_aligned_bounds(128, 0)
+        with pytest.raises(ConfigError):
+            word_aligned_bounds(128, 2, alignment=0)
+
+
+class TestNonPowerOfTwoRanks:
+    def test_six_socket_cluster(self):
+        cluster = ClusterSpec(
+            nodes=3, node=NodeSpec(sockets=6, socket=x7550_socket())
+        )
+        g = rmat_graph(scale=12, seed=3)
+        root = int(np.argmax(g.degrees()))
+        res = BFSEngine(g, cluster, BFSConfig()).run(root)  # 18 ranks
+        validate_parent_tree(g, root, res.parent)
+        assert res.counts.num_ranks == 18
+
+    def test_unaligned_graph_still_rejected(self):
+        from repro.graph import erdos_renyi_graph
+        from repro.machine import paper_cluster
+
+        g = erdos_renyi_graph(100, 0.1, seed=1)  # 100 not 64-aligned
+        with pytest.raises(ConfigError):
+            BFSEngine(g, paper_cluster(nodes=1), BFSConfig.original_ppn8())
+
+    def test_too_few_vertices_rejected(self):
+        from repro.graph import path_graph
+        from repro.machine import paper_cluster
+
+        g = path_graph(64)  # 64 vertices < 8 ranks * 64
+        with pytest.raises(ConfigError):
+            BFSEngine(g, paper_cluster(nodes=1), BFSConfig.original_ppn8())

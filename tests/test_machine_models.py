@@ -1,0 +1,251 @@
+"""Tests for the cache, memory-placement, network and compute cost models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.machine import (
+    AccessCounts,
+    CacheModel,
+    ComputeContext,
+    CostModel,
+    MemoryModel,
+    NetworkModel,
+    Placement,
+    StructureAccess,
+    paper_cluster,
+    x7550_node,
+)
+from repro.machine.spec import KB, MB
+
+
+@pytest.fixture(scope="module")
+def node():
+    return x7550_node()
+
+
+@pytest.fixture(scope="module")
+def caches(node):
+    return CacheModel(node)
+
+
+@pytest.fixture(scope="module")
+def memory(node):
+    return MemoryModel(node)
+
+
+class TestCacheModel:
+    def test_tiny_structure_hits_l1(self, caches, node):
+        bd = caches.access_latency(1 * KB)
+        assert bd.avg_latency_ns == pytest.approx(
+            node.socket.caches[0].latency_ns
+        )
+
+    def test_huge_structure_goes_to_dram(self, caches, node):
+        bd = caches.access_latency(64 * 1024 * MB)
+        assert bd.fractions["local_dram"] > 0.99
+        # Random reads into a multi-GB structure pay DRAM plus a TLB walk.
+        assert bd.avg_latency_ns == pytest.approx(
+            node.socket.dram_latency_ns + node.socket.tlb_penalty_ns,
+            rel=0.05,
+        )
+
+    def test_latency_monotone_in_size(self, caches):
+        sizes = [1 * KB, 100 * KB, 4 * MB, 100 * MB, 4000 * MB]
+        lats = [caches.access_latency(s).avg_latency_ns for s in sizes]
+        assert lats == sorted(lats)
+
+    def test_sharing_reduces_latency_for_llc_scale_structures(self, caches):
+        """A 64 MB structure does not fit one 18 MB L3 but mostly fits
+        8 x 18 MB: the paper's 'larger cache size' argument for the shared
+        in_queue."""
+        size = 64 * MB
+        private = caches.access_latency(size, shared_sockets=1)
+        shared = caches.access_latency(size, shared_sockets=8)
+        assert shared.avg_latency_ns < private.avg_latency_ns
+
+    def test_remote_dram_fraction_raises_latency(self, caches):
+        size = 4000 * MB
+        local = caches.access_latency(size, local_dram_fraction=1.0)
+        mixed = caches.access_latency(size, local_dram_fraction=0.125)
+        assert mixed.avg_latency_ns > local.avg_latency_ns
+
+    def test_fractions_sum_to_one(self, caches):
+        for size in [1 * KB, 1 * MB, 512 * MB]:
+            bd = caches.access_latency(size, 0.5, shared_sockets=4)
+            assert sum(bd.fractions.values()) == pytest.approx(1.0)
+
+    def test_validation(self, caches):
+        with pytest.raises(ConfigError):
+            caches.access_latency(1 * MB, local_dram_fraction=1.5)
+        with pytest.raises(ConfigError):
+            caches.access_latency(1 * MB, shared_sockets=9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(size=st.floats(min_value=1.0, max_value=1e12))
+    def test_property_latency_bounded(self, caches, node, size):
+        bd = caches.access_latency(size, local_dram_fraction=0.0)
+        lo = node.socket.caches[0].latency_ns
+        hi = (
+            CacheModel(node).topology.remote_dram_latency()
+            + node.socket.tlb_penalty_ns
+        )
+        assert lo <= bd.avg_latency_ns <= hi + 1e-9
+
+
+class TestMemoryModel:
+    def test_local_socket_fastest(self, memory):
+        size = 1024 * MB
+        lats = {
+            p: memory.access_latency(StructureAccess("s", size, p))
+            for p in Placement
+        }
+        assert lats[Placement.LOCAL_SOCKET] == min(lats.values())
+
+    def test_single_socket_worst_when_spanning(self, memory):
+        """noflag policies: all pages on one socket, threads everywhere."""
+        size = 1024 * MB
+        single = memory.access_latency(
+            StructureAccess("s", size, Placement.SINGLE_SOCKET),
+            threads_sockets=8,
+        )
+        inter = memory.access_latency(
+            StructureAccess("s", size, Placement.INTERLEAVED),
+            threads_sockets=8,
+        )
+        assert single >= inter
+
+    def test_node_shared_beats_interleaved_for_mid_sizes(self, memory):
+        """The shared in_queue of a scale-28 run (32 MB) benefits from
+        cooperative L3 caching (II.D reasons b-d)."""
+        size = 32 * MB
+        shared = memory.access_latency(
+            StructureAccess("inq", size, Placement.NODE_SHARED)
+        )
+        inter = memory.access_latency(
+            StructureAccess("inq", size, Placement.INTERLEAVED)
+        )
+        assert shared < inter
+
+    def test_interleave_has_more_bandwidth_than_single(self, memory):
+        inter = memory.effective(Placement.INTERLEAVED, threads_sockets=8)
+        single = memory.effective(Placement.SINGLE_SOCKET, threads_sockets=8)
+        assert inter.stream_bandwidth > single.stream_bandwidth
+
+    def test_copy_bandwidth_contention(self, memory):
+        assert memory.copy_bandwidth(1) > memory.copy_bandwidth(7)
+        with pytest.raises(ConfigError):
+            memory.copy_bandwidth(0)
+
+    def test_threads_sockets_validation(self, memory):
+        with pytest.raises(ConfigError):
+            memory.effective(Placement.INTERLEAVED, threads_sockets=9)
+
+
+class TestNetworkModel:
+    def test_fig4_shape(self):
+        """More processes per node -> more bandwidth; 1 ppn is about half
+        of peak; saturation by 8 ppn."""
+        net = NetworkModel(paper_cluster())
+        bw = {k: net.osu_bandwidth(k) for k in (1, 2, 4, 8)}
+        assert bw[1] < bw[2] < bw[4] < bw[8]
+        assert bw[1] / bw[8] == pytest.approx(0.5, abs=0.1)
+        assert net.osu_bandwidth(16) <= bw[8] * 1.01
+
+    def test_flow_bandwidth_decreases_with_flows(self):
+        net = NetworkModel(paper_cluster())
+        assert net.flow_bandwidth(1) > net.flow_bandwidth(8)
+
+    def test_weak_node_derated(self):
+        net = NetworkModel(paper_cluster(weak_node=True))
+        assert net.node_bandwidth(8, node_index=15) < net.node_bandwidth(
+            8, node_index=0
+        )
+
+    def test_transfer_time_includes_latency(self):
+        net = NetworkModel(paper_cluster())
+        assert net.transfer_time(0) == pytest.approx(
+            net.ib.message_latency_ns
+        )
+
+    def test_validation(self):
+        net = NetworkModel(paper_cluster())
+        with pytest.raises(ConfigError):
+            net.transfer_time(-1)
+        with pytest.raises(ConfigError):
+            net.concurrency_fraction(0)
+        with pytest.raises(ConfigError):
+            net.osu_bandwidth(0)
+
+
+class TestCostModel:
+    def test_empty_counts_cost_nothing(self, node):
+        cm = CostModel(node)
+        bd = cm.compute_time(AccessCounts(), ComputeContext(threads=8))
+        assert bd.total_ns == 0.0
+
+    def test_more_threads_faster_latency_bound(self, node):
+        cm = CostModel(node)
+        counts = AccessCounts()
+        counts.add_random(
+            StructureAccess("inq", 512 * MB, Placement.LOCAL_SOCKET), 1e6
+        )
+        t1 = cm.compute_time(counts, ComputeContext(threads=1)).total_ns
+        t8 = cm.compute_time(counts, ComputeContext(threads=8)).total_ns
+        assert t1 / t8 == pytest.approx(8.0, rel=0.01)
+
+    def test_local_beats_interleaved_for_latency_bound_work(self, node):
+        """The core NUMA effect (Fig. 3): binding keeps random graph reads
+        local and speeds up the computation phase."""
+        cm = CostModel(node)
+        local = AccessCounts()
+        local.add_random(
+            StructureAccess("graph", 2048 * MB, Placement.LOCAL_SOCKET), 1e6
+        )
+        inter = AccessCounts()
+        inter.add_random(
+            StructureAccess("graph", 2048 * MB, Placement.INTERLEAVED), 1e6
+        )
+        ctx = ComputeContext(threads=8, threads_sockets=1)
+        ctx_span = ComputeContext(threads=8, threads_sockets=8)
+        t_local = cm.compute_time(local, ctx).total_ns
+        t_inter = cm.compute_time(inter, ctx_span).total_ns
+        assert t_inter > 1.4 * t_local
+
+    def test_streaming_bandwidth_bound(self, node):
+        cm = CostModel(node)
+        counts = AccessCounts()
+        counts.add_stream(
+            StructureAccess("adj", 1024 * MB, Placement.LOCAL_SOCKET),
+            float(1024 * MB),
+        )
+        bd = cm.compute_time(counts, ComputeContext(threads=8))
+        expected = 1024 * MB / node.socket.dram_bandwidth * 1e9
+        assert bd.bandwidth_term_ns == pytest.approx(expected, rel=0.01)
+
+    def test_cpu_term(self, node):
+        cm = CostModel(node)
+        counts = AccessCounts()
+        counts.add_cpu(2.0e9)  # one second of one core's cycles
+        bd = cm.compute_time(counts, ComputeContext(threads=1))
+        assert bd.cpu_term_ns == pytest.approx(1e9)
+
+    def test_counts_validation(self):
+        counts = AccessCounts()
+        s = StructureAccess("x", 1.0, Placement.LOCAL_SOCKET)
+        with pytest.raises(ConfigError):
+            counts.add_random(s, -1)
+        with pytest.raises(ConfigError):
+            counts.add_stream(s, -1)
+        with pytest.raises(ConfigError):
+            counts.add_cpu(-1)
+
+    def test_context_validation(self):
+        with pytest.raises(ConfigError):
+            ComputeContext(threads=0)
+        cm = CostModel(x7550_node())
+        with pytest.raises(ConfigError):
+            cm.compute_time(
+                AccessCounts(), ComputeContext(threads=1, threads_sockets=9)
+            )

@@ -1,0 +1,115 @@
+"""Tests for the paper-scale extrapolation model."""
+
+import numpy as np
+import pytest
+
+from repro.core import BFSConfig, BFSEngine
+from repro.errors import ConfigError
+from repro.graph import rmat_graph
+from repro.machine import paper_cluster
+from repro.model import (
+    extrapolate_result,
+    predict_graph500,
+    scale_factor,
+)
+
+
+@pytest.fixture(scope="module")
+def run():
+    graph = rmat_graph(scale=12, seed=4)
+    cluster = paper_cluster(nodes=2)
+    config = BFSConfig.original_ppn8()
+    engine = BFSEngine(graph, cluster, config)
+    result = engine.run(int(np.argmax(graph.degrees())))
+    return graph, cluster, config, engine, result
+
+
+class TestScaleFactor:
+    def test_values(self):
+        assert scale_factor(2**12, 20) == 2**8
+        assert scale_factor(2**12, 12) == 1.0
+
+    def test_downscale_rejected(self):
+        with pytest.raises(ConfigError):
+            scale_factor(2**12, 11)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ConfigError):
+            scale_factor(0, 20)
+        with pytest.raises(ConfigError):
+            scale_factor(2**12, 60)
+
+
+class TestExtrapolateResult:
+    def test_identity_at_same_scale(self, run):
+        _, _, _, engine, result = run
+        pred = extrapolate_result(result, engine, 12)
+        assert pred.factor == 1.0
+        assert pred.seconds == pytest.approx(result.seconds, rel=1e-9)
+        assert pred.teps == pytest.approx(result.teps, rel=1e-9)
+
+    def test_larger_scale_longer_time(self, run):
+        _, _, _, engine, result = run
+        pred = extrapolate_result(result, engine, 26)
+        assert pred.seconds > result.seconds
+        assert pred.traversed_edges == result.traversed_edges * 2**14
+
+    def test_seconds_monotone_in_scale(self, run):
+        """Bigger graphs can only take longer; and a paper-scale run must
+        deliver far higher TEPS than the tiny measured one (per-level
+        latencies amortize)."""
+        _, _, _, engine, result = run
+        preds = [extrapolate_result(result, engine, s) for s in (16, 22, 28)]
+        secs = [p.seconds for p in preds]
+        assert secs == sorted(secs)
+        assert preds[-1].teps > 10 * result.teps
+
+    def test_counts_structure_preserved(self, run):
+        _, _, _, engine, result = run
+        pred = extrapolate_result(result, engine, 20)
+        assert pred.counts.num_levels == result.counts.num_levels
+        assert [l.direction for l in pred.counts.levels] == [
+            l.direction for l in result.counts.levels
+        ]
+
+
+class TestPredictGraph500:
+    def test_prediction_protocol(self, run):
+        graph, cluster, config, _, _ = run
+        pred = predict_graph500(
+            graph, cluster, config, target_scale=24, num_roots=3, seed=1
+        )
+        assert len(pred.predictions) == 3
+        assert pred.harmonic_mean_teps > 0
+        assert pred.measured_scale == 12
+        assert pred.target_scale == 24
+        bd = pred.mean_breakdown()
+        assert bd.total > 0
+        assert pred.mean_bu_comm_per_level() > 0
+
+    def test_paper_scale_teps_band(self):
+        """Headline sanity: the full optimization stack on 16 nodes at
+        scale 32 should land in the tens of GTEPS (paper: 39.2), and the
+        unoptimized ppn=1 baseline in the ~2.5x-lower band (paper: 16.1 =
+        39.2 / 2.44)."""
+        graph = rmat_graph(scale=14, seed=2)
+        cluster = paper_cluster(nodes=16)
+        best = predict_graph500(
+            graph,
+            cluster,
+            BFSConfig.granularity_variant(256),
+            target_scale=32,
+            num_roots=3,
+            seed=4,
+        )
+        base = predict_graph500(
+            graph,
+            cluster,
+            BFSConfig.original_ppn1(),
+            target_scale=32,
+            num_roots=3,
+            seed=4,
+        )
+        assert 10e9 < best.harmonic_mean_teps < 120e9
+        ratio = best.harmonic_mean_teps / base.harmonic_mean_teps
+        assert 1.5 < ratio < 4.5

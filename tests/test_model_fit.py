@@ -1,0 +1,75 @@
+"""Tests for the automatic calibration tool."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine import paper_cluster
+from repro.model.fit import (
+    PAPER_TARGETS,
+    CalibrationTarget,
+    calibrate,
+    objective,
+)
+from repro.model.sensitivity import perturb
+from repro.core import BFSConfig
+
+
+class TestObjective:
+    def test_default_machine_is_near_optimal(self):
+        """The shipped constants were calibrated to these targets, so the
+        objective at the default machine must be small (each target hit
+        within ~25%)."""
+        err = objective(paper_cluster(nodes=16))
+        n_weighted = sum(t.weight for t in PAPER_TARGETS)
+        import math
+
+        assert err < n_weighted * math.log(1.25) ** 2
+
+    def test_detuned_machine_scores_worse(self):
+        base = paper_cluster(nodes=16)
+        detuned = perturb(base, "congestion_per_socket", 0.2)
+        assert objective(detuned) > objective(base)
+
+    def test_targets_measured_in_band(self):
+        cluster = paper_cluster(nodes=16)
+        for target in PAPER_TARGETS:
+            measured = target.measured(cluster)
+            assert measured / target.target_ratio < 1.5
+            assert target.target_ratio / measured < 1.5
+
+
+class TestCalibrate:
+    def test_recovers_from_detuned_start(self):
+        """Starting from a deliberately detuned machine, the search must
+        reduce the objective substantially."""
+        detuned = perturb(paper_cluster(nodes=16), "congestion_per_socket", 0.3)
+        start_err = objective(detuned)
+        result = calibrate(start=detuned, rounds=3)
+        assert result.error < start_err * 0.5
+        # It should push the congestion constant back up.
+        assert result.multipliers["congestion_per_socket"] > 1.0
+
+    def test_default_start_does_not_regress(self):
+        base_err = objective(paper_cluster(nodes=16))
+        result = calibrate(rounds=1)
+        assert result.error <= base_err + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            calibrate(constants=("nonsense",))
+        with pytest.raises(ConfigError):
+            calibrate(rounds=0)
+        with pytest.raises(ConfigError):
+            calibrate(step=0.9)
+
+    def test_custom_target(self):
+        """A custom target (a different 'measured machine') is usable."""
+        target = CalibrationTarget(
+            name="custom",
+            slow=BFSConfig.original_ppn1(),
+            fast=BFSConfig.original_ppn8(),
+            target_ratio=1.2,
+            scale=28,
+        )
+        err = objective(paper_cluster(nodes=8), (target,))
+        assert err >= 0.0

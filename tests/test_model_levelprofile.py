@@ -1,0 +1,180 @@
+"""Tests for the analytic R-MAT level-profile model and the analytic
+evaluation mode, including cross-validation against functional runs."""
+
+import numpy as np
+import pytest
+
+from repro.core import BFSConfig, BFSEngine, TraversalMode
+from repro.errors import ConfigError
+from repro.graph import rmat_graph, degree_statistics
+from repro.graph.degree import sample_roots
+from repro.machine import paper_cluster
+from repro.model.analytic import analytic_graph500
+from repro.model.levelprofile import (
+    rmat_degree_classes,
+    simulate_level_profile,
+    synthesize_run_counts,
+)
+
+
+class TestDegreeClasses:
+    def test_mean_degree_exact(self):
+        classes = rmat_degree_classes(scale=20, edgefactor=16)
+        assert classes.mean_degree() == pytest.approx(32.0, rel=1e-9)
+
+    def test_counts_sum_to_n(self):
+        classes = rmat_degree_classes(scale=24)
+        assert classes.count.sum() == pytest.approx(2**24, rel=1e-9)
+
+    def test_matches_measured_isolated_fraction(self):
+        """The Poisson-mixture isolated fraction tracks the real
+        generator's output (clustering makes the real value a bit higher;
+        allow a band)."""
+        g = rmat_graph(scale=14, seed=2)
+        measured = degree_statistics(g).isolated_fraction
+        classes = rmat_degree_classes(scale=14)
+        assert classes.isolated_fraction() == pytest.approx(measured, abs=0.1)
+
+    def test_heavy_tail(self):
+        """Maximum class rate grows with scale (hub degrees grow)."""
+        l20 = rmat_degree_classes(20).lam.max()
+        l28 = rmat_degree_classes(28).lam.max()
+        assert l28 > 10 * l20
+
+    def test_scale_validation(self):
+        with pytest.raises(ConfigError):
+            rmat_degree_classes(0)
+
+    def test_scale_32_numerically_stable(self):
+        classes = rmat_degree_classes(32)
+        assert np.all(np.isfinite(classes.count))
+        assert np.all(np.isfinite(classes.lam))
+        assert classes.mean_degree() == pytest.approx(32.0, rel=1e-6)
+
+
+class TestLevelProfile:
+    def test_three_phase_structure_at_scale_32(self):
+        classes = rmat_degree_classes(32)
+        profile = simulate_level_profile(classes, BFSConfig.original_ppn8())
+        dirs = [l.direction for l in profile]
+        assert "bottom_up" in dirs
+        first = dirs.index("bottom_up")
+        last = len(dirs) - 1 - dirs[::-1].index("bottom_up")
+        assert all(d == "top_down" for d in dirs[:first])
+        assert all(d == "bottom_up" for d in dirs[first : last + 1])
+        assert all(d == "top_down" for d in dirs[last + 1 :])
+
+    def test_intermediate_ramp_level_exists_at_scale_32(self):
+        """The level where the summary filter operates: the first
+        bottom-up frontier must be sparse (densities around 1e-4..1e-2),
+        which small functional runs cannot produce."""
+        classes = rmat_degree_classes(32)
+        profile = simulate_level_profile(classes, BFSConfig.original_ppn8())
+        first_bu = next(l for l in profile if l.direction == "bottom_up")
+        assert 1e-5 < first_bu.frontier_density < 3e-2
+
+    def test_reached_fraction_matches_functional(self):
+        """Total reached mass at a measurable scale agrees with a real
+        run within a modest band."""
+        scale = 14
+        g = rmat_graph(scale=scale, seed=2)
+        cluster = paper_cluster(nodes=1)
+        root = int(sample_roots(g, 1, seed=3)[0])
+        res = BFSEngine(g, cluster, BFSConfig.original_ppn8()).run(root)
+        measured_frac = res.visited / g.num_vertices
+
+        classes = rmat_degree_classes(scale)
+        profile = simulate_level_profile(classes, BFSConfig.original_ppn8())
+        analytic_frac = sum(l.discovered for l in profile) / 2**scale
+        assert analytic_frac == pytest.approx(measured_frac, abs=0.15)
+
+    def test_examined_edges_close_to_functional(self):
+        """Total examined edges (the dominant compute driver) from the
+        recursion should be within ~2x of a measured run."""
+        scale = 14
+        g = rmat_graph(scale=scale, seed=2)
+        cluster = paper_cluster(nodes=1)
+        root = int(sample_roots(g, 1, seed=3)[0])
+        res = BFSEngine(g, cluster, BFSConfig.original_ppn8()).run(root)
+        measured = res.counts.total_examined_edges()
+
+        classes = rmat_degree_classes(scale)
+        profile = simulate_level_profile(classes, BFSConfig.original_ppn8())
+        analytic = sum(l.examined_edges for l in profile)
+        assert measured / 2.5 < analytic < measured * 2.5
+
+    def test_pure_modes(self):
+        classes = rmat_degree_classes(24)
+        td = simulate_level_profile(
+            classes, BFSConfig(mode=TraversalMode.TOP_DOWN)
+        )
+        bu = simulate_level_profile(
+            classes, BFSConfig(mode=TraversalMode.BOTTOM_UP)
+        )
+        assert all(l.direction == "top_down" for l in td)
+        assert all(l.direction == "bottom_up" for l in bu)
+        # Pure top-down examines every reached edge endpoint; pure
+        # bottom-up pays giant scans on the early levels.
+        assert sum(l.examined_edges for l in bu) > sum(
+            l.examined_edges for l in td
+        )
+
+    def test_terminates(self):
+        classes = rmat_degree_classes(32)
+        profile = simulate_level_profile(classes, BFSConfig.original_ppn8())
+        assert len(profile) < 30
+        assert profile[-1].frontier_vertices >= 0.5
+
+
+class TestSynthesizeAndAnalytic:
+    def test_synthesized_counts_priceable(self):
+        counts, arcs = synthesize_run_counts(
+            28, BFSConfig.original_ppn8(), num_ranks=64
+        )
+        counts.validate()
+        assert counts.num_vertices == 2**28
+        assert arcs == 2 * 16 * 2**28
+        assert counts.traversed_edges > 0
+
+    def test_analytic_graph500_runs(self):
+        cluster = paper_cluster(nodes=16)
+        res = analytic_graph500(cluster, BFSConfig.original_ppn8(), 32)
+        assert res.seconds > 0
+        assert 1e9 < res.teps < 200e9
+        assert res.mean_bu_comm_per_level() > 0
+
+    def test_granularity_tradeoff_has_interior_peak(self):
+        """Fig. 16: performance peaks at an intermediate granularity and
+        falls off for very large blocks."""
+        cluster = paper_cluster(nodes=16)
+        teps = {
+            g: analytic_graph500(
+                cluster, BFSConfig.granularity_variant(g), 32
+            ).teps
+            for g in (64, 256, 4096)
+        }
+        assert teps[256] > teps[64]
+        assert teps[256] > teps[4096]
+
+    def test_summary_disabled_slower_at_scale(self):
+        cluster = paper_cluster(nodes=16)
+        with_summary = analytic_graph500(
+            cluster, BFSConfig.original_ppn8(), 32
+        )
+        without = analytic_graph500(
+            cluster, BFSConfig(use_summary=False), 32
+        )
+        assert without.seconds > with_summary.seconds
+
+    def test_optimization_stack_ordering_analytic(self):
+        cluster = paper_cluster(nodes=16)
+        teps = [
+            analytic_graph500(cluster, cfg, 32).teps
+            for cfg in (
+                BFSConfig.original_ppn8(),
+                BFSConfig.share_in_queue_variant(),
+                BFSConfig.share_all_variant(),
+                BFSConfig.par_allgather_variant(),
+            )
+        ]
+        assert teps == sorted(teps)

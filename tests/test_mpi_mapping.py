@@ -1,0 +1,123 @@
+"""Tests for process mapping, binding policies and shared buffers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicationError, ConfigError
+from repro.machine import Placement, paper_cluster
+from repro.mpi import BindingPolicy, NodeSharedBuffer, ProcessMapping
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return paper_cluster(nodes=4)
+
+
+class TestProcessMapping:
+    def test_ppn8_bind(self, cluster):
+        m = ProcessMapping(cluster, ppn=8, policy=BindingPolicy.BIND_TO_SOCKET)
+        assert m.num_ranks == 32
+        assert m.threads_per_rank == 8
+        loc = m.location(9)
+        assert loc.node == 1
+        assert loc.socket == 1
+        assert loc.threads_sockets == 1
+        assert loc.private_placement is Placement.LOCAL_SOCKET
+
+    def test_ppn1_interleave(self, cluster):
+        m = ProcessMapping(cluster, ppn=1, policy=BindingPolicy.INTERLEAVE)
+        assert m.num_ranks == 4
+        assert m.threads_per_rank == 64
+        loc = m.location(2)
+        assert loc.node == 2
+        assert loc.socket is None
+        assert loc.threads_sockets == 8
+        assert loc.private_placement is Placement.INTERLEAVED
+
+    def test_ppn1_noflag_single_socket(self, cluster):
+        m = ProcessMapping(cluster, ppn=1, policy=BindingPolicy.NOFLAG)
+        assert m.location(0).private_placement is Placement.SINGLE_SOCKET
+
+    def test_ppn8_noflag(self, cluster):
+        m = ProcessMapping(cluster, ppn=8, policy=BindingPolicy.NOFLAG)
+        loc = m.location(0)
+        assert loc.socket is None
+        assert loc.threads_sockets == 8
+
+    def test_bind_with_ppn1_rejected(self, cluster):
+        """The paper notes bind-to-socket only works with >= 8 processes."""
+        with pytest.raises(ConfigError):
+            ProcessMapping(cluster, ppn=1, policy=BindingPolicy.BIND_TO_SOCKET)
+
+    def test_node_major_layout(self, cluster):
+        m = ProcessMapping(cluster, ppn=8)
+        assert [m.node_of(r) for r in range(10)] == [0] * 8 + [1, 1]
+        assert list(m.ranks_on_node(1)) == list(range(8, 16))
+
+    def test_leaders(self, cluster):
+        m = ProcessMapping(cluster, ppn=8)
+        assert m.leader_of_node(2) == 16
+        assert m.is_leader(16)
+        assert not m.is_leader(17)
+
+    def test_subgroups(self, cluster):
+        m = ProcessMapping(cluster, ppn=8)
+        assert m.subgroup_of(3) == [3, 11, 19, 27]
+        assert m.subgroup_of(11) == [3, 11, 19, 27]
+
+    def test_intermediate_ppn(self, cluster):
+        m = ProcessMapping(cluster, ppn=4, policy=BindingPolicy.BIND_TO_SOCKET)
+        assert m.threads_per_rank == 16
+        assert m.sockets_per_rank == 2
+        assert m.location(1).socket == 2  # local index 1 * 2 sockets per rank
+
+    def test_invalid_ppn(self, cluster):
+        with pytest.raises(ConfigError):
+            ProcessMapping(cluster, ppn=0)
+        with pytest.raises(ConfigError):
+            ProcessMapping(cluster, ppn=3)  # does not divide 8
+        with pytest.raises(ConfigError):
+            ProcessMapping(cluster, ppn=16)
+
+    def test_rank_range_checks(self, cluster):
+        m = ProcessMapping(cluster, ppn=8)
+        with pytest.raises(ConfigError):
+            m.node_of(32)
+        with pytest.raises(ConfigError):
+            m.ranks_on_node(4)
+
+
+class TestNodeSharedBuffer:
+    def test_regions(self):
+        buf = NodeSharedBuffer(0, 10, np.array([0, 4, 10]))
+        assert buf.num_regions == 2
+        buf.write_region(0, np.arange(4, dtype=np.uint64))
+        buf.write_region(1, np.arange(6, dtype=np.uint64))
+        assert buf.data[:4].tolist() == [0, 1, 2, 3]
+
+    def test_read_all_is_read_only(self):
+        buf = NodeSharedBuffer(0, 4)
+        view = buf.read_all()
+        with pytest.raises(ValueError):
+            view[0] = 1
+
+    def test_region_size_mismatch(self):
+        buf = NodeSharedBuffer(0, 10, np.array([0, 4, 10]))
+        with pytest.raises(CommunicationError):
+            buf.write_region(0, np.zeros(5, dtype=np.uint64))
+
+    def test_region_out_of_range(self):
+        buf = NodeSharedBuffer(0, 10)
+        with pytest.raises(CommunicationError):
+            buf.region(1)
+
+    def test_bad_bounds(self):
+        with pytest.raises(CommunicationError):
+            NodeSharedBuffer(0, 10, np.array([1, 10]))
+        with pytest.raises(CommunicationError):
+            NodeSharedBuffer(0, 10, np.array([0, 5]))
+
+    def test_default_single_region(self):
+        buf = NodeSharedBuffer(0, 6)
+        assert buf.num_regions == 1
+        assert buf.region(0).size == 6

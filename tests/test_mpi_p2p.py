@@ -1,0 +1,150 @@
+"""Tests for the superstep point-to-point layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CommunicationError
+from repro.machine import paper_cluster
+from repro.mpi import ProcessMapping, SimComm
+from repro.mpi.p2p import ANY, MessageLedger
+
+
+@pytest.fixture()
+def ledger():
+    cluster = paper_cluster(nodes=2)
+    comm = SimComm(cluster, ProcessMapping(cluster, ppn=2))
+    return MessageLedger(comm)
+
+
+class TestSendRecv:
+    def test_round_trip(self, ledger):
+        ledger.send(0, 1, np.array([1, 2, 3]))
+        ledger.exchange()
+        msg = ledger.recv(1)
+        assert msg.src == 0
+        assert np.array_equal(msg.payload, [1, 2, 3])
+
+    def test_fifo_per_channel(self, ledger):
+        ledger.send(0, 1, np.array([1]))
+        ledger.send(0, 1, np.array([2]))
+        ledger.exchange()
+        assert ledger.recv(1).payload[0] == 1
+        assert ledger.recv(1).payload[0] == 2
+
+    def test_tag_matching(self, ledger):
+        ledger.send(0, 1, np.array([10]), tag=7)
+        ledger.send(0, 1, np.array([20]), tag=3)
+        ledger.exchange()
+        assert ledger.recv(1, tag=3).payload[0] == 20
+        assert ledger.recv(1, tag=7).payload[0] == 10
+
+    def test_any_source_deterministic(self, ledger):
+        ledger.send(2, 1, np.array([22]))
+        ledger.send(0, 1, np.array([11]))
+        ledger.exchange()
+        # Lowest source wins for ANY.
+        assert ledger.recv(1, src=ANY).payload[0] == 11
+        assert ledger.recv(1, src=ANY).payload[0] == 22
+
+    def test_recv_without_exchange_deadlocks(self, ledger):
+        ledger.send(0, 1, np.array([1]))
+        with pytest.raises(CommunicationError, match="deadlock"):
+            ledger.recv(1)
+
+    def test_recv_wrong_destination(self, ledger):
+        ledger.send(0, 1, np.array([1]))
+        ledger.exchange()
+        with pytest.raises(CommunicationError):
+            ledger.recv(2)
+
+    def test_rank_and_tag_validation(self, ledger):
+        with pytest.raises(CommunicationError):
+            ledger.send(99, 0, np.array([1]))
+        with pytest.raises(CommunicationError):
+            ledger.send(0, 99, np.array([1]))
+        with pytest.raises(CommunicationError):
+            ledger.send(0, 1, np.array([1]), tag=-2)
+        with pytest.raises(CommunicationError):
+            ledger.recv(99)
+
+
+class TestExchange:
+    def test_times_match_alltoallv(self, ledger):
+        payload = np.zeros(1 << 16, dtype=np.int64)
+        ledger.send(0, 3, payload)
+        ledger.send(2, 1, payload)
+        res = ledger.exchange()
+        n = ledger.comm.num_ranks
+        matrix = np.zeros((n, n))
+        matrix[0, 3] = payload.nbytes
+        matrix[2, 1] = payload.nbytes
+        expected = ledger.comm.alltoallv_time(matrix)
+        assert np.allclose(res.rank_times, expected)
+        assert res.data == 2
+
+    def test_empty_exchange_free(self, ledger):
+        res = ledger.exchange()
+        assert res.max_time == 0.0
+
+    def test_multiple_supersteps(self, ledger):
+        ledger.send(0, 1, np.array([1]))
+        ledger.exchange()
+        ledger.send(1, 0, np.array([2]))
+        ledger.exchange()
+        assert ledger.recv(1).payload[0] == 1
+        assert ledger.recv(0).payload[0] == 2
+
+
+class TestHygiene:
+    def test_probe_and_recv_all(self, ledger):
+        for s in (0, 2, 3):
+            ledger.send(s, 1, np.array([s]))
+        ledger.exchange()
+        assert ledger.probe(1)
+        msgs = ledger.recv_all(1)
+        assert [m.src for m in msgs] == [0, 2, 3]
+        assert not ledger.probe(1)
+
+    def test_assert_drained_clean(self, ledger):
+        ledger.send(0, 1, np.array([1]))
+        ledger.exchange()
+        ledger.recv(1)
+        ledger.assert_drained()
+
+    def test_assert_drained_detects_unreceived(self, ledger):
+        ledger.send(0, 1, np.array([1]))
+        ledger.exchange()
+        with pytest.raises(CommunicationError, match="never received"):
+            ledger.assert_drained()
+
+    def test_assert_drained_detects_unexchanged(self, ledger):
+        ledger.send(0, 1, np.array([1]))
+        with pytest.raises(CommunicationError, match="never exchanged"):
+            ledger.assert_drained()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    msgs=st.lists(
+        st.tuples(
+            st.integers(0, 3),  # src
+            st.integers(0, 3),  # dst
+            st.integers(0, 2),  # tag
+        ),
+        max_size=25,
+    )
+)
+def test_property_every_message_delivered_exactly_once(msgs):
+    cluster = paper_cluster(nodes=2)
+    comm = SimComm(cluster, ProcessMapping(cluster, ppn=2))
+    ledger = MessageLedger(comm)
+    for k, (src, dst, tag) in enumerate(msgs):
+        ledger.send(src, dst, np.array([k]), tag=tag)
+    ledger.exchange()
+    received = []
+    for dst in range(4):
+        received.extend(ledger.recv_all(dst))
+    assert sorted(m.payload[0] for m in received) == list(range(len(msgs)))
+    ledger.assert_drained()

@@ -1,0 +1,113 @@
+"""Tests for sub-communicators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicationError
+from repro.machine import paper_cluster
+from repro.mpi import ProcessMapping, SimComm
+from repro.mpi.subcomm import SubComm, split
+
+
+@pytest.fixture()
+def comm():
+    cluster = paper_cluster(nodes=2)
+    return SimComm(cluster, ProcessMapping(cluster, ppn=4))
+
+
+class TestSplit:
+    def test_split_by_node(self, comm):
+        colors = [comm.mapping.node_of(r) for r in range(comm.num_ranks)]
+        subs = split(comm, colors)
+        assert set(subs) == {0, 1}
+        assert subs[0].members == (0, 1, 2, 3)
+        assert subs[1].members == (4, 5, 6, 7)
+
+    def test_split_by_local_index_fig7_subgroups(self, comm):
+        """The Fig. 7 subgroups: equal local index across nodes."""
+        colors = [comm.mapping.local_index(r) for r in range(comm.num_ranks)]
+        subs = split(comm, colors)
+        assert subs[0].members == (0, 4)
+        assert subs[3].members == (3, 7)
+
+    def test_keys_reorder_members(self, comm):
+        colors = [0] * comm.num_ranks
+        keys = list(range(comm.num_ranks))[::-1]
+        subs = split(comm, colors, keys)
+        assert subs[0].members == tuple(range(comm.num_ranks))[::-1]
+
+    def test_validation(self, comm):
+        with pytest.raises(CommunicationError):
+            split(comm, [0])
+        with pytest.raises(CommunicationError):
+            split(comm, [0] * comm.num_ranks, keys=[0])
+
+
+class TestSubCommTranslation:
+    def test_rank_round_trip(self, comm):
+        sub = split(comm, [r % 2 for r in range(comm.num_ranks)])[1]
+        for local in range(sub.size):
+            assert sub.local_rank(sub.global_rank(local)) == local
+
+    def test_non_member_rejected(self, comm):
+        sub = split(comm, [r % 2 for r in range(comm.num_ranks)])[1]
+        with pytest.raises(CommunicationError):
+            sub.local_rank(0)  # rank 0 has color 0
+        with pytest.raises(CommunicationError):
+            sub.global_rank(sub.size)
+
+    def test_direct_construction_validation(self, comm):
+        with pytest.raises(CommunicationError):
+            SubComm(parent=comm, color=0, members=())
+        with pytest.raises(CommunicationError):
+            SubComm(parent=comm, color=0, members=(0, 0))
+        with pytest.raises(CommunicationError):
+            SubComm(parent=comm, color=0, members=(99,))
+
+
+class TestSubCommCollectives:
+    def test_allgatherv_functional(self, comm):
+        colors = [comm.mapping.node_of(r) for r in range(comm.num_ranks)]
+        sub = split(comm, colors)[0]
+        parts = [
+            np.full(4, i, dtype=np.uint64) for i in range(sub.size)
+        ]
+        res = sub.allgatherv(parts)
+        assert np.array_equal(res.data, np.concatenate(parts))
+        assert res.rank_times.shape == (sub.size,)
+        assert res.max_time > 0
+
+    def test_allgatherv_wrong_count(self, comm):
+        sub = split(comm, [0] * comm.num_ranks)[0]
+        with pytest.raises(CommunicationError):
+            sub.allgatherv([np.zeros(1, np.uint64)])
+
+    def test_cross_node_subgroup_costs_more(self, comm):
+        """A subgroup spanning nodes pays InfiniBand; a within-node
+        subgroup only shared-memory copies."""
+        part = np.zeros(1 << 16, dtype=np.uint64)
+        within = split(
+            comm, [comm.mapping.node_of(r) for r in range(comm.num_ranks)]
+        )[0]
+        across = split(
+            comm, [comm.mapping.local_index(r) for r in range(comm.num_ranks)]
+        )[0]
+        t_within = within.allgatherv([part] * within.size).max_time
+        t_across = across.allgatherv([part] * across.size).max_time
+        assert t_within != t_across  # different channel classes
+
+    def test_alltoallv_time_embedding(self, comm):
+        sub = split(comm, [r % 2 for r in range(comm.num_ranks)])[0]
+        m = np.zeros((sub.size, sub.size))
+        m[0, 1] = 2**20
+        times = sub.alltoallv_time(m)
+        # Matches the parent pricing for the same global pair.
+        full = np.zeros((comm.num_ranks, comm.num_ranks))
+        full[sub.global_rank(0), sub.global_rank(1)] = 2**20
+        expected = comm.alltoallv_time(full)
+        assert times[0] == expected[sub.global_rank(0)]
+
+    def test_alltoallv_shape_checked(self, comm):
+        sub = split(comm, [0] * comm.num_ranks)[0]
+        with pytest.raises(CommunicationError):
+            sub.alltoallv_time(np.zeros((2, 2)))

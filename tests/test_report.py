@@ -1,0 +1,69 @@
+"""Tests for the EXPERIMENTS.md report generator."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentSettings
+from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.report import generate_report, render_markdown
+
+
+def fake_results():
+    out = {}
+    for eid in EXPERIMENTS:
+        res = ExperimentResult(
+            experiment_id=eid,
+            title=f"Title of {eid}",
+            headers=["a", "b"],
+            rows=[[1, 2.5], ["x", 3]],
+        )
+        res.add_claim("some claim", "1.5x", "1.4x")
+        res.notes.append("a note")
+        out[eid] = res
+    return out
+
+
+class TestRenderMarkdown:
+    def test_contains_all_sections(self):
+        text = render_markdown(fake_results(), ExperimentSettings(), 1.0)
+        for eid in EXPERIMENTS:
+            assert f"## Title of {eid}" in text
+
+    def test_tables_and_claims_rendered(self):
+        text = render_markdown(fake_results(), ExperimentSettings(), 1.0)
+        assert "| a | b |" in text
+        assert "| some claim | 1.5x | 1.4x |" in text
+        assert "*Note: a note*" in text
+
+    def test_preamble_mentions_generation(self):
+        text = render_markdown(fake_results(), ExperimentSettings(), 12.0)
+        assert "generated" in text.lower()
+        assert "scale offset 15" in text
+
+
+class TestGenerateReport:
+    @pytest.mark.slow
+    def test_full_generation(self, tmp_path):
+        """End-to-end generation at the fastest settings (runs every
+        experiment once)."""
+        out = generate_report(
+            tmp_path / "EXPERIMENTS.md",
+            ExperimentSettings(scale_offset=16, num_roots=2),
+        )
+        text = Path(out).read_text()
+        assert "Fig. 9" in text
+        assert "paper" in text
+        assert text.count("##") >= len(EXPERIMENTS)
+
+
+class TestRepositoryReportFresh:
+    def test_checked_in_report_exists_and_covers_everything(self):
+        """The repository ships a generated EXPERIMENTS.md covering every
+        registered experiment."""
+        path = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+        assert path.exists(), "run python -m repro.experiments.report"
+        text = path.read_text()
+        for eid, mod in EXPERIMENTS.items():
+            assert mod.TITLE in text, f"{eid} missing from EXPERIMENTS.md"

@@ -1,0 +1,100 @@
+"""Tests for stats helpers and table formatting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util import (
+    describe,
+    format_bytes,
+    format_si,
+    format_table,
+    format_time_ns,
+    geometric_mean,
+    harmonic_mean,
+)
+
+
+class TestHarmonicMean:
+    def test_known_value(self):
+        assert harmonic_mean([1.0, 2.0]) == pytest.approx(4.0 / 3.0)
+
+    def test_constant(self):
+        assert harmonic_mean([5.0] * 7) == pytest.approx(5.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1e6),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_property_below_arithmetic_mean(self, values):
+        hm = harmonic_mean(values)
+        assert hm <= np.mean(values) + 1e-9
+        assert min(values) - 1e-9 <= hm <= max(values) + 1e-9
+
+
+class TestGeometricMean:
+    def test_known(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            geometric_mean([0.0])
+
+
+class TestDescribe:
+    def test_basic(self):
+        s = describe([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.median == pytest.approx(2.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            describe([])
+
+
+class TestFormatting:
+    def test_si(self):
+        assert format_si(39.2e9, "TEPS") == "39.20 GTEPS"
+        assert format_si(0) == "0"
+        assert format_si(12.0) == "12.00"
+
+    def test_bytes(self):
+        assert format_bytes(512 * 2**20) == "512.0 MiB"
+        assert format_bytes(10) == "10 B"
+
+    def test_time(self):
+        assert format_time_ns(1.5e9) == "1.50 s"
+        assert format_time_ns(2.5e6) == "2.50 ms"
+        assert format_time_ns(3.0e3) == "3.00 us"
+        assert format_time_ns(7.0) == "7.00 ns"
+
+    def test_table_alignment(self):
+        out = format_table(
+            ["name", "value"],
+            [["a", 1.5], ["bbbb", 20]],
+            title="t",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])

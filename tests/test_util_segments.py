@@ -1,0 +1,146 @@
+"""Unit and property tests for repro.util.segments (the vectorized kernels
+behind the bottom-up BFS early-exit accounting)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util import segments
+
+
+def brute_first_true(mask, offsets):
+    out = []
+    for s in range(len(offsets) - 1):
+        seg = mask[offsets[s] : offsets[s + 1]]
+        hits = np.flatnonzero(seg)
+        out.append(offsets[s] + hits[0] if hits.size else -1)
+    return np.array(out, dtype=np.int64)
+
+
+def brute_examined(mask, offsets):
+    out = []
+    for s in range(len(offsets) - 1):
+        seg = mask[offsets[s] : offsets[s + 1]]
+        count = 0
+        for v in seg:
+            count += 1
+            if v:
+                break
+        out.append(count)
+    return np.array(out, dtype=np.int64)
+
+
+class TestSegmentIds:
+    def test_basic(self):
+        ids = segments.segment_ids(np.array([0, 2, 2, 5]))
+        assert ids.tolist() == [0, 0, 2, 2, 2]
+
+    def test_empty_segments_only(self):
+        ids = segments.segment_ids(np.array([0, 0, 0]))
+        assert ids.size == 0
+
+
+class TestOffsetsValidation:
+    def test_bad_start(self):
+        with pytest.raises(ValueError):
+            segments.segment_first_true(np.zeros(3, bool), np.array([1, 3]))
+
+    def test_bad_end(self):
+        with pytest.raises(ValueError):
+            segments.segment_first_true(np.zeros(3, bool), np.array([0, 2]))
+
+    def test_decreasing(self):
+        with pytest.raises(ValueError):
+            segments.segment_first_true(
+                np.zeros(3, bool), np.array([0, 2, 1, 3])
+            )
+
+
+class TestFirstTrue:
+    def test_mixed(self):
+        mask = np.array([0, 1, 0, 0, 1, 1, 0], dtype=bool)
+        offsets = np.array([0, 2, 4, 7])
+        assert segments.segment_first_true(mask, offsets).tolist() == [1, -1, 4]
+
+    def test_no_hits(self):
+        mask = np.zeros(5, dtype=bool)
+        offsets = np.array([0, 3, 5])
+        assert segments.segment_first_true(mask, offsets).tolist() == [-1, -1]
+
+    def test_empty_segment(self):
+        mask = np.array([1], dtype=bool)
+        offsets = np.array([0, 0, 1, 1])
+        assert segments.segment_first_true(mask, offsets).tolist() == [-1, 0, -1]
+
+    def test_all_empty_mask(self):
+        offsets = np.array([0, 0, 0])
+        out = segments.segment_first_true(np.zeros(0, bool), offsets)
+        assert out.tolist() == [-1, -1]
+
+
+class TestAnyAndSums:
+    def test_any(self):
+        mask = np.array([0, 0, 1, 0], dtype=bool)
+        offsets = np.array([0, 2, 4])
+        assert segments.segment_any(mask, offsets).tolist() == [False, True]
+
+    def test_sums(self):
+        vals = np.array([1, 2, 3, 4, 5])
+        offsets = np.array([0, 2, 2, 5])
+        assert segments.segment_sums(vals, offsets).tolist() == [3, 0, 12]
+
+    def test_sums_empty(self):
+        out = segments.segment_sums(np.array([]), np.array([0, 0]))
+        assert out.tolist() == [0]
+
+
+class TestExaminedCounts:
+    def test_early_exit_semantics(self):
+        # Segment [1,0,1]: scan stops at element 0 -> 1 examined.
+        # Segment [0,0]: no hit -> 2 examined.
+        # Segment [0,1]: hit at second -> 2 examined.
+        mask = np.array([1, 0, 1, 0, 0, 0, 1], dtype=bool)
+        offsets = np.array([0, 3, 5, 7])
+        out = segments.segment_counts_until_first_true(mask, offsets)
+        assert out.tolist() == [1, 2, 2]
+
+    def test_empty_segment_examines_zero(self):
+        mask = np.array([1], dtype=bool)
+        offsets = np.array([0, 0, 1])
+        out = segments.segment_counts_until_first_true(mask, offsets)
+        assert out.tolist() == [0, 1]
+
+
+@st.composite
+def mask_and_offsets(draw):
+    nseg = draw(st.integers(min_value=1, max_value=12))
+    lengths = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=8),
+            min_size=nseg,
+            max_size=nseg,
+        )
+    )
+    offsets = np.concatenate([[0], np.cumsum(lengths)]).astype(np.int64)
+    n = int(offsets[-1])
+    mask = np.array(
+        draw(st.lists(st.booleans(), min_size=n, max_size=n)), dtype=bool
+    )
+    return mask, offsets
+
+
+@settings(max_examples=120, deadline=None)
+@given(mask_and_offsets())
+def test_property_first_true_matches_bruteforce(case):
+    mask, offsets = case
+    got = segments.segment_first_true(mask, offsets)
+    assert np.array_equal(got, brute_first_true(mask, offsets))
+
+
+@settings(max_examples=120, deadline=None)
+@given(mask_and_offsets())
+def test_property_examined_matches_bruteforce(case):
+    mask, offsets = case
+    got = segments.segment_counts_until_first_true(mask, offsets)
+    assert np.array_equal(got, brute_examined(mask, offsets))
