@@ -5,6 +5,12 @@ runs the experiment under pytest-benchmark (one round — these are
 simulations, not microkernels) and prints the same rows/series the paper
 reports, plus the paper-vs-measured claim lines that feed EXPERIMENTS.md.
 
+Each benchmark also attaches a ``telemetry`` block to its
+pytest-benchmark ``extra_info`` (and therefore to ``--benchmark-json``
+output): the experiment's wall-clock seconds and a snapshot of the
+process-wide metrics registry, so ``BENCH_*.json`` files carry the
+measurement substrate described in docs/OBSERVABILITY.md.
+
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
@@ -15,6 +21,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments import ExperimentSettings, run_experiment
+from repro.obs.metrics import default_registry
 
 
 @pytest.fixture(scope="session")
@@ -41,6 +48,15 @@ def run_and_report(benchmark, experiment_id: str, settings) -> None:
     print(result.to_text())
     for name, (paper, measured) in result.claims.items():
         benchmark.extra_info[name] = f"paper {paper} | measured {measured}"
+    registry = default_registry()
+    wall = registry.as_dict()["histograms"].get(
+        f"experiment.wall_seconds{{experiment={experiment_id}}}"
+    )
+    benchmark.extra_info["telemetry"] = {
+        "experiment": experiment_id,
+        "wall_seconds": wall["sum"] if wall else None,
+        "metrics": registry.as_dict(),
+    }
 
 
 @pytest.fixture

@@ -46,6 +46,15 @@ from repro.mpi import (
     ProcessMapping,
     SimComm,
 )
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    NullTracer,
+    RunTelemetry,
+    SpanTracer,
+    chrome_trace,
+    write_chrome_trace,
+)
 from repro.core import (
     compare_configs,
     optimization_stack,
@@ -101,5 +110,12 @@ __all__ = [
     "paper_variants",
     "run_graph500",
     "validate_parent_tree",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "NullTracer",
+    "RunTelemetry",
+    "SpanTracer",
+    "chrome_trace",
+    "write_chrome_trace",
     "__version__",
 ]

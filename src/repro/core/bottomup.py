@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.bitmap import Bitmap, SummaryBitmap
 from repro.core.state import RankState
+from repro.obs.tracer import NULL_TRACER
 from repro.util.segments import segment_counts_until_first_true, segment_first_true
 
 __all__ = ["BottomUpResult", "scan"]
@@ -46,8 +47,31 @@ def scan(
     state: RankState,
     in_queue: Bitmap,
     summary: SummaryBitmap | None,
+    tracer=NULL_TRACER,
+    rank: int = 0,
 ) -> BottomUpResult:
-    """Scan unvisited local vertices against the global frontier bitmap."""
+    """Scan unvisited local vertices against the global frontier bitmap.
+
+    With a recording ``tracer`` the scan is wrapped in a ``bu.scan`` span
+    carrying the rank's candidate, examined-edge and in_queue-read
+    counts (the Section II.B.2 accounting)."""
+    with tracer.span("bu.scan", cat="compute", rank=rank) as sp:
+        out = _scan(state, in_queue, summary)
+        if tracer.enabled:
+            sp.set(
+                candidates=out.candidates,
+                examined_edges=out.examined_edges,
+                inqueue_reads=out.inqueue_reads,
+                discovered=int(out.new_local.size),
+            )
+    return out
+
+
+def _scan(
+    state: RankState,
+    in_queue: Bitmap,
+    summary: SummaryBitmap | None,
+) -> BottomUpResult:
     lg = state.local
     cand = state.unvisited_local()
     if cand.size == 0:

@@ -48,6 +48,7 @@ from repro.mpi.collectives import allgather
 from repro.mpi.mapping import ProcessMapping
 from repro.mpi.sharedmem import NodeSharedBuffer
 from repro.mpi.simcomm import SimComm
+from repro.obs.tracer import NULL_TRACER, RunTelemetry
 from repro.util import bitops
 
 __all__ = ["BFSEngine", "BFSResult"]
@@ -62,6 +63,8 @@ class BFSResult:
     levels: int
     counts: RunCounts
     timing: BfsTiming
+    # Filled only when the engine ran with a recording tracer.
+    telemetry: RunTelemetry | None = None
 
     @property
     def visited(self) -> int:
@@ -95,14 +98,21 @@ class BFSEngine:
         cluster: ClusterSpec,
         config: BFSConfig,
         constants: CostConstants = CostConstants(),
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.graph = graph
         self.cluster = cluster
         self.config = config
         self.constants = constants
+        # Telemetry is opt-in: the default null tracer makes every hook a
+        # no-op and ``metrics=None`` skips all registry updates, so the
+        # undecorated hot path is unchanged.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         ppn = config.resolve_ppn(cluster)
         self.mapping = ProcessMapping(cluster, ppn, config.binding)
-        self.comm = SimComm(cluster, self.mapping)
+        self.comm = SimComm(cluster, self.mapping, tracer=self.tracer)
         np_ranks = self.mapping.num_ranks
 
         n = graph.num_vertices
@@ -192,58 +202,105 @@ class BFSEngine:
         ]
         frontier_lists[owner] = root_local
 
+        tr = self.tracer
         level = 0
         prev_direction: str | None = None
-        while True:
-            stats = self._global_stats(states, frontier_lists)
-            if stats.frontier_vertices == 0:
-                break
-            direction = policy.decide(stats)
-            lc = LevelCounts(level=level, direction=direction)
-            # Frontier statistics + termination check: 3 small allreduces
-            # per level (n_f, m_f, m_u), as the hybrid switch requires.
-            lc.allreduces = 3
-            lc.switched = (
-                prev_direction is not None and prev_direction != direction
-            )
-            lc.frontier_local = np.array(
-                [len(lst) for lst in frontier_lists], dtype=np.int64
-            )
-
-            if direction == Direction.TOP_DOWN:
-                frontier_lists = self._top_down_level(
-                    states, frontier_lists, lc
+        with tr.span("bfs.run", cat="run", root=root):
+            while True:
+                stats = self._global_stats(states, frontier_lists)
+                if stats.frontier_vertices == 0:
+                    break
+                direction = policy.decide(stats, tracer=tr)
+                lc = LevelCounts(level=level, direction=direction)
+                # Frontier statistics + termination check: 3 small
+                # allreduces per level (n_f, m_f, m_u), as the hybrid
+                # switch requires.
+                lc.allreduces = 3
+                lc.switched = (
+                    prev_direction is not None and prev_direction != direction
                 )
-            else:
-                frontier_lists = self._bottom_up_level(
-                    states, frontier_lists, lc, shared
+                lc.frontier_local = np.array(
+                    [len(lst) for lst in frontier_lists], dtype=np.int64
                 )
 
-            lc.discovered = np.array(
-                [len(lst) for lst in frontier_lists], dtype=np.int64
-            )
-            counts.levels.append(lc)
-            prev_direction = direction
-            level += 1
+                with tr.span(
+                    "level",
+                    cat="level",
+                    level=level,
+                    direction=direction,
+                    switched=lc.switched,
+                    frontier=stats.frontier_vertices,
+                ):
+                    if direction == Direction.TOP_DOWN:
+                        frontier_lists = self._top_down_level(
+                            states, frontier_lists, lc
+                        )
+                    else:
+                        frontier_lists = self._bottom_up_level(
+                            states, frontier_lists, lc, shared
+                        )
 
-        counts.visited_vertices = sum(st.visited_count() for st in states)
-        counts.traversed_edges = (
-            sum(
-                int(st.degrees[st.parent >= 0].sum()) for st in states
+                lc.discovered = np.array(
+                    [len(lst) for lst in frontier_lists], dtype=np.int64
+                )
+                counts.levels.append(lc)
+                prev_direction = direction
+                level += 1
+
+            counts.visited_vertices = sum(st.visited_count() for st in states)
+            counts.traversed_edges = (
+                sum(
+                    int(st.degrees[st.parent >= 0].sum()) for st in states
+                )
+                // 2
             )
-            // 2
-        )
-        parent = np.concatenate([st.parent for st in states])
-        timing = assemble(
-            counts, self.comm, self.config, self.sizes, self.constants
-        )
-        return BFSResult(
+            parent = np.concatenate([st.parent for st in states])
+            with tr.span("bfs.price", cat="pricing"):
+                timing = assemble(
+                    counts, self.comm, self.config, self.sizes, self.constants
+                )
+        result = BFSResult(
             root=root,
             parent=parent,
             levels=level,
             counts=counts,
             timing=timing,
         )
+        if tr.enabled:
+            result.telemetry = RunTelemetry.from_tracer(tr, self.metrics)
+        if self.metrics is not None:
+            self._record_metrics(result)
+        return result
+
+    def _record_metrics(self, result: BFSResult) -> None:
+        """Fold one run's counts and timings into the metrics registry."""
+        m = self.metrics
+        m.counter("bfs.runs_total").inc()
+        m.gauge("bfs.last_run.teps").set(result.teps)
+        m.gauge("bfs.last_run.simulated_seconds").set(result.seconds)
+        for phase, ns in result.timing.breakdown.as_dict().items():
+            m.counter("bfs.phase_sim_ns_total", phase=phase).inc(ns)
+        stall_hist = m.histogram("bfs.level_stall_ns")
+        for lc, lt in zip(result.counts.levels, result.timing.levels):
+            m.counter("bfs.levels_total", direction=lc.direction).inc()
+            m.counter(
+                "bfs.examined_edges_total", direction=lc.direction
+            ).inc(float(lc.examined_edges.sum()))
+            if lc.switched:
+                m.counter("bfs.direction_switches_total").inc()
+            if lt.compute_rank_ns is not None:
+                comp_max = float(lt.compute_rank_ns.max(initial=0.0))
+                for t in lt.compute_rank_ns:
+                    stall_hist.observe(comp_max - float(t))
+            if lc.direction == Direction.BOTTOM_UP:
+                examined = float(lc.examined_edges.sum())
+                if examined > 0 and self.config.use_summary:
+                    # Fraction of examined edges that fell through the
+                    # summary filter to a real in_queue read (Fig. 16's
+                    # trade-off, observed per level).
+                    m.histogram("bfs.summary_inqueue_read_fraction").observe(
+                        float(lc.inqueue_reads.sum()) / examined
+                    )
 
     # ---- level kernels -------------------------------------------------------
 
@@ -254,10 +311,15 @@ class BFSEngine:
         lc: LevelCounts,
     ) -> list[np.ndarray]:
         np_ranks = self.mapping.num_ranks
-        sends = [
-            topdown.expand(states[r], frontier_lists[r], self.partition)
-            for r in range(np_ranks)
-        ]
+        tr = self.tracer
+        with tr.span("phase.td_expand", cat="phase"):
+            sends = [
+                topdown.expand(
+                    states[r], frontier_lists[r], self.partition,
+                    tracer=tr, rank=r,
+                )
+                for r in range(np_ranks)
+            ]
         lc.examined_edges = np.array(
             [s.examined_edges for s in sends], dtype=np.int64
         )
@@ -273,11 +335,15 @@ class BFSEngine:
             ],
             dtype=np.int64,
         )
-        res = self.comm.alltoallv(send_matrix)
-        new_lists = []
-        for r in range(np_ranks):
-            received = [m.reshape(-1, 2) for m in res.data[r]]
-            new_lists.append(topdown.apply_received(states[r], received))
+        with tr.span("phase.td_exchange", cat="phase"):
+            res = self.comm.alltoallv(send_matrix)
+        with tr.span("phase.td_apply", cat="phase"):
+            new_lists = []
+            for r in range(np_ranks):
+                received = [m.reshape(-1, 2) for m in res.data[r]]
+                new_lists.append(
+                    topdown.apply_received(states[r], received, tracer=tr, rank=r)
+                )
         return new_lists
 
     def _bottom_up_level(
@@ -295,9 +361,11 @@ class BFSEngine:
             summary_words = summary_words_for(n, self.config.granularity)
             lc.summary_part_words = summary_words / np_ranks
 
-        res = allgather(
-            self.comm, parts, self.config.in_queue_algorithm(), shared
-        )
+        tr = self.tracer
+        with tr.span("phase.bu_allgather", cat="phase"):
+            res = allgather(
+                self.comm, parts, self.config.in_queue_algorithm(), shared
+            )
         if shared is not None:
             full_words = shared[0].data
         else:
@@ -307,22 +375,24 @@ class BFSEngine:
         # is bit-identical to the reference code's allgathered summary (it
         # is a pure function of in_queue); its allgather is priced via
         # lc.summary_part_words in timing.assemble.
-        summary = (
-            SummaryBitmap.build(in_queue, self.config.granularity)
-            if self.config.use_summary
-            else None
-        )
+        with tr.span("phase.bu_summary_build", cat="phase"):
+            summary = (
+                SummaryBitmap.build(in_queue, self.config.granularity)
+                if self.config.use_summary
+                else None
+            )
 
         new_lists = []
         cand = np.zeros(np_ranks, dtype=np.int64)
         examined = np.zeros(np_ranks, dtype=np.int64)
         inq_reads = np.zeros(np_ranks, dtype=np.int64)
-        for r in range(np_ranks):
-            out = bottomup.scan(states[r], in_queue, summary)
-            cand[r] = out.candidates
-            examined[r] = out.examined_edges
-            inq_reads[r] = out.inqueue_reads
-            new_lists.append(out.new_local)
+        with tr.span("phase.bu_scan", cat="phase"):
+            for r in range(np_ranks):
+                out = bottomup.scan(states[r], in_queue, summary, tracer=tr, rank=r)
+                cand[r] = out.candidates
+                examined[r] = out.examined_edges
+                inq_reads[r] = out.inqueue_reads
+                new_lists.append(out.new_local)
         lc.candidates = cand
         lc.examined_edges = examined
         lc.inqueue_reads = inq_reads

@@ -48,14 +48,20 @@ class DirectionPolicy:
         """Direction chosen for the current level."""
         return self._direction
 
-    def decide(self, stats: FrontierStats) -> str:
+    def decide(self, stats: FrontierStats, tracer=None) -> str:
         """Direction to use for the level about to be expanded.
 
         A run switches to bottom-up at most once: R-MAT frontiers ramp up
         and down exponentially, giving the paper's three-phase structure
         (II.A); near exhaustion the alpha test would otherwise re-trigger
         spuriously because the unexplored edge count goes to zero.
+
+        A recording ``tracer`` receives one ``direction.decide`` marker
+        per level with the allreduced statistics and the chosen
+        direction — the raw data behind the hybrid switch points visible
+        in the exported trace.
         """
+        previous = self._direction
         mode = self.config.mode
         if mode is TraversalMode.TOP_DOWN:
             self._direction = Direction.TOP_DOWN
@@ -71,4 +77,14 @@ class DirectionPolicy:
             if stats.frontier_vertices < stats.num_vertices / self.config.beta:
                 self._direction = Direction.TOP_DOWN
                 self._finished_bottom_up = True
+        if tracer is not None and tracer.enabled:
+            tracer.instant(
+                "direction.decide",
+                cat="policy",
+                direction=self._direction,
+                switched=self._direction != previous,
+                frontier_vertices=stats.frontier_vertices,
+                frontier_edges=stats.frontier_edges,
+                unexplored_edges=stats.unexplored_edges,
+            )
         return self._direction

@@ -121,6 +121,12 @@ class LevelTiming:
     comm_ns: float
     switch_ns: float
     stall_ns: float
+    # Telemetry detail (consumed by repro.obs.export): the per-rank
+    # compute durations behind mean/max, and the collective's per-step
+    # time split (e.g. inq_intra_gather / inq_inter for the leader
+    # allgather family).
+    compute_rank_ns: np.ndarray | None = None
+    comm_steps: dict[str, float] = field(default_factory=dict)
 
     @property
     def total_ns(self) -> float:
@@ -356,12 +362,14 @@ class _Pricer:
 
     # ---- per-level communication pricing ------------------------------------
 
-    def top_down_comm(self, lc: LevelCounts) -> float:
-        t = 0.0
+    def top_down_comm(self, lc: LevelCounts) -> tuple[float, dict[str, float]]:
+        steps = {"alltoallv": 0.0}
         if lc.td_send_bytes is not None:
-            t += float(self.comm.alltoallv_time(lc.td_send_bytes).max(initial=0.0))
-        t += lc.allreduces * self.comm.allreduce_time()
-        return t
+            steps["alltoallv"] = float(
+                self.comm.alltoallv_time(lc.td_send_bytes).max(initial=0.0)
+            )
+        steps["allreduce"] = lc.allreduces * self.comm.allreduce_time()
+        return sum(steps.values()), steps
 
     def bottom_up_comm(self, lc: LevelCounts) -> tuple[float, dict[str, float]]:
         inq_t, inq_steps = allgather_time(
@@ -379,7 +387,8 @@ class _Pricer:
             )
             total += sum_t
             steps.update({f"summary_{k}": v for k, v in sum_steps.items()})
-        total += lc.allreduces * self.comm.allreduce_time()
+        steps["allreduce"] = lc.allreduces * self.comm.allreduce_time()
+        total += steps["allreduce"]
         return total, steps
 
 
@@ -403,10 +412,10 @@ def assemble(
     for lc in counts.levels:
         if lc.direction == Direction.TOP_DOWN:
             comp = pricer.top_down_compute(lc) * pricer.omp_penalty
-            comm_t = pricer.top_down_comm(lc)
+            comm_t, comm_steps = pricer.top_down_comm(lc)
         else:
             comp = pricer.bottom_up_compute(lc) * pricer.omp_penalty
-            comm_t, _steps = pricer.bottom_up_comm(lc)
+            comm_t, comm_steps = pricer.bottom_up_comm(lc)
         switch_t = pricer.switch_time(lc)
         comp_mean = float(comp.mean())
         comp_max = float(comp.max())
@@ -420,6 +429,8 @@ def assemble(
                 comm_ns=comm_t,
                 switch_ns=switch_t,
                 stall_ns=stall,
+                compute_rank_ns=comp.copy(),
+                comm_steps=comm_steps,
             )
         )
         if lc.direction == Direction.TOP_DOWN:

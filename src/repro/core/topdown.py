@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.state import RankState
 from repro.graph.partition import Partition1D
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["TopDownSend", "expand", "apply_received", "PAIR_BYTES"]
 
@@ -38,13 +39,32 @@ def expand(
     state: RankState,
     frontier_local: np.ndarray,
     partition: Partition1D,
+    tracer=NULL_TRACER,
+    rank: int = 0,
 ) -> TopDownSend:
     """Expand the local frontier, producing per-owner discovery messages.
 
     ``frontier_local`` holds *local* vertex ids of this rank's frontier
     members.  Pairs are deduplicated per (child) within the message, as
-    the reference code's per-destination coalescing buffers do.
+    the reference code's per-destination coalescing buffers do.  With a
+    recording ``tracer`` the expansion is wrapped in a ``td.expand`` span
+    carrying the rank's frontier size and examined edge count.
     """
+    with tracer.span("td.expand", cat="compute", rank=rank) as sp:
+        out = _expand(state, frontier_local, partition)
+        if tracer.enabled:
+            sp.set(
+                frontier=out.frontier_size,
+                examined_edges=out.examined_edges,
+            )
+    return out
+
+
+def _expand(
+    state: RankState,
+    frontier_local: np.ndarray,
+    partition: Partition1D,
+) -> TopDownSend:
     lg = state.local
     num_parts = partition.num_parts
     frontier_local = np.asarray(frontier_local, dtype=np.int64)
@@ -100,13 +120,20 @@ def expand(
 
 
 def apply_received(
-    state: RankState, received: list[np.ndarray]
+    state: RankState,
+    received: list[np.ndarray],
+    tracer=NULL_TRACER,
+    rank: int = 0,
 ) -> np.ndarray:
     """Apply incoming (child, parent) pairs; returns newly discovered
     *local* vertex ids (the rank's share of the next frontier)."""
-    nonempty = [np.asarray(m, dtype=np.int64) for m in received if m.size]
-    if not nonempty:
-        return np.zeros(0, dtype=np.int64)
-    pairs = np.concatenate(nonempty, axis=0)
-    local_ids = state.to_local(pairs[:, 0])
-    return state.discover(local_ids, pairs[:, 1])
+    with tracer.span("td.apply", cat="compute", rank=rank) as sp:
+        nonempty = [np.asarray(m, dtype=np.int64) for m in received if m.size]
+        if not nonempty:
+            return np.zeros(0, dtype=np.int64)
+        pairs = np.concatenate(nonempty, axis=0)
+        local_ids = state.to_local(pairs[:, 0])
+        discovered = state.discover(local_ids, pairs[:, 1])
+        if tracer.enabled:
+            sp.set(received_pairs=int(pairs.shape[0]), discovered=int(discovered.size))
+    return discovered

@@ -97,6 +97,25 @@ def to_csv(result: BFSResult) -> str:
     return buf.getvalue()
 
 
+def _bar_segments(row: LevelTraceRow, cells: int) -> tuple[int, int, int, int]:
+    """Proportional (compute, comm, switch, stall) cell counts for one bar.
+
+    Per-segment rounding is clamped cumulatively so the four segments
+    always sum to exactly ``cells`` — independent rounding could
+    otherwise exceed it (e.g. two phases at 50% of 3 cells both round
+    up), producing bars longer than the requested width.
+    """
+
+    def seg(part_ns: float) -> int:
+        return int(round(part_ns / row.total_ns * cells)) if row.total_ns else 0
+
+    comp = min(cells, seg(row.compute_mean_ns))
+    comm = min(cells - comp, seg(row.comm_ns))
+    sw = min(cells - comp - comm, seg(row.switch_ns))
+    stall = cells - comp - comm - sw
+    return comp, comm, sw, stall
+
+
 def gantt(result: BFSResult, width: int = 60) -> str:
     """ASCII per-level timeline of a run.
 
@@ -114,14 +133,7 @@ def gantt(result: BFSResult, width: int = 60) -> str:
     ]
     for r in rows:
         cells = max(1, int(round(r.total_ns / total * width)))
-
-        def seg(part_ns: float) -> int:
-            return int(round(part_ns / r.total_ns * cells)) if r.total_ns else 0
-
-        comp = seg(r.compute_mean_ns)
-        comm = seg(r.comm_ns)
-        sw = seg(r.switch_ns)
-        stall = max(0, cells - comp - comm - sw)
+        comp, comm, sw, stall = _bar_segments(r, cells)
         bar = "#" * comp + "=" * comm + "s" * sw + "." * stall
         tag = "TD" if r.direction == "top_down" else "BU"
         lines.append(f"L{r.level:<2d} {tag} |{bar}")

@@ -4,7 +4,16 @@ Usage::
 
     repro-experiment list
     repro-experiment fig09 [--roots N] [--offset K] [--quick]
+    repro-experiment fig09 --trace-out /tmp/t.json --metrics-out /tmp/m.json
     repro-experiment all
+
+``--trace-out`` additionally executes one fully-instrumented BFS run
+representative of the experiment and writes its simulated timeline as
+Chrome trace-event JSON (one track per simulated rank — open it at
+https://ui.perfetto.dev), plus a ``<PATH>.events.jsonl`` span/collective
+event log next to it.  ``--metrics-out`` dumps the process-wide metrics
+registry (experiment wall-clocks, run counters, communication volumes)
+as JSON.  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -14,7 +23,11 @@ import sys
 import time
 
 from repro.experiments.common import ExperimentSettings
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    run_experiment,
+    traced_reference_run,
+)
 
 __all__ = ["main"]
 
@@ -57,7 +70,45 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the result rows as CSV to PATH "
         "(the experiment id is appended when running several)",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="run one instrumented BFS per experiment and write its "
+        "simulated timeline as Chrome trace-event JSON to PATH "
+        "(Perfetto-loadable; the experiment id is appended when "
+        "running several); a .events.jsonl log is written next to it",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the metrics registry (wall-clocks, counters, "
+        "histograms) as JSON to PATH at exit",
+    )
     return parser
+
+
+def _suffixed(path: str, eid: str, many: bool) -> str:
+    """``path`` unchanged for a single experiment, ``path.eid.ext`` style
+    suffixing when running several."""
+    return path if not many else f"{path}.{eid}.json"
+
+
+def _write_trace(path: str, eid: str, settings, registry) -> None:
+    """Run the traced reference BFS for ``eid`` and export its trace."""
+    from repro.obs.export import write_chrome_trace, write_events_jsonl
+    from repro.obs.tracer import SpanTracer
+
+    tracer = SpanTracer(metrics=registry)
+    result = traced_reference_run(
+        eid, settings, tracer=tracer, metrics=registry
+    )
+    write_chrome_trace(path, result)
+    events_path = f"{path}.events.jsonl"
+    write_events_jsonl(events_path, result.telemetry)
+    print(
+        f"[trace written to {path} ({result.counts.num_ranks} rank tracks, "
+        f"{result.levels} levels); events to {events_path}]"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -75,7 +126,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     if args.quick:
         settings = settings.quick()
+
+    from repro.obs.metrics import default_registry
+
+    registry = default_registry()
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    many = len(ids) > 1
     for eid in ids:
         if eid not in EXPERIMENTS:
             print(f"unknown experiment {eid!r}; try 'list'", file=sys.stderr)
@@ -85,13 +141,44 @@ def main(argv: list[str] | None = None) -> int:
         elapsed = time.perf_counter() - start
         print(result.to_text())
         if args.csv:
-            path = args.csv if len(ids) == 1 else f"{args.csv}.{eid}.csv"
+            path = args.csv if not many else f"{args.csv}.{eid}.csv"
             with open(path, "w", encoding="utf-8") as fh:
                 fh.write(result.to_csv())
             print(f"[csv written to {path}]")
+        if args.trace_out:
+            _write_trace(
+                _suffixed(args.trace_out, eid, many), eid, settings, registry
+            )
         print(f"[{eid} completed in {elapsed:.1f}s]")
         print()
+
+    if many:
+        _print_wall_clock_summary(registry, ids)
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(registry.to_json())
+        print(f"[metrics written to {args.metrics_out}]")
     return 0
+
+
+def _print_wall_clock_summary(registry, ids: list[str]) -> None:
+    """Per-experiment wall-clock lines, sourced from the metrics
+    registry's ``experiment.wall_seconds`` histograms."""
+    snapshot = registry.as_dict()["histograms"]
+    total = 0.0
+    print("wall-clock summary:")
+    for eid in ids:
+        summ = snapshot.get(
+            f"experiment.wall_seconds{{experiment={eid}}}"
+        )
+        if summ is None:
+            continue
+        total += summ["sum"]
+        print(
+            f"  {eid:12s} {summ['sum']:7.1f}s"
+            + (f"  ({summ['count']} runs)" if summ["count"] > 1 else "")
+        )
+    print(f"  {'total':12s} {total:7.1f}s")
 
 
 if __name__ == "__main__":  # pragma: no cover

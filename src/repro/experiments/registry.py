@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 from repro.experiments import (
     ext_modern,
     fig03_numa_speedup,
@@ -20,7 +22,12 @@ from repro.experiments import (
 )
 from repro.experiments.common import ExperimentResult, ExperimentSettings
 
-__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+    "traced_reference_run",
+]
 
 _MODULES = (
     table1_config,
@@ -56,5 +63,68 @@ def get_experiment(experiment_id: str):
 def run_experiment(
     experiment_id: str, settings: ExperimentSettings | None = None
 ) -> ExperimentResult:
-    """Run one experiment and return its result table."""
-    return get_experiment(experiment_id).run(settings)
+    """Run one experiment and return its result table.
+
+    Every run records its wall-clock seconds into the process-wide
+    metrics registry (``experiment.wall_seconds{experiment=...}``) —
+    the source of the CLI's end-of-run summary and of the telemetry
+    block the benchmark harness attaches to ``BENCH_*.json``.
+    """
+    from repro.obs.metrics import default_registry
+
+    module = get_experiment(experiment_id)
+    registry = default_registry()
+    start = time.perf_counter()
+    result = module.run(settings)
+    elapsed = time.perf_counter() - start
+    registry.histogram(
+        "experiment.wall_seconds", experiment=experiment_id
+    ).observe(elapsed)
+    registry.counter(
+        "experiment.runs_total", experiment=experiment_id
+    ).inc()
+    return result
+
+
+def traced_reference_run(
+    experiment_id: str,
+    settings: ExperimentSettings | None = None,
+    tracer=None,
+    metrics=None,
+):
+    """One fully-instrumented BFS run representative of an experiment.
+
+    Used by ``repro-experiment --trace-out``: builds the graph and
+    cluster the experiment's weak-scaling point implies (its ``NODES``
+    attribute, default 2, at the settings' measured scale) and executes
+    one traversal of the paper's full optimization stack with the given
+    tracer/metrics attached.  Returns the
+    :class:`~repro.core.engine.BFSResult`, whose ``telemetry`` feeds the
+    Chrome trace / JSONL exporters.
+    """
+    import numpy as np
+
+    from repro.core.config import BFSConfig
+    from repro.core.engine import BFSEngine
+    from repro.experiments.common import (
+        cached_rmat_graph,
+        cluster_for,
+        paper_scale_for_nodes,
+    )
+
+    settings = settings or ExperimentSettings()
+    nodes = getattr(get_experiment(experiment_id), "NODES", 2)
+    if nodes not in (1, 2, 4, 8, 16):
+        nodes = 2
+    scale = settings.measured_scale(paper_scale_for_nodes(nodes))
+    graph = cached_rmat_graph(scale, settings.graph_seed)
+    cluster = cluster_for(nodes, settings)
+    engine = BFSEngine(
+        graph,
+        cluster,
+        BFSConfig.granularity_variant(),
+        tracer=tracer,
+        metrics=metrics,
+    )
+    root = int(np.argmax(graph.degrees()))
+    return engine.run(root)

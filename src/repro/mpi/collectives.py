@@ -327,4 +327,14 @@ def allgather(
     data = _deliver(comm, full, shared_buffers if shared_family else None)
     result = _uniform_times(comm, t, breakdown)
     result.data = data
+    if comm.tracer.enabled:
+        comm.tracer.comm_event(
+            "allgather",
+            nbytes=total_bytes,
+            rank_times=result.rank_times,
+            breakdown=breakdown,
+            algorithm=algorithm.value,
+            part_bytes=part_bytes,
+            shared=shared_family,
+        )
     return result

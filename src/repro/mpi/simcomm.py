@@ -25,6 +25,7 @@ from repro.machine.memory import MemoryModel
 from repro.machine.network import NetworkModel
 from repro.machine.spec import ClusterSpec
 from repro.mpi.mapping import ProcessMapping
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["SimComm", "CollectiveResult"]
 
@@ -46,7 +47,12 @@ class CollectiveResult:
 class SimComm:
     """Communicator over the ranks of a :class:`ProcessMapping`."""
 
-    def __init__(self, cluster: ClusterSpec, mapping: ProcessMapping) -> None:
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        mapping: ProcessMapping,
+        tracer=None,
+    ) -> None:
         if mapping.cluster is not cluster and mapping.cluster != cluster:
             raise CommunicationError("mapping belongs to a different cluster")
         self.cluster = cluster
@@ -54,6 +60,10 @@ class SimComm:
         self.network = NetworkModel(cluster)
         self.memory = MemoryModel(cluster.node)
         self.num_ranks = mapping.num_ranks
+        # Telemetry sink: every collective emits one CommEvent with its
+        # per-rank simulated durations; the default null tracer makes
+        # that a no-op guarded by a single attribute check.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ---- channel primitives ------------------------------------------------
 
@@ -103,7 +113,14 @@ class SimComm:
             raise CommunicationError(
                 f"barrier expects {self.num_ranks} clocks, got {clocks.shape}"
             )
-        return clocks.max() - clocks
+        stalls = clocks.max() - clocks
+        if self.tracer.enabled:
+            self.tracer.comm_event(
+                "barrier",
+                rank_times=stalls,
+                breakdown={"stall": float(stalls.max(initial=0.0))},
+            )
+        return stalls
 
     def allreduce_time(self) -> float:
         """Latency of a small-payload allreduce: log2(np) rounds, each at
@@ -124,11 +141,19 @@ class SimComm:
             )
         total = values.sum(axis=0)
         t = self.allreduce_time()
-        return CollectiveResult(
+        result = CollectiveResult(
             data=total,
             rank_times=np.full(self.num_ranks, t),
             breakdown={"allreduce": t},
         )
+        if self.tracer.enabled:
+            self.tracer.comm_event(
+                "allreduce_sum",
+                nbytes=float(values.nbytes),
+                rank_times=result.rank_times,
+                breakdown=result.breakdown,
+            )
+        return result
 
     def allreduce_max(self, values: np.ndarray) -> CollectiveResult:
         """Elementwise maximum across all ranks."""
@@ -139,11 +164,19 @@ class SimComm:
             )
         total = values.max(axis=0)
         t = self.allreduce_time()
-        return CollectiveResult(
+        result = CollectiveResult(
             data=total,
             rank_times=np.full(self.num_ranks, t),
             breakdown={"allreduce": t},
         )
+        if self.tracer.enabled:
+            self.tracer.comm_event(
+                "allreduce_max",
+                nbytes=float(values.nbytes),
+                rank_times=result.rank_times,
+                breakdown=result.breakdown,
+            )
+        return result
 
     # ---- alltoallv ------------------------------------------------------------
 
@@ -213,8 +246,25 @@ class SimComm:
             dtype=np.float64,
         )
         times = self.alltoallv_time(send_bytes)
-        return CollectiveResult(
+        result = CollectiveResult(
             data=recv,
             rank_times=times,
             breakdown={"alltoallv": float(times.max(initial=0.0))},
         )
+        if self.tracer.enabled:
+            nodes = np.array(
+                [self.mapping.node_of(r) for r in range(np_ranks)],
+                dtype=np.int64,
+            )
+            same_node = nodes[:, None] == nodes[None, :]
+            self_mask = np.eye(np_ranks, dtype=bool)
+            self.tracer.comm_event(
+                "alltoallv",
+                nbytes=float(send_bytes.sum()),
+                rank_times=times,
+                breakdown=result.breakdown,
+                self_bytes=float(send_bytes[self_mask].sum()),
+                intra_bytes=float(send_bytes[same_node & ~self_mask].sum()),
+                inter_bytes=float(send_bytes[~same_node].sum()),
+            )
+        return result

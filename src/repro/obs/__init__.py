@@ -1,0 +1,64 @@
+"""End-to-end run telemetry: span tracer, metrics, trace exporters.
+
+The observability layer the paper's profiling figures (11, 12, 14) imply:
+per-level, per-rank, per-collective accounting of where simulated time
+goes, recorded live by instrumentation hooks in the engine, the level
+kernels and the simulated communicator.
+
+* :mod:`repro.obs.tracer` — nestable spans + per-collective events;
+  off-by-default :data:`~repro.obs.tracer.NULL_TRACER` keeps the hot
+  path free when telemetry is disabled.
+* :mod:`repro.obs.metrics` — counters / gauges / histograms behind a
+  label-aware registry.
+* :mod:`repro.obs.export` — Chrome trace-event JSON (one track per
+  simulated rank, simulated timestamps; open in Perfetto), JSONL event
+  log, terminal summary table.
+
+See ``docs/OBSERVABILITY.md`` for the span model and event schema.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    events_jsonl,
+    rank_timeline,
+    summary_table,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    reset_default_registry,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    CommEvent,
+    NullTracer,
+    RunTelemetry,
+    Span,
+    SpanTracer,
+)
+
+__all__ = [
+    "Span",
+    "CommEvent",
+    "NullTracer",
+    "SpanTracer",
+    "RunTelemetry",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "reset_default_registry",
+    "rank_timeline",
+    "chrome_trace",
+    "write_chrome_trace",
+    "events_jsonl",
+    "write_events_jsonl",
+    "summary_table",
+]

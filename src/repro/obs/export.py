@@ -1,0 +1,192 @@
+"""Telemetry exporters: Chrome trace-event JSON, JSONL log, terminal table.
+
+The Chrome trace (load it at https://ui.perfetto.dev or
+``chrome://tracing``) renders the *simulated* timeline of one BFS run:
+one track per simulated MPI rank, one span per level phase (switch /
+communication / compute / stall), with timestamps reconstructed from the
+run's :class:`~repro.core.timing.BfsTiming` exactly as the cost model
+priced it — per-rank compute durations, uniform collective times, and
+barrier alignment at the end of every level (the stall phase).
+
+The JSONL log serializes the wall-clock spans and per-collective
+:class:`~repro.obs.tracer.CommEvent` records for ad-hoc analysis
+(``jq``/pandas), and :func:`summary_table` renders a metrics registry as
+a terminal table.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs <- core)
+    from repro.core.engine import BFSResult
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import RunTelemetry
+
+__all__ = [
+    "rank_timeline",
+    "chrome_trace",
+    "write_chrome_trace",
+    "events_jsonl",
+    "write_events_jsonl",
+    "summary_table",
+]
+
+
+def rank_timeline(result: "BFSResult") -> list[list[dict]]:
+    """Per-rank lists of non-overlapping simulated phase intervals.
+
+    Each interval is ``{"name", "cat", "level", "direction", "start_ns",
+    "duration_ns", "args"}``; within one rank's list the intervals are
+    monotone and disjoint, and every level ends with all ranks aligned at
+    the barrier (ranks that finish compute early get a ``stall``
+    interval).  Phase order mirrors the engine's level structure: the
+    representation switch first, then — top-down — compute before the
+    pair exchange, or — bottom-up — the allgathers before the scan.
+    """
+    num_ranks = result.counts.num_ranks
+    tracks: list[list[dict]] = [[] for _ in range(num_ranks)]
+    clock = np.zeros(num_ranks, dtype=np.float64)
+
+    def add(rank: int, name: str, cat: str, lt, start: float, dur: float, args=None):
+        if dur <= 0:
+            return
+        tracks[rank].append(
+            {
+                "name": name,
+                "cat": cat,
+                "level": lt.level,
+                "direction": lt.direction,
+                "start_ns": float(start),
+                "duration_ns": float(dur),
+                "args": args or {},
+            }
+        )
+
+    for lt in result.timing.levels:
+        comp = lt.compute_rank_ns
+        if comp is None or len(comp) != num_ranks:
+            comp = np.full(num_ranks, lt.compute_mean_ns)
+        comp = np.asarray(comp, dtype=np.float64)
+        comp_max = float(comp.max(initial=0.0))
+        comm_first = lt.direction == "bottom_up"
+        for r in range(num_ranks):
+            t = clock[r]
+            if lt.switch_ns > 0:
+                add(r, "switch", "switch", lt, t, lt.switch_ns)
+                t += lt.switch_ns
+            if comm_first and lt.comm_ns > 0:
+                add(r, f"comm:{lt.direction}", "comm", lt, t, lt.comm_ns,
+                    args=dict(lt.comm_steps))
+                t += lt.comm_ns
+            add(r, f"compute:{lt.direction}", "compute", lt, t, comp[r])
+            t += comp[r]
+            if comp_max > comp[r]:
+                add(r, "stall", "stall", lt, t, comp_max - comp[r])
+                t += comp_max - comp[r]
+            if not comm_first and lt.comm_ns > 0:
+                add(r, f"comm:{lt.direction}", "comm", lt, t, lt.comm_ns,
+                    args=dict(lt.comm_steps))
+                t += lt.comm_ns
+            clock[r] = t
+        # Defensive alignment: all ranks leave the level at the barrier.
+        clock[:] = clock.max(initial=0.0)
+    return tracks
+
+
+def chrome_trace(result: "BFSResult") -> dict:
+    """One BFS run as a Chrome trace-event document (Perfetto-loadable).
+
+    One process ("track") per simulated rank; ``ts``/``dur`` are the
+    *simulated* timestamps in microseconds, as the trace-event format
+    requires.  Level/direction and the collective step breakdown ride
+    along in each event's ``args``.
+    """
+    events: list[dict] = []
+    tracks = rank_timeline(result)
+    for rank, intervals in enumerate(tracks):
+        events.append(
+            {
+                "ph": "M",
+                "pid": rank,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+        for iv in intervals:
+            args = {"level": iv["level"], "direction": iv["direction"]}
+            args.update(iv["args"])
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": rank,
+                    "tid": 0,
+                    "name": iv["name"],
+                    "cat": iv["cat"],
+                    "ts": iv["start_ns"] / 1e3,
+                    "dur": iv["duration_ns"] / 1e3,
+                    "args": args,
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "root": result.root,
+            "levels": result.levels,
+            "num_ranks": result.counts.num_ranks,
+            "simulated_seconds": result.seconds,
+            "teps": result.teps,
+        },
+    }
+
+
+def write_chrome_trace(path: str, result: "BFSResult") -> None:
+    """Write :func:`chrome_trace` output as JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(result), fh)
+
+
+def events_jsonl(telemetry: "RunTelemetry") -> str:
+    """Wall-clock spans and collective events as JSON lines.
+
+    Span lines have ``"kind": "span"``, collective lines
+    ``"kind": "comm_event"`` — filter with ``jq 'select(.kind == ...)'``.
+    """
+    lines = [json.dumps(sp.as_dict()) for sp in telemetry.spans]
+    lines.extend(json.dumps(ev.as_dict()) for ev in telemetry.comm_events)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_events_jsonl(path: str, telemetry: "RunTelemetry") -> None:
+    """Write :func:`events_jsonl` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(events_jsonl(telemetry))
+
+
+def summary_table(metrics: "MetricsRegistry", title: str = "telemetry") -> str:
+    """A metrics registry rendered as a terminal table."""
+    from repro.util.formatting import format_table
+
+    snapshot = metrics.as_dict()
+    rows: list[list] = []
+    for name, value in snapshot["counters"].items():
+        rows.append([name, "counter", f"{value:,.0f}"])
+    for name, value in snapshot["gauges"].items():
+        rows.append([name, "gauge", f"{value:.4g}"])
+    for name, summ in snapshot["histograms"].items():
+        rows.append(
+            [
+                name,
+                "histogram",
+                f"n={summ['count']} mean={summ['mean']:.4g} "
+                f"min={summ['min']:.4g} max={summ['max']:.4g}",
+            ]
+        )
+    if not rows:
+        rows.append(["(no metrics recorded)", "", ""])
+    return format_table(["metric", "type", "value"], rows, title=title)

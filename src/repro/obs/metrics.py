@@ -1,0 +1,193 @@
+"""Label-aware metrics registry (counters, gauges, histograms).
+
+A tiny, dependency-free cousin of the Prometheus client: metrics are
+identified by a name plus a frozen label set, created on first touch and
+aggregated in-process.  The engine records run facts (levels, examined
+edges, summary-bit hit rate, per-rank stall), the tracer records
+communication volume per collective/channel, and the experiment layer
+records per-experiment wall-clock — all into one registry that exports
+as a plain dict / JSON for ``BENCH_*.json`` telemetry blocks and the
+``--metrics-out`` CLI flag.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "reset_default_registry",
+]
+
+
+def _format_key(name: str, labels: dict) -> str:
+    """Render ``name{k=v,...}`` with labels sorted for determinism."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/mean).
+
+    Keeps only scalar aggregates — observation streams from large runs
+    (e.g. per-rank stall times every level) stay O(1) in memory.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        """The aggregates as a plain dict."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of labelled counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+
+    @staticmethod
+    def _key(name: str, labels: dict) -> tuple:
+        return (name, tuple(sorted(labels.items())))
+
+    def counter(self, name: str, **labels) -> Counter:
+        """The counter for ``name`` + labels, created on first use."""
+        key = self._key(name, labels)
+        c = self._counters.get(key)
+        if c is None:
+            c = self._counters[key] = Counter()
+        return c
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The gauge for ``name`` + labels, created on first use."""
+        key = self._key(name, labels)
+        g = self._gauges.get(key)
+        if g is None:
+            g = self._gauges[key] = Gauge()
+        return g
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        """The histogram for ``name`` + labels, created on first use."""
+        key = self._key(name, labels)
+        h = self._histograms.get(key)
+        if h is None:
+            h = self._histograms[key] = Histogram()
+        return h
+
+    def items(self):
+        """Iterate ``(formatted_name, metric)`` over all families."""
+        for (name, labels), m in sorted(self._counters.items()):
+            yield _format_key(name, dict(labels)), m
+        for (name, labels), m in sorted(self._gauges.items()):
+            yield _format_key(name, dict(labels)), m
+        for (name, labels), m in sorted(self._histograms.items()):
+            yield _format_key(name, dict(labels)), m
+
+    def as_dict(self) -> dict:
+        """Snapshot as nested plain dicts (JSON-ready)."""
+        return {
+            "counters": {
+                _format_key(n, dict(ls)): c.value
+                for (n, ls), c in sorted(self._counters.items())
+            },
+            "gauges": {
+                _format_key(n, dict(ls)): g.value
+                for (n, ls), g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                _format_key(n, dict(ls)): h.summary()
+                for (n, ls), h in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters) + len(self._gauges) + len(self._histograms)
+        )
+
+
+_DEFAULT: MetricsRegistry | None = None
+
+
+def default_registry() -> MetricsRegistry:
+    """Process-wide registry shared by the experiment layer, the CLI and
+    the benchmark harness (created on first use)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = MetricsRegistry()
+    return _DEFAULT
+
+
+def reset_default_registry() -> MetricsRegistry:
+    """Replace the process-wide registry with a fresh one (tests, CLI)."""
+    global _DEFAULT
+    _DEFAULT = MetricsRegistry()
+    return _DEFAULT

@@ -1,0 +1,307 @@
+"""Zero-dependency span tracer for BFS runs.
+
+The tracer records *what the simulator did*: nestable spans around the
+engine's level phases (context-manager API, arbitrary key/value
+attributes) and one :class:`CommEvent` per simulated collective, carrying
+the per-rank simulated durations and the per-step breakdown that
+:class:`repro.mpi.simcomm.CollectiveResult` already computes.
+
+Two timelines coexist and are kept strictly separate:
+
+* **wall clock** — spans carry ``time.perf_counter_ns`` timestamps of the
+  simulator process itself (useful for profiling the reproduction's own
+  Python code);
+* **simulated clock** — per-rank durations inside :class:`CommEvent` and
+  the per-rank phase timeline reconstructed by
+  :mod:`repro.obs.export` from a run's :class:`~repro.core.timing.BfsTiming`.
+
+Tracing is **off by default**: every instrumented call site receives
+:data:`NULL_TRACER`, whose methods are no-ops returning a shared inert
+span, so the hot path pays only an attribute check (guarded by
+``tracer.enabled``) when telemetry is disabled.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "CommEvent",
+    "NullTracer",
+    "SpanTracer",
+    "RunTelemetry",
+    "NULL_TRACER",
+]
+
+
+@dataclass
+class Span:
+    """One recorded span: a named, nestable interval with attributes.
+
+    ``start_ns``/``end_ns`` are wall-clock ``perf_counter_ns`` stamps;
+    ``parent`` is the index of the enclosing span in the tracer's span
+    list (``-1`` at top level).  ``end_ns`` stays ``None`` while open.
+    """
+
+    name: str
+    cat: str
+    index: int
+    parent: int
+    depth: int
+    start_ns: int
+    end_ns: int | None = None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        """Wall-clock duration (0 while the span is still open)."""
+        return 0 if self.end_ns is None else self.end_ns - self.start_ns
+
+    def as_dict(self) -> dict:
+        """The span as a plain JSON-serializable dict."""
+        return {
+            "kind": "span",
+            "name": self.name,
+            "cat": self.cat,
+            "index": self.index,
+            "parent": self.parent,
+            "depth": self.depth,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "attrs": self.attrs,
+        }
+
+
+@dataclass
+class CommEvent:
+    """One simulated collective: payload, per-rank durations, breakdown.
+
+    ``rank_times`` are the *simulated* nanoseconds each rank spent in the
+    collective (``CollectiveResult.rank_times``); ``breakdown`` is the
+    per-step time split (e.g. ``intra_gather`` / ``inter`` /
+    ``intra_bcast`` for the leader allgather family, Fig. 6).
+    """
+
+    op: str
+    seq: int
+    nbytes: float = 0.0
+    rank_times: list[float] = field(default_factory=list)
+    breakdown: dict[str, float] = field(default_factory=dict)
+    algorithm: str | None = None
+    span: str | None = None  # name of the innermost enclosing span
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def max_time_ns(self) -> float:
+        """Simulated completion time: the slowest rank's duration."""
+        return max(self.rank_times, default=0.0)
+
+    def as_dict(self) -> dict:
+        """The event as a plain JSON-serializable dict."""
+        return {
+            "kind": "comm_event",
+            "op": self.op,
+            "seq": self.seq,
+            "nbytes": self.nbytes,
+            "rank_times_ns": list(self.rank_times),
+            "max_time_ns": self.max_time_ns,
+            "breakdown_ns": self.breakdown,
+            "algorithm": self.algorithm,
+            "span": self.span,
+            "attrs": self.attrs,
+        }
+
+
+class _NullSpan:
+    """Inert context manager returned by :class:`NullTracer` (shared)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        """Discard attributes (no-op)."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: records nothing, allocates nothing.
+
+    All instrumented call sites hold a tracer reference; by default it is
+    the module-level :data:`NULL_TRACER` singleton, whose ``span`` returns
+    one shared inert context manager.  Call sites guard any argument
+    construction behind ``tracer.enabled`` so a disabled run pays only an
+    attribute load per potential event.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str, cat: str = "phase", **attrs) -> _NullSpan:
+        """Return the shared no-op span."""
+        return _NULL_SPAN
+
+    def instant(self, name: str, cat: str = "mark", **attrs) -> None:
+        """Discard an instant event."""
+
+    def comm_event(self, op: str, **kwargs) -> None:
+        """Discard a collective event."""
+
+
+NULL_TRACER = NullTracer()
+
+
+class _ActiveSpan:
+    """Open-span handle handed out by :meth:`SpanTracer.span`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "SpanTracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> "_ActiveSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer._close(self._span)
+        return False
+
+    def set(self, **attrs) -> None:
+        """Attach (or overwrite) attributes on the open span."""
+        self._span.attrs.update(attrs)
+
+
+class SpanTracer:
+    """The recording tracer: nested spans plus collective events.
+
+    Spans are recorded in opening order; nesting is tracked with an
+    explicit stack so a span's ``parent``/``depth`` survive after close.
+    When a :class:`~repro.obs.metrics.MetricsRegistry` is attached,
+    every collective event also increments the standard ``comm.*``
+    counters (calls, bytes, simulated time — total and per step).
+    """
+
+    enabled = True
+
+    def __init__(self, metrics=None, clock=time.perf_counter_ns) -> None:
+        self.spans: list[Span] = []
+        self.events: list[CommEvent] = []
+        self.metrics = metrics
+        self._clock = clock
+        self._stack: list[Span] = []
+
+    # ---- spans -----------------------------------------------------------
+
+    def span(self, name: str, cat: str = "phase", **attrs) -> _ActiveSpan:
+        """Open a nested span; use as a context manager."""
+        sp = Span(
+            name=name,
+            cat=cat,
+            index=len(self.spans),
+            parent=self._stack[-1].index if self._stack else -1,
+            depth=len(self._stack),
+            start_ns=self._clock(),
+            attrs=attrs,
+        )
+        self.spans.append(sp)
+        self._stack.append(sp)
+        return _ActiveSpan(self, sp)
+
+    def _close(self, span: Span) -> None:
+        span.end_ns = self._clock()
+        # Close any children left open by an exception unwinding past them.
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop().end_ns = span.end_ns
+        if self._stack:
+            self._stack.pop()
+
+    def instant(self, name: str, cat: str = "mark", **attrs) -> None:
+        """Record a zero-duration marker at the current nesting level."""
+        now = self._clock()
+        self.spans.append(
+            Span(
+                name=name,
+                cat=cat,
+                index=len(self.spans),
+                parent=self._stack[-1].index if self._stack else -1,
+                depth=len(self._stack),
+                start_ns=now,
+                end_ns=now,
+                attrs=attrs,
+            )
+        )
+
+    @property
+    def current_span(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    # ---- collective events ----------------------------------------------
+
+    def comm_event(
+        self,
+        op: str,
+        *,
+        nbytes: float = 0.0,
+        rank_times=None,
+        breakdown: dict[str, float] | None = None,
+        algorithm: str | None = None,
+        **attrs,
+    ) -> None:
+        """Record one simulated collective (and update comm metrics)."""
+        times = [float(t) for t in rank_times] if rank_times is not None else []
+        ev = CommEvent(
+            op=op,
+            seq=len(self.events),
+            nbytes=float(nbytes),
+            rank_times=times,
+            breakdown=dict(breakdown) if breakdown else {},
+            algorithm=algorithm,
+            span=self._stack[-1].name if self._stack else None,
+            attrs=attrs,
+        )
+        self.events.append(ev)
+        m = self.metrics
+        if m is not None:
+            m.counter("comm.calls_total", op=op).inc()
+            m.counter("comm.bytes_total", op=op).inc(ev.nbytes)
+            m.counter("comm.sim_time_ns_total", op=op).inc(ev.max_time_ns)
+            for step, t in ev.breakdown.items():
+                m.counter("comm.step_sim_time_ns_total", op=op, step=step).inc(t)
+            for key in ("intra_bytes", "inter_bytes", "self_bytes"):
+                if key in attrs:
+                    m.counter(
+                        "comm.channel_bytes_total",
+                        channel=key.removesuffix("_bytes"),
+                    ).inc(float(attrs[key]))
+
+
+@dataclass
+class RunTelemetry:
+    """Everything one traced BFS run recorded.
+
+    Attached to :class:`repro.core.engine.BFSResult` when the engine was
+    built with a recording tracer; consumed by :mod:`repro.obs.export`.
+    """
+
+    spans: list[Span] = field(default_factory=list)
+    comm_events: list[CommEvent] = field(default_factory=list)
+    metrics: object | None = None
+
+    @classmethod
+    def from_tracer(cls, tracer: SpanTracer, metrics=None) -> "RunTelemetry":
+        """Snapshot a tracer's recorded state (lists are shared, not
+        copied — the engine hands out the live record)."""
+        return cls(
+            spans=tracer.spans, comm_events=tracer.events, metrics=metrics
+        )

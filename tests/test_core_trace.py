@@ -94,3 +94,61 @@ class TestGantt:
 
         text = gantt(result, width=120)
         assert "#" in text or "=" in text
+
+
+class TestBarSegments:
+    """Regression: independent per-segment rounding could overflow the bar."""
+
+    @staticmethod
+    def _row(compute, comm, switch, stall):
+        from repro.core.trace import LevelTraceRow
+
+        return LevelTraceRow(
+            level=0,
+            direction="top_down",
+            switched=False,
+            frontier=1,
+            candidates=0,
+            examined_edges=0,
+            inqueue_reads=0,
+            discovered=0,
+            compute_mean_ns=compute,
+            compute_max_ns=compute,
+            comm_ns=comm,
+            switch_ns=switch,
+            stall_ns=stall,
+        )
+
+    def test_two_halves_round_up(self):
+        """compute=comm=50% of 3 cells: round(1.5) twice gave a 4-cell bar."""
+        from repro.core.trace import _bar_segments
+
+        segs = _bar_segments(self._row(5.0, 5.0, 0.0, 0.0), cells=3)
+        assert sum(segs) == 3
+
+    def test_segments_always_sum_to_cells(self):
+        from repro.core.trace import _bar_segments
+
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            parts = rng.uniform(0.0, 100.0, size=4)
+            cells = int(rng.integers(1, 40))
+            segs = _bar_segments(self._row(*parts), cells)
+            assert sum(segs) == cells
+            assert all(s >= 0 for s in segs)
+
+    def test_zero_total_level(self):
+        from repro.core.trace import _bar_segments
+
+        comp, comm, sw, stall = _bar_segments(self._row(0.0, 0.0, 0.0, 0.0), 5)
+        assert (comp, comm, sw) == (0, 0, 0)
+        assert comp + comm + sw + stall == 5
+
+    def test_gantt_bars_never_exceed_width(self, result):
+        from repro.core.trace import gantt
+
+        width = 40
+        text = gantt(result, width=width)
+        for line in text.splitlines()[1:]:
+            bar = line.split("|", 1)[1]
+            assert len(bar) <= width

@@ -1,0 +1,232 @@
+"""Tests for the telemetry exporters: Chrome trace, JSONL log, CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import BFSConfig, BFSEngine
+from repro.graph import rmat_graph
+from repro.machine import paper_cluster
+from repro.obs.export import (
+    chrome_trace,
+    events_jsonl,
+    rank_timeline,
+    summary_table,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import SpanTracer
+
+
+@pytest.fixture(scope="module")
+def traced_result():
+    """One traced hybrid run on a small cluster (both directions exercised)."""
+    g = rmat_graph(scale=11, seed=6)
+    reg = MetricsRegistry()
+    tr = SpanTracer(metrics=reg)
+    engine = BFSEngine(
+        g,
+        paper_cluster(nodes=2),
+        BFSConfig.granularity_variant(256),
+        tracer=tr,
+        metrics=reg,
+    )
+    return engine.run(int(np.argmax(g.degrees())))
+
+
+class TestRankTimeline:
+    def test_one_track_per_rank(self, traced_result):
+        tracks = rank_timeline(traced_result)
+        assert len(tracks) == traced_result.counts.num_ranks
+        assert all(tracks), "every rank has at least one interval"
+
+    def test_intervals_monotone_and_disjoint(self, traced_result):
+        for track in rank_timeline(traced_result):
+            cursor = 0.0
+            for iv in track:
+                assert iv["duration_ns"] > 0
+                assert iv["start_ns"] >= cursor - 1e-6
+                cursor = iv["start_ns"] + iv["duration_ns"]
+
+    def test_every_level_on_every_track(self, traced_result):
+        for track in rank_timeline(traced_result):
+            levels = sorted({iv["level"] for iv in track})
+            assert levels == list(range(traced_result.levels))
+
+    def test_final_clock_matches_priced_total(self, traced_result):
+        tracks = rank_timeline(traced_result)
+        ends = [t[-1]["start_ns"] + t[-1]["duration_ns"] for t in tracks]
+        total = traced_result.timing.total_ns
+        assert max(ends) == pytest.approx(total, rel=0.02)
+
+    def test_phase_order_within_level(self, traced_result):
+        order = {"switch": 0, "comm": 1, "compute": 2, "stall": 3}
+        for track in rank_timeline(traced_result):
+            by_level = {}
+            for iv in track:
+                by_level.setdefault(iv["level"], []).append(iv)
+            for ivs in by_level.values():
+                cats = [iv["cat"] for iv in ivs]
+                if ivs[0]["direction"] == "bottom_up":
+                    ranks = [order[c] for c in cats]
+                else:  # top-down: comm (exchange) comes after compute
+                    order_td = {"switch": 0, "compute": 1, "stall": 2, "comm": 3}
+                    ranks = [order_td[c] for c in cats]
+                assert ranks == sorted(ranks)
+
+    def test_uniform_fallback_without_rank_detail(self, traced_result):
+        saved = [lt.compute_rank_ns for lt in traced_result.timing.levels]
+        for lt in traced_result.timing.levels:
+            lt.compute_rank_ns = None
+        try:
+            tracks = rank_timeline(traced_result)
+            assert len(tracks) == traced_result.counts.num_ranks
+            stalls = [
+                iv for t in tracks for iv in t if iv["cat"] == "stall"
+            ]
+            assert stalls == []  # uniform compute -> nobody waits
+        finally:  # the fixture is module-shared; restore the detail
+            for lt, rank_ns in zip(traced_result.timing.levels, saved):
+                lt.compute_rank_ns = rank_ns
+
+
+class TestChromeTrace:
+    def test_valid_json_with_rank_tracks(self, traced_result, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), traced_result)
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(meta) == traced_result.counts.num_ranks
+        assert {e["args"]["name"] for e in meta} == {
+            f"rank {r}" for r in range(traced_result.counts.num_ranks)
+        }
+        assert doc["otherData"]["num_ranks"] == traced_result.counts.num_ranks
+        assert doc["otherData"]["levels"] == traced_result.levels
+
+    def test_x_events_monotone_per_track(self, traced_result):
+        doc = chrome_trace(traced_result)
+        per_pid = {}
+        for e in doc["traceEvents"]:
+            if e["ph"] != "X":
+                continue
+            assert e["dur"] > 0
+            cursor = per_pid.get(e["pid"], 0.0)
+            assert e["ts"] >= cursor - 1e-9
+            per_pid[e["pid"]] = e["ts"] + e["dur"]
+        assert len(per_pid) == traced_result.counts.num_ranks
+
+    def test_span_per_level_phase(self, traced_result):
+        doc = chrome_trace(traced_result)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in xs}
+        directions = {lc.direction for lc in traced_result.counts.levels}
+        for d in directions:
+            assert f"compute:{d}" in names
+            assert f"comm:{d}" in names
+        # every (pid, level) has a compute event
+        seen = {
+            (e["pid"], e["args"]["level"])
+            for e in xs
+            if e["name"].startswith("compute:")
+        }
+        assert len(seen) == traced_result.counts.num_ranks * traced_result.levels
+
+    def test_comm_args_carry_step_breakdown(self, traced_result):
+        doc = chrome_trace(traced_result)
+        comms = [
+            e
+            for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["name"].startswith("comm:")
+        ]
+        assert comms
+        stepped = [
+            e for e in comms if set(e["args"]) - {"level", "direction"}
+        ]
+        assert stepped, "no comm event carries a collective step breakdown"
+
+
+class TestEventsJsonl:
+    def test_lines_parse_and_cover_both_kinds(self, traced_result, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_events_jsonl(str(path), traced_result.telemetry)
+        kinds = set()
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                rec = json.loads(line)
+                kinds.add(rec["kind"])
+        assert kinds == {"span", "comm_event"}
+
+    def test_span_count_matches_telemetry(self, traced_result):
+        text = events_jsonl(traced_result.telemetry)
+        records = [json.loads(line) for line in text.splitlines()]
+        tel = traced_result.telemetry
+        assert len(records) == len(tel.spans) + len(tel.comm_events)
+
+
+class TestSummaryTable:
+    def test_renders_all_metric_kinds(self, traced_result):
+        table = summary_table(traced_result.telemetry.metrics)
+        assert "bfs.runs_total" in table
+        assert "histogram" in table
+        assert "gauge" in table
+
+    def test_empty_registry_renders(self):
+        assert "no metrics recorded" in summary_table(MetricsRegistry())
+
+
+class TestCliTraceOut:
+    def test_fig09_quick_trace_out(self, tmp_path):
+        """Acceptance: fig09 --quick --trace-out writes a Chrome trace with
+        >= 1 track per simulated rank and >= 1 span per BFS level-phase."""
+        from repro.experiments.cli import main
+        from repro.obs.metrics import reset_default_registry
+
+        reset_default_registry()
+        trace_path = tmp_path / "t.json"
+        metrics_path = tmp_path / "m.json"
+        rc = main(
+            [
+                "fig09",
+                "--quick",
+                "--trace-out",
+                str(trace_path),
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        )
+        assert rc == 0
+
+        doc = json.loads(trace_path.read_text())
+        num_ranks = doc["otherData"]["num_ranks"]
+        levels = doc["otherData"]["levels"]
+        assert num_ranks >= 1 and levels >= 2
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(meta) == num_ranks  # one track per simulated rank
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        # >= 1 span per BFS level-phase: every level shows compute and,
+        # past level 0, communication (ranks with zero work at a sparse
+        # level legitimately emit no interval on their own track).
+        compute_levels = {
+            e["args"]["level"] for e in xs if e["name"].startswith("compute:")
+        }
+        assert compute_levels == set(range(levels))
+        comm_levels = {
+            e["args"]["level"] for e in xs if e["name"].startswith("comm:")
+        }
+        assert comm_levels >= set(range(1, levels))
+        assert {e["pid"] for e in xs} == set(range(num_ranks))
+
+        events_path = tmp_path / "t.json.events.jsonl"
+        assert events_path.exists()
+        first = json.loads(events_path.read_text().splitlines()[0])
+        assert first["kind"] in {"span", "comm_event"}
+
+        metrics = json.loads(metrics_path.read_text())
+        assert any(
+            k.startswith("experiment.wall_seconds{experiment=fig09}")
+            for k in metrics["histograms"]
+        )
+        assert metrics["counters"]["bfs.runs_total"] >= 1

@@ -1,0 +1,110 @@
+"""Tests for the metrics registry: counters, gauges, histograms, labels."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    reset_default_registry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_raises(self):
+        c = Counter()
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+        assert c.value == 0.0
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge()
+        g.set(7)
+        g.set(3.5)
+        assert g.value == 3.5
+
+
+class TestHistogram:
+    def test_aggregates(self):
+        h = Histogram()
+        for v in (4.0, 1.0, 7.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3
+        assert s["sum"] == 12.0
+        assert s["min"] == 1.0
+        assert s["max"] == 7.0
+        assert s["mean"] == pytest.approx(4.0)
+        assert h.mean == pytest.approx(4.0)
+
+    def test_empty_summary_is_finite(self):
+        s = Histogram().summary()
+        assert s["count"] == 0
+        assert s["mean"] == 0.0
+        assert math.isfinite(s["min"]) and math.isfinite(s["max"])
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+        assert len(reg) == 3
+
+    def test_labels_separate_series(self):
+        reg = MetricsRegistry()
+        reg.counter("comm.calls_total", op="allgather").inc()
+        reg.counter("comm.calls_total", op="alltoallv").inc(2)
+        assert reg.counter("comm.calls_total", op="allgather").value == 1
+        assert reg.counter("comm.calls_total", op="alltoallv").value == 2
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        reg.counter("x", a=1, b=2).inc()
+        reg.counter("x", b=2, a=1).inc()
+        snap = reg.as_dict()["counters"]
+        assert snap == {"x{a=1,b=2}": 2.0}
+
+    def test_formatted_names(self):
+        reg = MetricsRegistry()
+        reg.counter("plain").inc()
+        reg.gauge("g", experiment="fig09").set(1.5)
+        reg.histogram("h", phase="bu_comm").observe(2.0)
+        names = [name for name, _ in reg.items()]
+        assert names == ["plain", "g{experiment=fig09}", "h{phase=bu_comm}"]
+
+    def test_as_dict_and_to_json_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(0.5)
+        reg.histogram("h").observe(1.0)
+        parsed = json.loads(reg.to_json())
+        assert parsed == reg.as_dict()
+        assert parsed["counters"]["c"] == 3.0
+        assert parsed["gauges"]["g"] == 0.5
+        assert parsed["histograms"]["h"]["count"] == 1
+
+
+class TestDefaultRegistry:
+    def test_singleton_until_reset(self):
+        reg = reset_default_registry()
+        assert default_registry() is reg
+        reg.counter("seen").inc()
+        fresh = reset_default_registry()
+        assert fresh is not reg
+        assert default_registry() is fresh
+        assert len(fresh) == 0
