@@ -1,6 +1,6 @@
 # Developer convenience targets for the reproduction.
 
-.PHONY: install test bench experiments report examples all clean
+.PHONY: install test bench bench-baseline experiments report examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,6 +10,15 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Kernel-backend baseline: records wall-clock numbers for every
+# registered BFS kernel (reference vs activeset) on a real mid-BFS level
+# to BENCH_kernels.json, with backend/scale metadata in extra_info and
+# the commit hash in commit_info.  Compare runs with
+# `pytest-benchmark compare`.  See docs/PERFORMANCE.md.
+bench-baseline:
+	pytest benchmarks/bench_kernels.py --benchmark-only \
+		--benchmark-json=BENCH_kernels.json
 
 experiments:
 	repro-experiment all --quick

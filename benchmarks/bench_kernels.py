@@ -2,27 +2,55 @@
 
 These are *wall-clock* benchmarks of the reproduction's own code (unlike
 the figure benches, which report simulated time): bitmap operations, the
-vectorized bottom-up scan, the R-MAT generator and a full engine run.
-They guard against performance regressions in the simulator itself.
+bottom-up scan under every registered kernel backend, the R-MAT
+generator and a full engine run.  They guard against performance
+regressions in the simulator itself.
+
+The bottom-up benchmarks run each backend on a *real* mid-BFS level
+(the scan right after level 1 from a high-degree root), which is where
+the active-set backend's early exit pays: most candidates retire within
+their first couple of edges.  ``make bench-baseline`` records the suite
+to ``BENCH_kernels.json`` with backend/scale/commit metadata.
+
+Environment knobs: ``REPRO_BENCH_SCALE`` (default 15) sizes the R-MAT
+graph so CI can run a small smoke pass.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
-from repro.core import BFSConfig, BFSEngine, Bitmap, SummaryBitmap
-from repro.core import bottomup
+from repro.core import BFSConfig, BFSEngine, Bitmap, SummaryBitmap, compute_levels
+from repro.core.kernels import available_backends, get_backend
 from repro.core.state import RankState
 from repro.graph import Partition1D, generate_rmat_edges, rmat_graph
 from repro.graph.builder import build_graph
 from repro.machine import paper_cluster
 from repro.util import segments
 
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "15"))
+BACKENDS = available_backends()
+
 
 @pytest.fixture(scope="module")
 def graph():
-    return rmat_graph(scale=15, seed=3)
+    return rmat_graph(scale=SCALE, seed=3)
+
+
+@pytest.fixture(scope="module")
+def mid_level(graph):
+    """Frontier/visited sets of a real mid-BFS level: the bottom-up scan
+    right after level 1, started from the highest-degree vertex (the
+    densest level of the traversal, where early exit matters most)."""
+    root = int(np.argmax(graph.degrees()))
+    result = BFSEngine(graph, paper_cluster(nodes=1), BFSConfig()).run(root)
+    levels = compute_levels(graph, root, result.parent)
+    frontier = np.flatnonzero(levels == 1)
+    visited = np.flatnonzero((levels >= 0) & (levels <= 1))
+    return frontier, visited
 
 
 def test_bitmap_set_and_count(benchmark):
@@ -48,12 +76,24 @@ def test_summary_build(benchmark):
 
 def test_segment_first_true(benchmark):
     rng = np.random.default_rng(2)
-    n = 2_000_000
     lengths = rng.integers(0, 40, size=100_000)
     offsets = np.concatenate([[0], np.cumsum(lengths)])
     mask = rng.random(int(offsets[-1])) < 0.05
     out = benchmark(segments.segment_first_true, mask, offsets)
     assert out.size == 100_000
+
+
+def test_segment_first_true_and_counts_fused(benchmark):
+    # The fused single-pass variant used by the kernels: first hit and
+    # early-exit examined count together.
+    rng = np.random.default_rng(2)
+    lengths = rng.integers(0, 40, size=100_000)
+    offsets = np.concatenate([[0], np.cumsum(lengths)])
+    mask = rng.random(int(offsets[-1])) < 0.05
+    first, counts = benchmark(
+        segments.segment_first_true_and_counts, mask, offsets
+    )
+    assert first.size == counts.size == 100_000
 
 
 def test_rmat_generation(benchmark):
@@ -67,24 +107,47 @@ def test_csr_build(benchmark):
     assert graph.num_vertices == 1 << 14
 
 
-def test_bottom_up_scan(benchmark, graph):
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_bottom_up_scan(benchmark, graph, mid_level, backend_name):
+    """One mid-BFS bottom-up scan per backend (the acceptance metric:
+    activeset must beat reference by >= 2x at scale 15)."""
+    frontier, visited = mid_level
+    backend = get_backend(backend_name)
     part = Partition1D(graph.num_vertices, 1)
-    rng = np.random.default_rng(3)
-    frontier = rng.choice(graph.num_vertices, size=2000, replace=False)
     in_queue = Bitmap.from_indices(graph.num_vertices, frontier)
     summary = SummaryBitmap.build(in_queue, 64)
 
-    def op():
+    def fresh_state():
         state = RankState(part.extract_local(graph, 0))
-        return bottomup.scan(state, in_queue, summary)
+        state.discover(visited, visited)
+        return (state, in_queue, summary), {}
 
-    result = benchmark(op)
+    result = benchmark.pedantic(
+        backend.bottom_up_scan,
+        setup=fresh_state,
+        rounds=30,
+        warmup_rounds=3,
+    )
     assert result.examined_edges > 0
+    benchmark.extra_info.update(
+        backend=backend_name,
+        scale=SCALE,
+        frontier=int(frontier.size),
+        candidates=result.candidates,
+        examined_edges=result.examined_edges,
+        inqueue_reads=result.inqueue_reads,
+        gathered_edges=result.gathered_edges,
+        chunk_rounds=result.chunk_rounds,
+    )
 
 
-def test_full_engine_run(benchmark, graph):
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_full_engine_run(benchmark, graph, backend_name):
     cluster = paper_cluster(nodes=2)
-    engine = BFSEngine(graph, cluster, BFSConfig.original_ppn8())
+    engine = BFSEngine(
+        graph, cluster, BFSConfig(kernel=backend_name, label="Original.ppn=8")
+    )
     root = int(np.argmax(graph.degrees()))
     result = benchmark.pedantic(engine.run, args=(root,), rounds=1, iterations=1)
     assert result.visited > 0
+    benchmark.extra_info.update(backend=backend_name, scale=SCALE)

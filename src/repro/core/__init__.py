@@ -15,6 +15,15 @@ from repro.core.config import BFSConfig, TraversalMode, paper_variants
 from repro.core.counts import Direction, LevelCounts, RunCounts
 from repro.core.engine import BFSEngine, BFSResult
 from repro.core.hybrid import DirectionPolicy, FrontierStats
+from repro.core.kernels import (
+    ActiveSetBackend,
+    KernelBackend,
+    ReferenceBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
 from repro.core.state import RankState
 from repro.core.teps import Graph500Result, run_graph500
 from repro.core.timing import (
@@ -46,6 +55,13 @@ __all__ = [
     "BFSResult",
     "DirectionPolicy",
     "FrontierStats",
+    "ActiveSetBackend",
+    "KernelBackend",
+    "ReferenceBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
     "RankState",
     "Graph500Result",
     "run_graph500",

@@ -17,30 +17,22 @@ Two accounting subtleties the cost model depends on:
   much smaller summary structure.  Raising the granularity reduces the
   summary's size but also its zero fraction, moving reads back to
   ``in_queue`` — the Fig. 16 trade-off, measured here exactly.
+
+The actual scan implementation is pluggable (:mod:`repro.core.kernels`):
+the ``reference`` backend materializes every candidate's full adjacency,
+the default ``activeset`` backend peels it in early-exiting chunks.
+Both are bit-identical on the accounting above.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
+from repro.core.kernels import KernelBackend, default_backend
+from repro.core.kernels.base import BottomUpResult
 from repro.core.bitmap import Bitmap, SummaryBitmap
 from repro.core.state import RankState
 from repro.obs.tracer import NULL_TRACER
-from repro.util.segments import segment_counts_until_first_true, segment_first_true
 
 __all__ = ["BottomUpResult", "scan"]
-
-
-@dataclass
-class BottomUpResult:
-    """Outcome of one rank's bottom-up scan."""
-
-    new_local: np.ndarray  # newly discovered local vertex ids
-    candidates: int
-    examined_edges: int
-    inqueue_reads: int
 
 
 def scan(
@@ -49,78 +41,28 @@ def scan(
     summary: SummaryBitmap | None,
     tracer=NULL_TRACER,
     rank: int = 0,
+    backend: KernelBackend | None = None,
 ) -> BottomUpResult:
     """Scan unvisited local vertices against the global frontier bitmap.
 
-    With a recording ``tracer`` the scan is wrapped in a ``bu.scan`` span
+    ``backend`` selects the kernel implementation; ``None`` uses the
+    process default (``$REPRO_KERNEL`` or the active-set backend).  With
+    a recording ``tracer`` the scan is wrapped in a ``bu.scan`` span
     carrying the rank's candidate, examined-edge and in_queue-read
-    counts (the Section II.B.2 accounting)."""
+    counts (the Section II.B.2 accounting) plus the backend's
+    gathered-edge/round diagnostics."""
+    if backend is None:
+        backend = default_backend()
     with tracer.span("bu.scan", cat="compute", rank=rank) as sp:
-        out = _scan(state, in_queue, summary)
+        out = backend.bottom_up_scan(state, in_queue, summary)
         if tracer.enabled:
             sp.set(
+                backend=backend.name,
                 candidates=out.candidates,
                 examined_edges=out.examined_edges,
                 inqueue_reads=out.inqueue_reads,
                 discovered=int(out.new_local.size),
+                gathered_edges=out.gathered_edges,
+                chunk_rounds=out.chunk_rounds,
             )
     return out
-
-
-def _scan(
-    state: RankState,
-    in_queue: Bitmap,
-    summary: SummaryBitmap | None,
-) -> BottomUpResult:
-    lg = state.local
-    cand = state.unvisited_local()
-    if cand.size == 0:
-        return BottomUpResult(
-            new_local=np.zeros(0, dtype=np.int64),
-            candidates=0,
-            examined_edges=0,
-            inqueue_reads=0,
-        )
-
-    starts = lg.offsets[cand]
-    lens = (lg.offsets[cand + 1] - starts).astype(np.int64)
-    total = int(lens.sum())
-    flat_starts = np.cumsum(lens) - lens
-    pos = (
-        np.arange(total, dtype=np.int64)
-        - np.repeat(flat_starts, lens)
-        + np.repeat(starts, lens)
-    )
-    neighbors = lg.targets[pos]
-
-    hits = in_queue.test(neighbors)
-    seg_offsets = np.concatenate([[0], np.cumsum(lens)]).astype(np.int64)
-    first = segment_first_true(hits, seg_offsets)
-    examined = segment_counts_until_first_true(hits, seg_offsets)
-
-    found = first >= 0
-    new_local = cand[found]
-    parents = neighbors[first[found]]
-    discovered = state.discover(new_local, parents)
-    if discovered.size != new_local.size:  # pragma: no cover - invariant
-        raise AssertionError("bottom-up rediscovered a visited vertex")
-
-    examined_total = int(examined.sum())
-    if summary is None:
-        # Without the summary structure every examined edge reads in_queue.
-        inqueue_reads = examined_total
-    else:
-        # Edges inside the early-exit prefix whose summary block is
-        # non-empty: only those fall through to the in_queue word read.
-        within_prefix = (
-            np.arange(total, dtype=np.int64) - np.repeat(flat_starts, lens)
-        ) < np.repeat(examined, lens)
-        summary_hits = summary.test_vertices(neighbors)
-        inqueue_reads = int(np.count_nonzero(within_prefix & summary_hits))
-
-    return BottomUpResult(
-        new_local=new_local,
-        candidates=int(cand.size),
-        examined_edges=examined_total,
-        inqueue_reads=inqueue_reads,
-    )

@@ -51,6 +51,17 @@ class BFSConfig:
     granularity: int = 64
     use_summary: bool = True
 
+    # Kernel backend selection (repro.core.kernels).  None defers to the
+    # REPRO_KERNEL environment variable and then the registry default
+    # ("activeset").  All backends are bit-identical on the paper's
+    # accounting, so this knob never changes a priced result.
+    kernel: str | None = None
+    # First-round chunk width of the active-set backend's wavefront
+    # (edges tested per candidate per round; doubles each round).  Mid-BFS
+    # candidates retire within the first edge or two, so the first rounds
+    # should stay tiny.
+    kernel_chunk: int = 2
+
     # Extension beyond the paper: balance the 1-D partition by edge mass
     # instead of vertex count, reducing the stall (load-imbalance) phase.
     degree_balanced: bool = False
@@ -74,6 +85,8 @@ class BFSConfig:
             raise ConfigError("ppn must be positive")
         if self.granularity < 64 or self.granularity % 64:
             raise ConfigError("granularity must be a positive multiple of 64")
+        if self.kernel_chunk < 1:
+            raise ConfigError("kernel_chunk must be >= 1")
         if self.alpha <= 0 or self.beta <= 0:
             raise ConfigError("alpha/beta must be positive")
         if self.parallel_allgather and not self.shares_everything:

@@ -34,6 +34,7 @@ from repro.core.bitmap import Bitmap, SummaryBitmap, summary_words_for
 from repro.core.config import BFSConfig
 from repro.core.counts import Direction, LevelCounts, RunCounts
 from repro.core.hybrid import DirectionPolicy, FrontierStats
+from repro.core.kernels import resolve_backend
 from repro.core.state import RankState
 from repro.core.timing import BfsTiming, CostConstants, StructureSizes, assemble
 from repro.errors import ConfigError, GraphError
@@ -110,6 +111,10 @@ class BFSEngine:
         # undecorated hot path is unchanged.
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        # Kernel backend: config.kernel > $REPRO_KERNEL > registry default.
+        # Backends are bit-identical on all priced counts (enforced by the
+        # equivalence suite), so this only changes speed and memory.
+        self.kernel = resolve_backend(config)
         ppn = config.resolve_ppn(cluster)
         self.mapping = ProcessMapping(cluster, ppn, config.binding)
         self.comm = SimComm(cluster, self.mapping, tracer=self.tracer)
@@ -276,6 +281,7 @@ class BFSEngine:
         """Fold one run's counts and timings into the metrics registry."""
         m = self.metrics
         m.counter("bfs.runs_total").inc()
+        m.counter("bfs.kernel_runs_total", backend=self.kernel.name).inc()
         m.gauge("bfs.last_run.teps").set(result.teps)
         m.gauge("bfs.last_run.simulated_seconds").set(result.seconds)
         for phase, ns in result.timing.breakdown.as_dict().items():
@@ -316,7 +322,7 @@ class BFSEngine:
             sends = [
                 topdown.expand(
                     states[r], frontier_lists[r], self.partition,
-                    tracer=tr, rank=r,
+                    tracer=tr, rank=r, backend=self.kernel,
                 )
                 for r in range(np_ranks)
             ]
@@ -386,14 +392,35 @@ class BFSEngine:
         cand = np.zeros(np_ranks, dtype=np.int64)
         examined = np.zeros(np_ranks, dtype=np.int64)
         inq_reads = np.zeros(np_ranks, dtype=np.int64)
+        gathered = np.zeros(np_ranks, dtype=np.int64)
+        rounds = np.zeros(np_ranks, dtype=np.int64)
         with tr.span("phase.bu_scan", cat="phase"):
             for r in range(np_ranks):
-                out = bottomup.scan(states[r], in_queue, summary, tracer=tr, rank=r)
+                out = bottomup.scan(
+                    states[r], in_queue, summary,
+                    tracer=tr, rank=r, backend=self.kernel,
+                )
                 cand[r] = out.candidates
                 examined[r] = out.examined_edges
                 inq_reads[r] = out.inqueue_reads
+                gathered[r] = out.gathered_edges
+                rounds[r] = out.chunk_rounds
                 new_lists.append(out.new_local)
         lc.candidates = cand
         lc.examined_edges = examined
         lc.inqueue_reads = inq_reads
+        if self.metrics is not None:
+            # Per-level active-set diagnostics (never priced): how much
+            # adjacency the backend materialized to produce the level's
+            # examined count, and how many wavefront rounds it took.
+            m = self.metrics
+            m.counter(
+                "bfs.bu.gathered_edges_total", backend=self.kernel.name
+            ).inc(float(gathered.sum()))
+            m.counter(
+                "bfs.bu.scan_examined_edges_total", backend=self.kernel.name
+            ).inc(float(examined.sum()))
+            m.histogram(
+                "bfs.bu.chunk_rounds", backend=self.kernel.name
+            ).observe(float(rounds.max(initial=0)))
         return new_lists

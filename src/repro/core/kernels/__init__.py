@@ -1,0 +1,77 @@
+"""Pluggable BFS kernel backends.
+
+The engine's per-rank compute kernels (top-down expand, bottom-up scan)
+live behind a small registry so alternative implementations can be
+swapped without touching the engine.  Two backends ship:
+
+``reference``
+    The original full-materialization kernels
+    (:class:`~repro.core.kernels.reference.ReferenceBackend`) — the
+    accounting oracle.
+``activeset``
+    Chunked early-exit scan
+    (:class:`~repro.core.kernels.activeset.ActiveSetBackend`) — memory
+    and bitmap probes scale with *examined* edges; the default.
+
+Selection precedence: ``BFSConfig.kernel`` (explicit) → the
+``REPRO_KERNEL`` environment variable → :data:`DEFAULT_BACKEND`.  Every
+backend is bit-identical on the paper's accounting, so the choice never
+changes a priced result — see docs/PERFORMANCE.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.kernels.activeset import ActiveSetBackend
+from repro.core.kernels.base import (
+    BottomUpResult,
+    KernelBackend,
+    TopDownSend,
+    available_backends,
+    dedup_first_parent,
+    get_backend,
+    register_backend,
+)
+from repro.core.kernels.reference import ReferenceBackend
+
+__all__ = [
+    "ActiveSetBackend",
+    "BottomUpResult",
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "KernelBackend",
+    "ReferenceBackend",
+    "TopDownSend",
+    "available_backends",
+    "dedup_first_parent",
+    "default_backend",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+]
+
+#: Backend used when neither the config nor the environment picks one.
+DEFAULT_BACKEND = "activeset"
+
+#: Environment variable consulted when the config does not pin a backend.
+ENV_VAR = "REPRO_KERNEL"
+
+
+def _env_name() -> str:
+    return os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+
+
+def default_backend() -> KernelBackend:
+    """The process-default backend (``$REPRO_KERNEL`` or the built-in)."""
+    return get_backend(_env_name())
+
+
+def resolve_backend(config=None) -> KernelBackend:
+    """Backend for one engine: ``config.kernel`` → env var → default.
+
+    The returned instance honours backend knobs on the config (e.g.
+    ``kernel_chunk`` for the active-set backend).
+    """
+    name = getattr(config, "kernel", None) or _env_name()
+    return get_backend(name, config=config)

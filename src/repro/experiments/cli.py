@@ -5,6 +5,7 @@ Usage::
     repro-experiment list
     repro-experiment fig09 [--roots N] [--offset K] [--quick]
     repro-experiment fig09 --trace-out /tmp/t.json --metrics-out /tmp/m.json
+    repro-experiment fig09 --kernel reference
     repro-experiment all
 
 ``--trace-out`` additionally executes one fully-instrumented BFS run
@@ -84,6 +85,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the metrics registry (wall-clocks, counters, "
         "histograms) as JSON to PATH at exit",
     )
+    parser.add_argument(
+        "--kernel",
+        metavar="BACKEND",
+        help="BFS kernel backend for every engine this process builds "
+        "(exported as $REPRO_KERNEL; see 'repro-experiment list' docs "
+        "and docs/PERFORMANCE.md). Backends are bit-identical on all "
+        "reproduced numbers — this only changes speed",
+    )
     return parser
 
 
@@ -114,6 +123,19 @@ def _write_trace(path: str, eid: str, settings, registry) -> None:
 def main(argv: list[str] | None = None) -> int:
     """Console entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.kernel:
+        import os
+
+        from repro.core.kernels import available_backends
+
+        if args.kernel not in available_backends():
+            print(
+                f"unknown kernel backend {args.kernel!r}; available: "
+                f"{', '.join(available_backends())}",
+                file=sys.stderr,
+            )
+            return 2
+        os.environ["REPRO_KERNEL"] = args.kernel
     if args.experiment == "list":
         for eid, mod in EXPERIMENTS.items():
             print(f"{eid:12s} {mod.TITLE}")

@@ -14,6 +14,8 @@ flat value array.  Empty segments are allowed.
 
 from __future__ import annotations
 
+from typing import NamedTuple
+
 import numpy as np
 
 __all__ = [
@@ -22,6 +24,9 @@ __all__ = [
     "segment_any",
     "segment_sums",
     "segment_counts_until_first_true",
+    "segment_first_true_and_counts",
+    "AdjacencyGather",
+    "gather_adjacency",
 ]
 
 
@@ -98,11 +103,65 @@ def segment_counts_until_first_true(
     whole segment is examined.  This models the bottom-up BFS early exit:
     the parent search stops at the first neighbour found in the frontier.
     """
+    return segment_first_true_and_counts(mask, offsets)[1]
+
+
+def segment_first_true_and_counts(
+    mask: np.ndarray, offsets: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fused :func:`segment_first_true` + early-exit examined counts.
+
+    The two quantities share all their intermediate work (the hit search
+    and the segment geometry), so the bottom-up kernels ask for them in
+    one call rather than running the hit search twice.  Returns
+    ``(first, examined)``: the flat index of each segment's first True
+    element (-1 when none) and the number of elements an early-exiting
+    scan examines (first-hit position inclusive, or the full segment when
+    there is no hit).
+    """
     mask = np.asarray(mask, dtype=bool)
     offsets = _check_offsets(offsets, mask.size)
     first = segment_first_true(mask, offsets)
-    lengths = np.diff(offsets)
-    examined = lengths.copy()
+    examined = np.diff(offsets)
     found = first >= 0
     examined[found] = first[found] - offsets[:-1][found] + 1
-    return examined
+    return first, examined
+
+
+class AdjacencyGather(NamedTuple):
+    """Flattened CSR adjacency of a set of vertices.
+
+    ``pos`` indexes the local ``targets`` array (so ``targets[pos]`` is the
+    concatenated adjacency), ``rel`` is each flat element's offset within
+    its own segment, ``seg_offsets`` delimits per-vertex segments in the
+    flat arrays, and ``lens`` is each vertex's degree.
+    """
+
+    pos: np.ndarray
+    rel: np.ndarray
+    seg_offsets: np.ndarray
+    lens: np.ndarray
+
+
+def gather_adjacency(
+    offsets: np.ndarray, vertices: np.ndarray
+) -> AdjacencyGather:
+    """Flatten the CSR rows of ``vertices`` into one index array.
+
+    This is the shared flattening step of the top-down and bottom-up
+    kernels.  The per-element segment offset (``rel``) is computed once
+    and the CSR position derived from it, so each of the two ``repeat``
+    expansions runs exactly once (the historic kernels repeated
+    ``flat_starts`` twice).
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    vertices = np.asarray(vertices, dtype=np.int64)
+    starts = offsets[vertices]
+    lens = offsets[vertices + 1] - starts
+    seg_offsets = np.concatenate([[0], np.cumsum(lens)]).astype(np.int64)
+    total = int(seg_offsets[-1])
+    rel = np.arange(total, dtype=np.int64) - np.repeat(
+        seg_offsets[:-1], lens
+    )
+    pos = rel + np.repeat(starts, lens)
+    return AdjacencyGather(pos=pos, rel=rel, seg_offsets=seg_offsets, lens=lens)

@@ -1,0 +1,278 @@
+"""Backend-equivalence suite for the pluggable BFS kernels.
+
+Every kernel backend must reproduce the paper's accounting
+bit-identically — parents, discovery order, ``examined_edges`` and
+``inqueue_reads`` (Section II.B.2) — because the cost model and Fig. 16
+consume those counts.  These tests pin that invariant on randomized
+R-MAT graphs and on the adversarial shapes the chunked scan is most
+likely to get wrong: isolated vertices, an empty frontier, a single
+giant-degree hub, and pathological chunk widths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BFSConfig, BFSEngine, Bitmap, SummaryBitmap, bottomup
+from repro.core.kernels import (
+    ActiveSetBackend,
+    ReferenceBackend,
+    available_backends,
+    default_backend,
+    get_backend,
+    resolve_backend,
+)
+from repro.core.kernels.base import _dedup_dense, _dedup_sorted, dedup_first_parent
+from repro.core.state import RankState
+from repro.errors import ConfigError
+from repro.graph import (
+    Partition1D,
+    from_edge_arrays,
+    path_graph,
+    rmat_graph,
+    star_graph,
+)
+from repro.machine import paper_cluster
+
+# The backends under test: the oracle, the default active-set kernel,
+# and active-set variants with adversarial chunk widths (1 forces one
+# edge per candidate per round; 3 exercises ragged chunk tails; a huge
+# width degenerates to full materialization in one round).
+BACKENDS = {
+    "reference": ReferenceBackend(),
+    "activeset": ActiveSetBackend(),
+    "activeset.chunk=1": ActiveSetBackend(chunk=1),
+    "activeset.chunk=3": ActiveSetBackend(chunk=3),
+    "activeset.chunk=big": ActiveSetBackend(chunk=1 << 20),
+}
+
+VARIANTS = sorted(k for k in BACKENDS if k != "reference")
+
+
+def scan_outcome(graph, backend, visited, frontier, granularity):
+    """Run one bottom-up scan from a reproducible state; return all
+    accounting plus the post-scan parent array."""
+    part = Partition1D(graph.num_vertices, 1)
+    state = RankState(part.extract_local(graph, 0))
+    visited = np.asarray(visited, dtype=np.int64)
+    if visited.size:
+        state.discover(visited, visited)  # parent=self is fine for setup
+    in_queue = Bitmap.from_indices(graph.num_vertices, frontier)
+    summary = (
+        SummaryBitmap.build(in_queue, granularity) if granularity else None
+    )
+    out = backend.bottom_up_scan(state, in_queue, summary)
+    return {
+        "new_local": out.new_local.tolist(),
+        "candidates": out.candidates,
+        "examined_edges": out.examined_edges,
+        "inqueue_reads": out.inqueue_reads,
+        "parent": state.parent.tolist(),
+    }
+
+
+def assert_all_backends_agree(graph, visited, frontier, granularity):
+    """The heart of the suite: identical outcome under every backend."""
+    expected = scan_outcome(
+        graph, BACKENDS["reference"], visited, frontier, granularity
+    )
+    for name in VARIANTS:
+        got = scan_outcome(graph, BACKENDS[name], visited, frontier, granularity)
+        assert got == expected, (
+            f"{name} diverged from reference (granularity={granularity})"
+        )
+
+
+GRANULARITIES = [None, 64, 256]
+
+
+class TestScanEquivalence:
+    @pytest.mark.parametrize("granularity", GRANULARITIES)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_rmat_random_levels(self, seed, granularity):
+        graph = rmat_graph(scale=9, edgefactor=8, seed=seed)
+        rng = np.random.default_rng(100 + seed)
+        n = graph.num_vertices
+        # A synthetic mid-BFS state: ~35% visited, frontier = a random
+        # half of the visited set (a superset relation is not required
+        # by the kernels).
+        visited = rng.choice(n, size=n // 3, replace=False)
+        frontier = rng.choice(visited, size=visited.size // 2, replace=False)
+        assert_all_backends_agree(graph, visited, frontier, granularity)
+
+    @pytest.mark.parametrize("granularity", GRANULARITIES)
+    def test_empty_frontier(self, granularity):
+        graph = rmat_graph(scale=8, edgefactor=8, seed=5)
+        # No frontier bits at all: every candidate scans its full degree.
+        assert_all_backends_agree(
+            graph, np.array([0]), np.array([], dtype=np.int64), granularity
+        )
+
+    @pytest.mark.parametrize("granularity", GRANULARITIES)
+    def test_single_giant_degree_hub(self, granularity):
+        # One hub adjacent to everything; the hub is the sole unvisited
+        # candidate, so one candidate drives many doubling rounds.
+        graph = star_graph(4000)
+        leaves = np.arange(1, 4000)
+        frontier = np.array([3990])  # deep in the hub's adjacency
+        assert_all_backends_agree(graph, leaves, frontier, granularity)
+
+    @pytest.mark.parametrize("granularity", GRANULARITIES)
+    def test_hub_with_no_hit(self, granularity):
+        graph = star_graph(2048)
+        # Frontier contains only the (visited) hub itself: every leaf
+        # candidate hits on its single edge; the hub is visited.
+        assert_all_backends_agree(
+            graph, np.array([0]), np.array([0]), granularity
+        )
+
+    @pytest.mark.parametrize("granularity", GRANULARITIES)
+    def test_isolated_vertices(self, granularity):
+        # Vertices 3..9 isolated: candidates must skip them entirely.
+        graph = from_edge_arrays(10, [0, 1, 0], [1, 2, 2])
+        assert_all_backends_agree(
+            graph, np.array([0]), np.array([0]), granularity
+        )
+
+    @pytest.mark.parametrize("granularity", GRANULARITIES)
+    def test_no_candidates(self, granularity):
+        graph = path_graph(8)
+        assert_all_backends_agree(
+            graph, np.arange(8), np.array([4]), granularity
+        )
+
+    def test_activeset_gathers_fewer_edges_than_reference(self):
+        # The backend's raison d'être: on a dense-frontier level it must
+        # materialize far less adjacency than the full candidate degree.
+        graph = rmat_graph(scale=10, edgefactor=16, seed=7)
+        rng = np.random.default_rng(8)
+        n = graph.num_vertices
+        visited = rng.choice(n, size=n // 2, replace=False)
+        frontier = visited
+
+        def gathered(backend):
+            part = Partition1D(n, 1)
+            state = RankState(part.extract_local(graph, 0))
+            state.discover(visited, visited)
+            inq = Bitmap.from_indices(n, frontier)
+            return backend.bottom_up_scan(state, inq, None)
+
+        ref = gathered(BACKENDS["reference"])
+        act = gathered(BACKENDS["activeset"])
+        assert ref.gathered_edges > 0
+        assert act.gathered_edges < ref.gathered_edges / 4
+        assert act.examined_edges == ref.examined_edges
+
+
+class TestEngineEquivalence:
+    """Whole-run equivalence: parents, per-level counts, priced time."""
+
+    @pytest.mark.parametrize("config_kwargs", [
+        {},
+        {"granularity": 256},
+        {"use_summary": False},
+        {"kernel_chunk": 5},
+        {"degree_balanced": True},
+    ])
+    def test_full_run_bit_identical(self, config_kwargs):
+        graph = rmat_graph(scale=11, edgefactor=8, seed=3)
+        cluster = paper_cluster(nodes=2)
+        root = int(np.argmax(graph.degrees()))
+        results = {}
+        for kernel in ("reference", "activeset"):
+            cfg = BFSConfig(kernel=kernel, **config_kwargs)
+            results[kernel] = BFSEngine(graph, cluster, cfg).run(root)
+        a, b = results["reference"], results["activeset"]
+        assert np.array_equal(a.parent, b.parent)
+        assert a.levels == b.levels
+        for la, lb in zip(a.counts.levels, b.counts.levels):
+            assert la.direction == lb.direction
+            assert np.array_equal(la.candidates, lb.candidates)
+            assert np.array_equal(la.examined_edges, lb.examined_edges)
+            assert np.array_equal(la.inqueue_reads, lb.inqueue_reads)
+            assert np.array_equal(la.discovered, lb.discovered)
+        # Identical counts must price identically: the backend can never
+        # change a simulated (paper) result.
+        assert a.seconds == b.seconds
+        assert a.teps == b.teps
+
+
+class TestTopDownDedup:
+    """The two dedup paths (argsort vs. linear scatter) are equivalent."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_paths_agree_on_random_pairs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 500
+        size = int(rng.integers(1, 4000))
+        children = rng.integers(0, n, size=size)
+        parents = rng.integers(0, n, size=size)
+        a = _dedup_sorted(children, parents)
+        b = _dedup_dense(children, parents, n)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_first_occurrence_parent_wins(self):
+        children = np.array([7, 3, 7, 3, 9])
+        parents = np.array([1, 2, 3, 4, 5])
+        for kids, folks in (
+            _dedup_sorted(children, parents),
+            _dedup_dense(children, parents, 10),
+            dedup_first_parent(children, parents, 10),
+        ):
+            assert kids.tolist() == [3, 7, 9]
+            assert folks.tolist() == [2, 1, 5]
+
+    def test_dispatch_empty(self):
+        c = np.zeros(0, dtype=np.int64)
+        kids, folks = dedup_first_parent(c, c, 100)
+        assert kids.size == 0 and folks.size == 0
+
+
+class TestRegistryAndResolution:
+    def test_available_backends(self):
+        names = available_backends()
+        assert "reference" in names and "activeset" in names
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ConfigError, match="unknown kernel backend"):
+            get_backend("warp-drive")
+
+    def test_engine_rejects_unknown_kernel(self):
+        graph = path_graph(256)
+        with pytest.raises(ConfigError, match="unknown kernel backend"):
+            BFSEngine(graph, paper_cluster(nodes=1), BFSConfig(kernel="nope"))
+
+    def test_env_var_selects_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "reference")
+        assert default_backend().name == "reference"
+        assert resolve_backend(None).name == "reference"
+        monkeypatch.delenv("REPRO_KERNEL")
+        assert default_backend().name == "activeset"
+
+    def test_config_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "reference")
+        backend = resolve_backend(BFSConfig(kernel="activeset"))
+        assert backend.name == "activeset"
+
+    def test_kernel_chunk_flows_from_config(self):
+        backend = resolve_backend(BFSConfig(kernel="activeset", kernel_chunk=7))
+        assert isinstance(backend, ActiveSetBackend)
+        assert backend.chunk == 7
+
+    def test_config_validates_chunk(self):
+        with pytest.raises(ConfigError, match="kernel_chunk"):
+            BFSConfig(kernel_chunk=0)
+
+    def test_backend_rejects_bad_chunk(self):
+        with pytest.raises(ConfigError, match="chunk"):
+            ActiveSetBackend(chunk=0)
+
+    def test_scan_wrapper_uses_process_default(self, monkeypatch):
+        graph = path_graph(6)
+        part = Partition1D(6, 1)
+        state = RankState(part.extract_local(graph, 0))
+        state.discover(np.array([2]), np.array([2]))
+        monkeypatch.setenv("REPRO_KERNEL", "reference")
+        out = bottomup.scan(state, Bitmap.from_indices(6, np.array([2])), None)
+        assert out.chunk_rounds == 1  # reference: one full pass
+        assert sorted(out.new_local.tolist()) == [1, 3]
