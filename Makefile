@@ -14,11 +14,16 @@ bench:
 # Kernel-backend baseline: records wall-clock numbers for every
 # registered BFS kernel (reference vs activeset) on a real mid-BFS level
 # to BENCH_kernels.json, with backend/scale metadata in extra_info and
-# the commit hash in commit_info.  Compare runs with
-# `pytest-benchmark compare`.  See docs/PERFORMANCE.md.
+# the commit hash in commit_info.  The comm baseline records the
+# frontier-codec byte table (raw vs wire allgather bytes per codec at
+# the paper configuration) to BENCH_comm.json and enforces the >=30 %
+# auto reduction.  Compare runs with `pytest-benchmark compare`.
+# See docs/PERFORMANCE.md and docs/COMMUNICATION.md.
 bench-baseline:
 	pytest benchmarks/bench_kernels.py --benchmark-only \
 		--benchmark-json=BENCH_kernels.json
+	pytest benchmarks/bench_comm.py --benchmark-only \
+		--benchmark-json=BENCH_comm.json
 
 experiments:
 	repro-experiment all --quick

@@ -1,0 +1,94 @@
+"""Comm-bytes baseline: frontier codecs at the paper configuration.
+
+One full BFS per registered codec on the acceptance workload — 16 nodes,
+ppn=8 (128 ranks), scale-15 R-MAT, ``Share all`` + parallel allgather —
+recording the total simulated allgather payload (raw vs. on-wire) to the
+benchmark JSON's ``extra_info``.  ``make bench-baseline`` persists the
+table as ``BENCH_comm.json``; compare runs with ``pytest-benchmark
+compare``.
+
+The traversal is the paper's all-bottom-up algorithm (every level runs
+the two allgathers, which is why they dominate Fig. 12); the repo's
+hybrid extension already skips the sparse levels where compression pays,
+so it is not the right vehicle for a codec baseline.  The ``auto`` row
+doubles as the acceptance gate: its wire bytes must undercut ``raw`` by
+at least 30 %.
+
+Environment knobs: ``REPRO_BENCH_SCALE`` (default 15) sizes the R-MAT
+graph; ``REPRO_BENCH_NODES`` (default 16) the cluster.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import BFSConfig, BFSEngine, CommConfig, TraversalMode
+from repro.graph import rmat_graph
+from repro.machine import paper_cluster
+from repro.mpi.codecs import available_codecs
+
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "15"))
+NODES = int(os.environ.get("REPRO_BENCH_NODES", "16"))
+PPN = 8
+CODECS = available_codecs()
+
+#: The acceptance criterion: auto's wire bytes vs raw's, at the paper
+#: configuration (only asserted at the full scale-15 workload).
+MAX_AUTO_WIRE_FRACTION = 0.7
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_graph(scale=SCALE, seed=3)
+
+
+def allgather_bytes(result):
+    """Total bottom-up allgather payload of one run (in_queue + summary)."""
+    raw = wire = 0.0
+    for lc in result.counts.levels:
+        if lc.direction != "bottom_up":
+            continue
+        raw += lc.inq_raw_total_bytes + lc.summary_raw_total_bytes
+        wire += lc.inq_wire_total_bytes + lc.summary_wire_total_bytes
+    return raw, wire
+
+
+@pytest.mark.parametrize("codec", CODECS)
+def test_comm_bytes(benchmark, graph, codec):
+    """One paper-config BFS per codec; extra_info carries the byte table."""
+    cluster = paper_cluster(nodes=NODES)
+    cfg = BFSConfig(
+        ppn=PPN,
+        mode=TraversalMode.BOTTOM_UP,
+        comm=CommConfig.parallel(codec=codec),
+        label=f"codec={codec}",
+    )
+    engine = BFSEngine(graph, cluster, cfg)
+    root = int(np.argmax(graph.degrees()))
+    result = benchmark.pedantic(engine.run, args=(root,), rounds=1, iterations=1)
+    raw, wire = allgather_bytes(result)
+    assert raw > 0
+    bu_levels = [
+        lc for lc in result.counts.levels if lc.direction == "bottom_up"
+    ]
+    benchmark.extra_info.update(
+        codec=codec,
+        scale=SCALE,
+        nodes=NODES,
+        ppn=PPN,
+        allgather_raw_bytes=raw,
+        allgather_wire_bytes=wire,
+        reduction_pct=round(100.0 * (1.0 - wire / raw), 1),
+        simulated_seconds=result.seconds,
+        per_level_codecs=[lc.codec or "raw" for lc in bu_levels],
+    )
+    if codec == "auto" and SCALE >= 15:
+        assert wire <= MAX_AUTO_WIRE_FRACTION * raw, (
+            f"auto wire bytes {wire:.0f} exceed "
+            f"{MAX_AUTO_WIRE_FRACTION:.0%} of raw {raw:.0f}"
+        )
+    if codec == "raw":
+        assert wire == raw

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import dataclasses as dc
 
-from repro import BFSConfig
+from repro import BFSConfig, CommConfig
 from repro.machine.spec import ClusterSpec, IbSpec, NodeSpec, x7550_socket
 from repro.model.analytic import analytic_graph500
 from repro.util import format_table
@@ -43,7 +43,7 @@ def make_design(sockets_per_node: int, ib_ports: int) -> ClusterSpec:
 def best_config(cluster: ClusterSpec) -> BFSConfig:
     """The paper's full stack, adapted to the node's socket count."""
     if cluster.node.sockets == 1:
-        return BFSConfig(ppn=1, granularity=256)
+        return BFSConfig(ppn=1, comm=CommConfig(summary_granularity=256))
     return BFSConfig.granularity_variant(256)
 
 

@@ -45,6 +45,7 @@ from repro.mpi import (
     BindingPolicy,
     ProcessMapping,
     SimComm,
+    available_codecs,
 )
 from repro.obs import (
     NULL_TRACER,
@@ -60,6 +61,8 @@ from repro.core import (
     optimization_stack,
     run_bfs,
     BFSConfig,
+    CommConfig,
+    SharingVariant,
     BFSEngine,
     BFSResult,
     Bitmap,
@@ -97,10 +100,13 @@ __all__ = [
     "BindingPolicy",
     "ProcessMapping",
     "SimComm",
+    "available_codecs",
     "compare_configs",
     "optimization_stack",
     "run_bfs",
     "BFSConfig",
+    "CommConfig",
+    "SharingVariant",
     "BFSEngine",
     "BFSResult",
     "Bitmap",

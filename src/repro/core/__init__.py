@@ -11,7 +11,13 @@ Public surface:
 
 from repro.core.api import ConfigComparison, compare_configs, optimization_stack, run_bfs
 from repro.core.bitmap import Bitmap, SummaryBitmap, summary_words_for
-from repro.core.config import BFSConfig, TraversalMode, paper_variants
+from repro.core.config import (
+    BFSConfig,
+    CommConfig,
+    SharingVariant,
+    TraversalMode,
+    paper_variants,
+)
 from repro.core.counts import Direction, LevelCounts, RunCounts
 from repro.core.engine import BFSEngine, BFSResult
 from repro.core.hybrid import DirectionPolicy, FrontierStats
@@ -46,6 +52,8 @@ __all__ = [
     "SummaryBitmap",
     "summary_words_for",
     "BFSConfig",
+    "CommConfig",
+    "SharingVariant",
     "TraversalMode",
     "paper_variants",
     "Direction",

@@ -11,11 +11,11 @@ not have to assemble engines by hand:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.core.config import BFSConfig, paper_variants
+from repro.core.config import BFSConfig, CommConfig, paper_variants
 from repro.core.engine import BFSEngine, BFSResult
 from repro.core.validate import validate_parent_tree
 from repro.errors import GraphError
@@ -32,14 +32,19 @@ def run_bfs(
     cluster: ClusterSpec | None = None,
     config: BFSConfig | None = None,
     validate: bool = False,
+    comm: CommConfig | None = None,
 ) -> BFSResult:
     """One BFS traversal, optionally validated.
 
     Defaults: one 8-socket node and the paper's bound one-process-per-
-    socket configuration.
+    socket configuration.  ``comm`` overrides the configuration's
+    communication block (sharing variant, allgather flavour, frontier
+    codec) without rebuilding the whole config.
     """
     cluster = cluster or paper_cluster(nodes=1)
     config = config or BFSConfig.original_ppn8()
+    if comm is not None:
+        config = replace(config, comm=comm)
     result = BFSEngine(graph, cluster, config).run(root)
     if validate:
         validate_parent_tree(graph, root, result.parent)
@@ -70,15 +75,21 @@ def compare_configs(
     cluster: ClusterSpec | None = None,
     root: int | None = None,
     target_scale: int | None = None,
+    comm: CommConfig | None = None,
 ) -> ConfigComparison:
     """Run several configurations from the same root and compare TEPS.
 
     ``target_scale`` re-prices every run at a paper scale (recommended:
     tiny functional graphs are latency-dominated and hide the NUMA
-    story).
+    story).  ``comm`` overrides every configuration's communication
+    block — useful to sweep one codec/sharing setting across variants.
     """
     if not configs:
         raise GraphError("need at least one configuration")
+    if comm is not None:
+        configs = {
+            name: replace(cfg, comm=comm) for name, cfg in configs.items()
+        }
     cluster = cluster or paper_cluster(nodes=1)
     if root is None:
         degrees = graph.degrees()

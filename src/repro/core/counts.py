@@ -51,6 +51,19 @@ class LevelCounts:
     inq_part_words: float = 0.0
     summary_part_words: float = 0.0
 
+    # Frontier-codec outcome of this level's allgathers.  ``codec`` is
+    # the concrete codec the level transmitted with (None/"raw" = no
+    # encoding, wire == raw); wire bytes are post-encode payload sizes,
+    # data-dependent and hence recorded rather than recomputed.  Raw
+    # totals are kept alongside so compression ratios survive scaling.
+    codec: str | None = None
+    inq_raw_total_bytes: float = 0.0
+    inq_wire_part_bytes: float = 0.0
+    inq_wire_total_bytes: float = 0.0
+    summary_raw_total_bytes: float = 0.0
+    summary_wire_part_bytes: float = 0.0
+    summary_wire_total_bytes: float = 0.0
+
     # Small collectives this level (frontier stats + termination checks).
     allreduces: int = 0
 
@@ -133,6 +146,18 @@ class LevelCounts:
             td_send_bytes=td,
             inq_part_words=self.inq_part_words * factor,
             summary_part_words=self.summary_part_words * factor,
+            # Compressed payloads are dominated by per-set-bit tokens
+            # (RLE runs, sparse gaps), and set bits scale linearly with
+            # the graph at fixed frontier density — so wire bytes scale
+            # with the same factor as their raw counterparts, keeping
+            # the level's compression ratio scale-invariant.
+            codec=self.codec,
+            inq_raw_total_bytes=self.inq_raw_total_bytes * factor,
+            inq_wire_part_bytes=self.inq_wire_part_bytes * factor,
+            inq_wire_total_bytes=self.inq_wire_total_bytes * factor,
+            summary_raw_total_bytes=self.summary_raw_total_bytes * factor,
+            summary_wire_part_bytes=self.summary_wire_part_bytes * factor,
+            summary_wire_total_bytes=self.summary_wire_total_bytes * factor,
             allreduces=self.allreduces,
         )
 

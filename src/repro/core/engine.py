@@ -45,6 +45,7 @@ from repro.graph.partition import (
 )
 from repro.graph.types import Graph
 from repro.machine.spec import ClusterSpec
+from repro.mpi.codecs import get_codec, resolve_codec
 from repro.mpi.collectives import allgather
 from repro.mpi.mapping import ProcessMapping
 from repro.mpi.sharedmem import NodeSharedBuffer
@@ -115,6 +116,13 @@ class BFSEngine:
         # Backends are bit-identical on all priced counts (enforced by the
         # equivalence suite), so this only changes speed and memory.
         self.kernel = resolve_backend(config)
+        # Frontier codec: config.comm.codec > $REPRO_CODEC > "raw".
+        # Codecs are lossless (round-trip enforced inside allgather), so
+        # they change only the simulated wire bytes/time; the identity
+        # codec is dropped here so the raw path stays byte-for-byte the
+        # uninstrumented one.
+        codec = resolve_codec(config)
+        self.codec = None if codec.is_identity else codec
         ppn = config.resolve_ppn(cluster)
         self.mapping = ProcessMapping(cluster, ppn, config.binding)
         self.comm = SimComm(cluster, self.mapping, tracer=self.tracer)
@@ -139,6 +147,12 @@ class BFSEngine:
             bitops.words_for_bits(self.partition.size_of(r))
             for r in range(np_ranks)
         ]
+        # Word offset of each rank's slice in the concatenated bitmap
+        # (partition bounds are 64-aligned, so slices tile exactly); used
+        # to hand the sieve codec per-rank views of the visited mask.
+        self._word_starts = np.concatenate(
+            ([0], np.cumsum(self._part_words))
+        ).astype(np.int64)
         self.sizes = StructureSizes(
             num_vertices=n,
             num_arcs=graph.num_directed_edges,
@@ -198,6 +212,16 @@ class BFSEngine:
         )
         policy = DirectionPolicy(self.config)
         shared = self._shared_buffers()
+        # Union of all previously allgathered in_queues: common knowledge
+        # shared by encoder and decoder, which the sieve codec exploits.
+        # Only maintained when a non-identity codec is active — the raw
+        # path stays exactly the seed implementation.
+        visited_words = (
+            np.zeros(bitops.words_for_bits(graph.num_vertices),
+                     dtype=bitops.WORD_DTYPE)
+            if self.codec is not None
+            else None
+        )
 
         owner = int(self.partition.owner(root))
         root_local = states[owner].to_local(np.array([root]))
@@ -242,7 +266,7 @@ class BFSEngine:
                         )
                     else:
                         frontier_lists = self._bottom_up_level(
-                            states, frontier_lists, lc, shared
+                            states, frontier_lists, lc, shared, visited_words
                         )
 
                 lc.discovered = np.array(
@@ -299,6 +323,20 @@ class BFSEngine:
                 for t in lt.compute_rank_ns:
                     stall_hist.observe(comp_max - float(t))
             if lc.direction == Direction.BOTTOM_UP:
+                codec = lc.codec or "raw"
+                raw_b = lc.inq_raw_total_bytes + lc.summary_raw_total_bytes
+                wire_b = lc.inq_wire_total_bytes + lc.summary_wire_total_bytes
+                if raw_b > 0:
+                    m.counter(
+                        "bfs.comm.allgather_raw_bytes_total", codec=codec
+                    ).inc(raw_b)
+                    m.counter(
+                        "bfs.comm.allgather_wire_bytes_total", codec=codec
+                    ).inc(wire_b)
+                    if wire_b > 0:
+                        m.histogram(
+                            "bfs.comm.compression_ratio", codec=codec
+                        ).observe(raw_b / wire_b)
                 examined = float(lc.examined_edges.sum())
                 if examined > 0 and self.config.use_summary:
                     # Fraction of examined edges that fell through the
@@ -358,6 +396,7 @@ class BFSEngine:
         frontier_lists: list[np.ndarray],
         lc: LevelCounts,
         shared: list[NodeSharedBuffer] | None,
+        visited_words: np.ndarray | None = None,
     ) -> list[np.ndarray]:
         np_ranks = self.mapping.num_ranks
         n = self.graph.num_vertices
@@ -367,16 +406,34 @@ class BFSEngine:
             summary_words = summary_words_for(n, self.config.granularity)
             lc.summary_part_words = summary_words / np_ranks
 
+        visited_parts = None
+        if self.codec is not None and visited_words is not None:
+            visited_parts = [
+                visited_words[self._word_starts[r]:self._word_starts[r + 1]]
+                for r in range(np_ranks)
+            ]
         tr = self.tracer
         with tr.span("phase.bu_allgather", cat="phase"):
             res = allgather(
-                self.comm, parts, self.config.in_queue_algorithm(), shared
+                self.comm, parts, self.config.in_queue_algorithm(), shared,
+                codec=self.codec,
+                visited_parts=visited_parts,
+                subgroups=self.config.comm.subgroups,
             )
+        lc.codec = res.codec
+        lc.inq_raw_total_bytes = res.raw_bytes
+        lc.inq_wire_total_bytes = res.wire_bytes
+        lc.inq_wire_part_bytes = res.wire_part_bytes
         if shared is not None:
             full_words = shared[0].data
         else:
             full_words = res.data
         in_queue = Bitmap(n, words=full_words.copy())
+        if visited_words is not None:
+            # Fold the just-published frontier into the common-knowledge
+            # mask *after* this allgather used the previous one — both
+            # sides of the next level's sieve see the same history.
+            np.bitwise_or(visited_words, in_queue.words, out=visited_words)
         # The summary is built locally from the gathered bitmap — the data
         # is bit-identical to the reference code's allgathered summary (it
         # is a pure function of in_queue); its allgather is priced via
@@ -387,6 +444,22 @@ class BFSEngine:
                 if self.config.use_summary
                 else None
             )
+        if summary is not None:
+            raw_bytes = summary_words * 8.0
+            lc.summary_raw_total_bytes = raw_bytes
+            if lc.codec not in (None, "raw"):
+                # Price the summary's (not functionally executed)
+                # allgather through the same codec the in_queue used: the
+                # summary is a pure function of in_queue, so encoding the
+                # full bitmap yields the exact wire payload the reference
+                # code would transmit.  No visited mask — summary blocks
+                # re-light across levels.
+                enc = get_codec(lc.codec).encode(summary.words)
+                lc.summary_wire_total_bytes = float(enc.wire_nbytes)
+                lc.summary_wire_part_bytes = float(enc.wire_nbytes) / np_ranks
+            else:
+                lc.summary_wire_total_bytes = raw_bytes
+                lc.summary_wire_part_bytes = lc.summary_part_words * 8.0
 
         new_lists = []
         cand = np.zeros(np_ranks, dtype=np.int64)

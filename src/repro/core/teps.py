@@ -9,11 +9,11 @@ breakdown figures report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.core.config import BFSConfig
+from repro.core.config import BFSConfig, CommConfig
 from repro.core.engine import BFSEngine, BFSResult
 from repro.core.timing import CostConstants, PhaseBreakdown
 from repro.core.validate import validate_parent_tree
@@ -129,12 +129,16 @@ def run_graph500(
     seed: int = 2,
     validate: bool = False,
     constants: CostConstants = CostConstants(),
+    comm: CommConfig | None = None,
 ) -> Graph500Result:
     """Run the Graph500 protocol and aggregate the results.
 
     ``validate=True`` runs the full five-check Graph500 validator on every
     parent tree (slow for large graphs; the test suite exercises it).
+    ``comm`` overrides the configuration's communication block.
     """
+    if comm is not None:
+        config = replace(config, comm=comm)
     roots = sample_roots(graph, num_roots, seed=seed)
     engine = BFSEngine(graph, cluster, config, constants=constants)
     out = Graph500Result(config=config, roots=roots)

@@ -371,19 +371,63 @@ class _Pricer:
         steps["allreduce"] = lc.allreduces * self.comm.allreduce_time()
         return sum(steps.values()), steps
 
+    def _allgather_steps(
+        self,
+        algorithm,
+        raw_part_bytes: float,
+        wire_part_bytes: float,
+        wire_total_bytes: float,
+        encoded: bool,
+    ) -> tuple[float, dict[str, float]]:
+        """One allgather's step times, with codec terms when encoded.
+
+        Mirrors :func:`repro.mpi.collectives.allgather` exactly: the
+        transfer schedule is priced at the *wire* sizes the engine
+        recorded, and the encode/decode CPU terms use the same inputs the
+        functional path charged (largest raw part in, full wire payload
+        out) — keeping assembled timings identical to the traced events.
+        """
+        subgroups = self.config.comm.subgroups
+        if encoded:
+            t, steps = allgather_time(
+                self.comm,
+                algorithm,
+                part_bytes=wire_part_bytes,
+                total_bytes=wire_total_bytes,
+                subgroups=subgroups,
+            )
+            steps["codec_encode"] = self.comm.codec_model.encode_time_ns(
+                raw_part_bytes
+            )
+            steps["codec_decode"] = self.comm.codec_model.decode_time_ns(
+                wire_total_bytes
+            )
+            t += steps["codec_encode"] + steps["codec_decode"]
+        else:
+            t, steps = allgather_time(
+                self.comm, algorithm, part_bytes=raw_part_bytes,
+                subgroups=subgroups,
+            )
+        return t, steps
+
     def bottom_up_comm(self, lc: LevelCounts) -> tuple[float, dict[str, float]]:
-        inq_t, inq_steps = allgather_time(
-            self.comm,
+        encoded = lc.codec not in (None, "raw")
+        inq_t, inq_steps = self._allgather_steps(
             self.config.in_queue_algorithm(),
-            part_bytes=lc.inq_part_words * 8.0,
+            raw_part_bytes=lc.inq_part_words * 8.0,
+            wire_part_bytes=lc.inq_wire_part_bytes,
+            wire_total_bytes=lc.inq_wire_total_bytes,
+            encoded=encoded,
         )
         total = inq_t
         steps = {f"inq_{k}": v for k, v in inq_steps.items()}
         if self.config.use_summary:
-            sum_t, sum_steps = allgather_time(
-                self.comm,
+            sum_t, sum_steps = self._allgather_steps(
                 self.config.summary_algorithm(),
-                part_bytes=lc.summary_part_words * 8.0,
+                raw_part_bytes=lc.summary_part_words * 8.0,
+                wire_part_bytes=lc.summary_wire_part_bytes,
+                wire_total_bytes=lc.summary_wire_total_bytes,
+                encoded=encoded,
             )
             total += sum_t
             steps.update({f"summary_{k}": v for k, v in sum_steps.items()})

@@ -405,6 +405,8 @@ class TwoDBFSEngine:
 
 
 def _plain_config():
-    from repro.core.config import BFSConfig, TraversalMode
+    from repro.core.config import BFSConfig, CommConfig, TraversalMode
 
-    return BFSConfig(mode=TraversalMode.TOP_DOWN, use_summary=False)
+    return BFSConfig(
+        mode=TraversalMode.TOP_DOWN, comm=CommConfig(use_summary=False)
+    )

@@ -93,6 +93,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "and docs/PERFORMANCE.md). Backends are bit-identical on all "
         "reproduced numbers — this only changes speed",
     )
+    parser.add_argument(
+        "--codec",
+        metavar="CODEC",
+        help="frontier codec for every allgather this process simulates "
+        "(exported as $REPRO_CODEC; see docs/COMMUNICATION.md). Codecs "
+        "are lossless — functional results are bit-identical to raw; "
+        "only the simulated wire bytes and communication time change",
+    )
     return parser
 
 
@@ -136,6 +144,19 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 2
         os.environ["REPRO_KERNEL"] = args.kernel
+    if args.codec:
+        import os
+
+        from repro.mpi.codecs import available_codecs
+
+        if args.codec not in available_codecs():
+            print(
+                f"unknown frontier codec {args.codec!r}; available: "
+                f"{', '.join(available_codecs())}",
+                file=sys.stderr,
+            )
+            return 2
+        os.environ["REPRO_CODEC"] = args.codec
     if args.experiment == "list":
         for eid, mod in EXPERIMENTS.items():
             print(f"{eid:12s} {mod.TITLE}")

@@ -14,7 +14,7 @@ direction switching) is timeless.
 
 from __future__ import annotations
 
-from repro.core.config import BFSConfig, TraversalMode
+from repro.core.config import BFSConfig, CommConfig, TraversalMode
 from repro.experiments.common import ExperimentResult, ExperimentSettings
 from repro.machine.presets import modern_cluster
 from repro.machine.spec import paper_cluster
@@ -38,10 +38,7 @@ def _stack(cluster, ppn_full: int) -> dict[str, float]:
             cluster,
             BFSConfig(
                 ppn=ppn_full,
-                share_in_queue=True,
-                share_all=True,
-                parallel_allgather=True,
-                granularity=256,
+                comm=CommConfig.parallel(summary_granularity=256),
             ),
             SCALE,
         ).teps,

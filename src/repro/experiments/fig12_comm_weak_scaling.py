@@ -36,6 +36,8 @@ def run(settings: ExperimentSettings | None = None) -> ExperimentResult:
             "ppn=8 comm/phase [ms]",
             "ppn8/ppn1",
             "ppn=8 comm proportion",
+            "allgather raw [MB]",
+            "allgather wire [MB]",
         ],
     )
     ratios = {}
@@ -52,6 +54,7 @@ def run(settings: ExperimentSettings | None = None) -> ExperimentResult:
         prop = ppn8.mean_breakdown().comm_fraction
         ratios[nodes] = c8 / c1 if c1 else float("inf")
         proportions[nodes] = prop
+        agb = ppn8.mean_allgather_bytes()
         res.rows.append(
             [
                 nodes,
@@ -60,6 +63,8 @@ def run(settings: ExperimentSettings | None = None) -> ExperimentResult:
                 c8 / 1e6,
                 ratios[nodes],
                 f"{prop * 100:.0f}%",
+                agb["raw"] / 1e6,
+                agb["wire"] / 1e6,
             ]
         )
     res.add_claim(

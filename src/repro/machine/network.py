@@ -53,6 +53,16 @@ class NetworkModel:
         """Bandwidth of each stream when ``flows`` share the node's NICs."""
         return self.node_bandwidth(flows, node_index) / flows
 
+    def ns_per_byte(self, flows: int = 1, node_index: int | None = None) -> float:
+        """Marginal wire cost (ns) of one payload byte on one flow.
+
+        The bandwidth-term slope of :meth:`transfer_time`; the ``auto``
+        frontier codec compares this against the
+        :class:`~repro.machine.costmodel.CodecCostModel` throughputs to
+        decide whether shrinking the payload pays.
+        """
+        return 1e9 / self.flow_bandwidth(flows, node_index)
+
     def transfer_time(
         self,
         nbytes: float,

@@ -75,6 +75,28 @@ class PredictedGraph500:
             )
         return float(np.mean(times)) if times else 0.0
 
+    def mean_allgather_bytes(self) -> dict[str, float]:
+        """Mean per-root allgather payload totals at the target scale.
+
+        Sums the bottom-up in_queue and summary allgathers; ``raw`` is
+        the pre-codec payload, ``wire`` what the frontier codec actually
+        put on the wire (equal under ``raw``).  This is the quantity the
+        BENCH_comm.json baseline and the Fig. 12/13 codec claims report.
+        """
+        raw = wire = 0.0
+        k = max(len(self.predictions), 1)
+        for p in self.predictions:
+            for lc in p.counts.levels:
+                if lc.direction != "bottom_up":
+                    continue
+                raw += (
+                    lc.inq_raw_total_bytes + lc.summary_raw_total_bytes
+                ) / k
+                wire += (
+                    lc.inq_wire_total_bytes + lc.summary_wire_total_bytes
+                ) / k
+        return {"raw": raw, "wire": wire}
+
 
 def predict_graph500(
     graph: Graph,

@@ -23,9 +23,17 @@ from repro.mpi.schedule import ScheduleStep, explain_allgather
 from repro.mpi.subcomm import SubComm, split
 from repro.mpi.sharedmem import NodeSharedBuffer
 from repro.mpi.simcomm import SimComm, CollectiveResult
+from repro.mpi.codecs import (
+    EncodedFrontier,
+    FrontierCodec,
+    available_codecs,
+    get_codec,
+    resolve_codec,
+)
 from repro.mpi.collectives import (
     AllgatherAlgorithm,
     allgather,
+    allgather_channel_bytes,
     allgather_time,
     parallel_allgather_time,
     alltoallv,
@@ -44,8 +52,14 @@ __all__ = [
     "NodeSharedBuffer",
     "SimComm",
     "CollectiveResult",
+    "EncodedFrontier",
+    "FrontierCodec",
+    "available_codecs",
+    "get_codec",
+    "resolve_codec",
     "AllgatherAlgorithm",
     "allgather",
+    "allgather_channel_bytes",
     "allgather_time",
     "parallel_allgather_time",
     "alltoallv",

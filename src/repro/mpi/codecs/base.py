@@ -1,0 +1,201 @@
+"""Frontier codec contract and registry.
+
+A *frontier codec* is an interchangeable wire format for the bitmap
+payloads of the bottom-up allgathers (``out_queue`` parts gathered into
+``in_queue``, plus the summary).  Codecs mirror the kernel-backend
+registry of :mod:`repro.core.kernels`: classes register under a short
+name, :func:`resolve_codec` applies the precedence ``CommConfig.codec``
+→ ``$REPRO_CODEC`` → :data:`DEFAULT_CODEC`.
+
+The contract is **losslessness**: ``decode(encode(words)) == words`` for
+any word array whose padding bits beyond ``nbits`` are zero (the engine's
+word-aligned partition guarantees that).  Codecs never change what the
+BFS computes — only the simulated bytes on the wire and the
+encode/decode seconds charged by the
+:class:`~repro.machine.costmodel.CodecCostModel` differ.  The
+``visited`` argument carries the receiver-side common knowledge the
+sieve codec exploits (the union of previously allgathered frontiers);
+codecs that ignore it must accept and disregard it.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from dataclasses import dataclass
+from typing import ClassVar
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "DEFAULT_CODEC",
+    "ENV_VAR",
+    "WIRE_HEADER_BYTES",
+    "EncodedFrontier",
+    "FrontierCodec",
+    "available_codecs",
+    "default_codec",
+    "get_codec",
+    "register_codec",
+    "resolve_codec",
+]
+
+#: Codec used when neither the config nor the environment picks one.
+DEFAULT_CODEC = "raw"
+
+#: Environment variable consulted when the config does not pin a codec.
+ENV_VAR = "REPRO_CODEC"
+
+#: One codec-id byte prefixes every non-raw payload on the wire, so a
+#: receiver can dispatch the decoder (and ``auto``'s per-level choice is
+#: self-describing).  The raw path sends the bitmap words unframed —
+#: today's behaviour, byte for byte.
+WIRE_HEADER_BYTES = 1
+
+
+@dataclass(frozen=True)
+class EncodedFrontier:
+    """One encoded bitmap payload plus the metadata a decoder needs.
+
+    ``payload`` is the codec's byte stream (excluding the
+    :data:`WIRE_HEADER_BYTES` framing); ``nwords``/``nbits`` describe the
+    decoded shape, which the receiver knows from the partition and is
+    therefore not charged as wire bytes.
+    """
+
+    codec: str
+    payload: np.ndarray  # uint8
+    nwords: int
+    nbits: int
+    header_bytes: int = WIRE_HEADER_BYTES
+
+    @property
+    def raw_nbytes(self) -> int:
+        """Size of the un-encoded bitmap (the pre-codec payload)."""
+        return self.nwords * 8
+
+    @property
+    def wire_nbytes(self) -> int:
+        """Bytes this part occupies on the wire (payload + framing)."""
+        return int(self.payload.size) + self.header_bytes
+
+
+class FrontierCodec(abc.ABC):
+    """One interchangeable wire format for frontier bitmap payloads.
+
+    Subclasses set ``name`` (the registry key) and implement
+    :meth:`encode`/:meth:`decode` plus the :meth:`estimate_wire_bytes`
+    closed form the ``auto`` mode scores candidates with.
+    """
+
+    name: ClassVar[str]
+
+    @classmethod
+    def from_config(cls, config=None) -> "FrontierCodec":
+        """Instance configured from a :class:`BFSConfig` (no knobs yet)."""
+        return cls()
+
+    @property
+    def is_identity(self) -> bool:
+        """True for the raw codec (no transform, no framing byte)."""
+        return False
+
+    @abc.abstractmethod
+    def encode(
+        self,
+        words: np.ndarray,
+        *,
+        nbits: int | None = None,
+        visited: np.ndarray | None = None,
+    ) -> EncodedFrontier:
+        """Encode a uint64 bitmap part into a wire payload.
+
+        ``nbits`` defaults to ``words.size * 64``; padding bits beyond it
+        must be zero.  ``visited`` (same word length, may be ``None``) is
+        the receiver-known mask sieve-style codecs may subtract.
+        """
+
+    @abc.abstractmethod
+    def decode(
+        self,
+        enc: EncodedFrontier,
+        *,
+        visited: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Reconstruct the exact ``nwords`` uint64 words of a payload.
+
+        ``visited`` must be bit-identical to the mask the encoder saw —
+        the engine guarantees this by deriving it from previously
+        allgathered frontiers, which every rank observed.
+        """
+
+    @abc.abstractmethod
+    def estimate_wire_bytes(
+        self, nbits: int, set_bits: int, visited_bits: int = 0
+    ) -> float:
+        """Closed-form wire-byte estimate from aggregate fill statistics.
+
+        Used by the ``auto`` mode to score codecs without encoding; the
+        estimate prices an *average* bit layout at the given fill ratio,
+        not the exact payload.
+        """
+
+
+_REGISTRY: dict[str, type[FrontierCodec]] = {}
+_SHARED: dict[str, FrontierCodec] = {}
+
+
+def register_codec(cls: type[FrontierCodec]) -> type[FrontierCodec]:
+    """Class decorator: register a codec under its ``name`` attribute."""
+    if not getattr(cls, "name", None):
+        raise ConfigError("frontier codec classes must set a non-empty name")
+    _REGISTRY[cls.name] = cls
+    _SHARED.pop(cls.name, None)
+    return cls
+
+
+def available_codecs() -> tuple[str, ...]:
+    """Names of all registered frontier codecs, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_codec(name: str, config=None) -> FrontierCodec:
+    """Codec instance by registry name.
+
+    Instances are stateless and shared per name; an unknown name raises
+    :class:`~repro.errors.ConfigError` listing the alternatives.
+    """
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise ConfigError(
+            f"unknown frontier codec {name!r}; available: "
+            f"{', '.join(available_codecs())}"
+        )
+    if config is not None:
+        return cls.from_config(config)
+    inst = _SHARED.get(name)
+    if inst is None:
+        inst = _SHARED[name] = cls()
+    return inst
+
+
+def _env_name() -> str:
+    return os.environ.get(ENV_VAR) or DEFAULT_CODEC
+
+
+def default_codec() -> FrontierCodec:
+    """The process-default codec (``$REPRO_CODEC`` or the built-in)."""
+    return get_codec(_env_name())
+
+
+def resolve_codec(config=None) -> FrontierCodec:
+    """Codec for one engine: ``config.comm.codec`` → env var → default.
+
+    Mirrors :func:`repro.core.kernels.resolve_backend` so the CLI/env
+    precedence rules are identical for both plug-in families.
+    """
+    comm = getattr(config, "comm", None)
+    name = (getattr(comm, "codec", None)) or _env_name()
+    return get_codec(name, config=config)

@@ -1,0 +1,89 @@
+"""Vectorized LEB128 varint encoding for codec payloads.
+
+All frontier codecs store counts, vertex positions and run tokens as
+unsigned little-endian base-128 varints (the Graph500 compressed-frontier
+formats of Lv et al. use the same 7-bit-group scheme).  Both directions
+are numpy-vectorized: the encoder loops over the at most ten 7-bit byte
+positions of a 64-bit value, never over individual values, and the
+decoder reconstructs all values of a buffer with one masked
+shift-accumulate per byte position.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CommunicationError
+
+__all__ = ["encode_varints", "decode_varints", "varint_size"]
+
+#: Longest possible varint of a 64-bit value (ceil(64 / 7) bytes).
+_MAX_VARINT_BYTES = 10
+
+
+def varint_size(values: np.ndarray) -> np.ndarray:
+    """Encoded size in bytes of each value (int64 array).
+
+    A value occupies ``max(1, ceil(bits(v) / 7))`` bytes; the thresholds
+    are compared vectorized instead of computing bit lengths.
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    sizes = np.ones(values.shape, dtype=np.int64)
+    for k in range(1, _MAX_VARINT_BYTES):
+        sizes += values >= np.uint64(1) << np.uint64(7 * k)
+    return sizes
+
+
+def encode_varints(values: np.ndarray) -> np.ndarray:
+    """Encode non-negative integers as a concatenated varint byte stream."""
+    values = np.asarray(values)
+    if values.size and values.min() < 0:
+        raise CommunicationError("varints encode non-negative values only")
+    values = values.astype(np.uint64)
+    sizes = varint_size(values)
+    total = int(sizes.sum())
+    out = np.zeros(total, dtype=np.uint8)
+    offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+    for k in range(_MAX_VARINT_BYTES):
+        mask = sizes > k
+        if not mask.any():
+            break
+        chunk = (values[mask] >> np.uint64(7 * k)) & np.uint64(0x7F)
+        cont = (sizes[mask] > k + 1).astype(np.uint64) << np.uint64(7)
+        out[offsets[mask] + k] = (chunk | cont).astype(np.uint8)
+    return out
+
+
+def decode_varints(
+    buf: np.ndarray, count: int
+) -> tuple[np.ndarray, int]:
+    """Decode ``count`` varints from the head of a byte buffer.
+
+    Returns ``(values, consumed)`` where ``values`` is an int64 array and
+    ``consumed`` the number of bytes read.  Raises
+    :class:`~repro.errors.CommunicationError` on truncated or oversized
+    varints — codec payloads are produced by this module, so a malformed
+    stream indicates corruption.
+    """
+    buf = np.asarray(buf, dtype=np.uint8)
+    if count == 0:
+        return np.zeros(0, dtype=np.int64), 0
+    ends = np.flatnonzero((buf & 0x80) == 0)
+    if ends.size < count:
+        raise CommunicationError(
+            f"varint stream truncated: {count} values expected, "
+            f"{ends.size} terminators found"
+        )
+    ends = ends[:count]
+    starts = np.empty(count, dtype=np.int64)
+    starts[0] = 0
+    starts[1:] = ends[:-1] + 1
+    lengths = ends - starts + 1
+    if int(lengths.max()) > _MAX_VARINT_BYTES:
+        raise CommunicationError("varint longer than 10 bytes")
+    values = np.zeros(count, dtype=np.uint64)
+    for k in range(int(lengths.max())):
+        mask = lengths > k
+        chunk = buf[starts[mask] + k].astype(np.uint64) & np.uint64(0x7F)
+        values[mask] |= chunk << np.uint64(7 * k)
+    return values.astype(np.int64), int(ends[-1]) + 1

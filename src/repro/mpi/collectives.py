@@ -42,12 +42,15 @@ import enum
 import numpy as np
 
 from repro.errors import CommunicationError
+from repro.mpi.codecs import AutoCodec, FrontierCodec
 from repro.mpi.sharedmem import NodeSharedBuffer
 from repro.mpi.simcomm import CollectiveResult, SimComm
+from repro.util import bitops
 
 __all__ = [
     "AllgatherAlgorithm",
     "allgather",
+    "allgather_channel_bytes",
     "allgather_time",
     "parallel_allgather_time",
     "alltoallv",
@@ -168,6 +171,7 @@ def _leader_steps(
     gather: bool,
     bcast: bool,
     parallel: bool,
+    subgroups: int | None = None,
 ) -> dict[str, float]:
     """Per-step times of the leader-based family."""
     ppn = comm.mapping.ppn
@@ -179,10 +183,17 @@ def _leader_steps(
 
     if nodes > 1:
         if parallel:
-            # Fig. 7: ppn concurrent subgroup rings; each step moves one
-            # rank-part per flow, all flows sharing the node's NICs at the
-            # saturated Fig. 4 rate.
-            step = comm.slowest_node_inter_time(part_bytes, flows=ppn)
+            # Fig. 7: concurrent subgroup rings (default: one per rank of
+            # a node); each step moves the node block split across the
+            # flows, all sharing the node's NICs at the saturated Fig. 4
+            # rate.
+            flows = ppn if subgroups is None else subgroups
+            if flows < 1 or flows > ppn:
+                raise CommunicationError(
+                    f"subgroups must be in [1, ppn={ppn}], got {flows}"
+                )
+            block = part_bytes * ppn / flows
+            step = comm.slowest_node_inter_time(block, flows=flows)
             steps["inter"] = (nodes - 1) * step
         else:
             node_block = part_bytes * ppn
@@ -221,13 +232,19 @@ def allgather_time(
     algorithm: AllgatherAlgorithm,
     part_bytes: float,
     total_bytes: float | None = None,
+    *,
+    subgroups: int | None = None,
 ) -> tuple[float, dict[str, float]]:
     """Simulated time of an allgather without moving any data.
 
     This is the closed-form used both by :func:`allgather` during a
     functional run and by the paper-scale extrapolation in
     :mod:`repro.model`, which replays the same message schedule with the
-    structure sizes of a larger graph.
+    structure sizes of a larger graph.  When a frontier codec shrank the
+    payload, callers pass the *wire* part/total bytes here and charge the
+    encode/decode terms separately (see
+    :meth:`SimComm.codec_model <repro.machine.costmodel.CodecCostModel>`).
+    ``subgroups`` tunes the parallel-shared ring count (None = ppn).
     """
     if part_bytes < 0:
         raise CommunicationError("negative part size")
@@ -291,11 +308,93 @@ def allgather_time(
     return sum(steps.values()), steps
 
 
+def allgather_channel_bytes(
+    comm: SimComm,
+    algorithm: AllgatherAlgorithm,
+    part_bytes: float,
+    total_bytes: float | None = None,
+    *,
+    subgroups: int | None = None,
+) -> dict[str, float]:
+    """Bytes each channel class carries during one allgather.
+
+    Returns ``{"intra": ..., "inter": ...}`` — the aggregate payload that
+    crosses shared-memory copies resp. InfiniBand links under the
+    algorithm's message schedule.  Unlike :func:`allgather_time` this sums
+    *volume*, not time, so it exposes the schedule redundancy the paper's
+    eq. 2 reasons about (the leader broadcast re-moves the full payload on
+    every node; multi-leader multiplies the inter-node volume by ppn).
+    Callers pass wire (post-codec) sizes to see what compression saved.
+    """
+    if part_bytes < 0:
+        raise CommunicationError("negative part size")
+    np_ranks = comm.num_ranks
+    ppn = comm.mapping.ppn
+    nodes = comm.cluster.nodes
+    if total_bytes is None:
+        total_bytes = part_bytes * np_ranks
+    out = {"intra": 0.0, "inter": 0.0}
+    if np_ranks == 1 or total_bytes == 0:
+        return out
+
+    if algorithm is AllgatherAlgorithm.DEFAULT:
+        algorithm = (
+            AllgatherAlgorithm.RING
+            if total_bytes >= _RING_THRESHOLD_BYTES
+            else AllgatherAlgorithm.RECURSIVE_DOUBLING
+        )
+    if algorithm is AllgatherAlgorithm.RECURSIVE_DOUBLING and (
+        np_ranks & (np_ranks - 1)
+    ):
+        algorithm = AllgatherAlgorithm.RING  # mirror the time model's fallback
+
+    if algorithm is AllgatherAlgorithm.RING:
+        # Per step every rank forwards one part; in node-major order each
+        # node boundary is crossed exactly once per step.
+        inter_sends = nodes if nodes > 1 else 0
+        out["inter"] = (np_ranks - 1) * inter_sends * part_bytes
+        out["intra"] = (np_ranks - 1) * (np_ranks - inter_sends) * part_bytes
+        return out
+    if algorithm is AllgatherAlgorithm.RECURSIVE_DOUBLING:
+        # Doubling rounds below ppn stay on-node; each round every rank
+        # exchanges its accumulated 2^k parts.
+        out["intra"] = np_ranks * (ppn - 1) * part_bytes
+        out["inter"] = np_ranks * (np_ranks - ppn) * part_bytes
+        return out
+
+    gather = algorithm in (
+        AllgatherAlgorithm.LEADER,
+        AllgatherAlgorithm.SHARED_IN,
+        AllgatherAlgorithm.LEADER_OVERLAPPED,
+    )
+    bcast = algorithm in (
+        AllgatherAlgorithm.LEADER,
+        AllgatherAlgorithm.LEADER_OVERLAPPED,
+    )
+    if gather and ppn > 1:
+        out["intra"] += nodes * (ppn - 1) * part_bytes
+    if nodes > 1:
+        # Leader-family inter step is a ring over node blocks: every node
+        # forwards each of the other nodes' blocks once (eq. 2 volume);
+        # multi-leader repeats that on all ppn per-socket leaders.
+        inter = (nodes - 1) * nodes * part_bytes * ppn
+        if algorithm is AllgatherAlgorithm.MULTI_LEADER:
+            inter *= ppn
+        out["inter"] = inter
+    if bcast and ppn > 1:
+        out["intra"] += nodes * (ppn - 1) * total_bytes
+    return out
+
+
 def allgather(
     comm: SimComm,
     parts: list[np.ndarray],
     algorithm: AllgatherAlgorithm = AllgatherAlgorithm.DEFAULT,
     shared_buffers: list[NodeSharedBuffer] | None = None,
+    *,
+    codec: FrontierCodec | None = None,
+    visited_parts: list[np.ndarray] | None = None,
+    subgroups: int | None = None,
 ) -> CollectiveResult:
     """Allgatherv of per-rank word arrays under a given algorithm.
 
@@ -303,10 +402,24 @@ def allgather(
     concatenated (read-only) array or, when ``shared_buffers`` are passed,
     the list of filled per-node buffers.  ``breakdown`` holds per-step
     times for the leader-based family (Fig. 6).
+
+    With a non-identity ``codec``, each rank's part is encoded before the
+    (priced) transmission and decoded on arrival — the delivered data is
+    the round-tripped decode, so a lossy codec would corrupt the run
+    rather than silently fake its traffic.  ``visited_parts`` gives the
+    sieve codec its common-knowledge mask (one word array per rank,
+    aligned with ``parts``).  An :class:`~repro.mpi.codecs.AutoCodec`
+    resolves to a concrete codec per call from observed frontier density
+    and the machine's wire/CPU cost slopes; the identity choice is free.
     """
     if len(parts) != comm.num_ranks:
         raise CommunicationError(
             f"allgather expects {comm.num_ranks} parts, got {len(parts)}"
+        )
+    if visited_parts is not None and len(visited_parts) != len(parts):
+        raise CommunicationError(
+            f"visited_parts must align with parts "
+            f"({len(parts)}), got {len(visited_parts)}"
         )
     shared_family = algorithm in (
         AllgatherAlgorithm.SHARED_IN,
@@ -321,13 +434,69 @@ def allgather(
 
     part_bytes = float(max((p.nbytes for p in parts), default=0))
     total_bytes = float(sum(p.nbytes for p in parts))
-    full = _concatenate(parts)
 
-    t, breakdown = allgather_time(comm, algorithm, part_bytes, total_bytes)
+    chosen = codec
+    if isinstance(codec, AutoCodec) and total_bytes > 0:
+        t_full, _ = allgather_time(
+            comm, algorithm, part_bytes, total_bytes, subgroups=subgroups
+        )
+        t_zero, _ = allgather_time(comm, algorithm, 0.0, 0.0, subgroups=subgroups)
+        set_total = sum(int(bitops.popcount_words(p).sum()) for p in parts)
+        vis_total = (
+            sum(int(bitops.popcount_words(v).sum()) for v in visited_parts)
+            if visited_parts is not None
+            else 0
+        )
+        chosen = codec.select(
+            nbits=int(total_bytes) * 8,
+            set_bits=set_total,
+            visited_bits=vis_total,
+            ns_per_wire_byte=max(0.0, (t_full - t_zero) / total_bytes),
+            model=comm.codec_model,
+        )
+
+    codec_name: str | None = None
+    wire_part = part_bytes
+    wire_total = total_bytes
+    breakdown_extra: dict[str, float] = {}
+    if chosen is not None and not chosen.is_identity and total_bytes > 0:
+        codec_name = chosen.name
+        encoded = []
+        decoded = []
+        for r, p in enumerate(parts):
+            vp = visited_parts[r] if visited_parts is not None else None
+            enc = chosen.encode(p, visited=vp)
+            encoded.append(enc)
+            decoded.append(chosen.decode(enc, visited=vp))
+        wire_part = float(max(e.wire_nbytes for e in encoded))
+        wire_total = float(sum(e.wire_nbytes for e in encoded))
+        # Encode happens on every rank concurrently over its own part
+        # (bounded by the largest); decode scans the full gathered
+        # payload once per rank.
+        breakdown_extra["codec_encode"] = comm.codec_model.encode_time_ns(part_bytes)
+        breakdown_extra["codec_decode"] = comm.codec_model.decode_time_ns(wire_total)
+        full = _concatenate(decoded)
+    else:
+        if chosen is not None:
+            codec_name = chosen.name  # identity: recorded, never priced
+        full = _concatenate(parts)
+
+    t, breakdown = allgather_time(
+        comm, algorithm, wire_part, wire_total, subgroups=subgroups
+    )
+    breakdown.update(breakdown_extra)
+    t += sum(breakdown_extra.values())
     data = _deliver(comm, full, shared_buffers if shared_family else None)
     result = _uniform_times(comm, t, breakdown)
     result.data = data
+    result.raw_bytes = total_bytes
+    result.wire_bytes = wire_total
+    result.wire_part_bytes = wire_part
+    result.codec = codec_name
     if comm.tracer.enabled:
+        channels = allgather_channel_bytes(
+            comm, algorithm, wire_part, wire_total, subgroups=subgroups
+        )
         comm.tracer.comm_event(
             "allgather",
             nbytes=total_bytes,
@@ -336,5 +505,10 @@ def allgather(
             algorithm=algorithm.value,
             part_bytes=part_bytes,
             shared=shared_family,
+            raw_bytes=total_bytes,
+            wire_bytes=wire_total,
+            codec=codec_name,
+            intra_bytes=channels["intra"],
+            inter_bytes=channels["inter"],
         )
     return result

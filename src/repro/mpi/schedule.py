@@ -45,17 +45,70 @@ def explain_allgather(
     algorithm: AllgatherAlgorithm,
     part_bytes: float,
     total_bytes: float | None = None,
+    *,
+    codec: str | None = None,
+    wire_part_bytes: float | None = None,
+    wire_total_bytes: float | None = None,
+    subgroups: int | None = None,
 ) -> list[ScheduleStep]:
-    """The step structure of one allgather on one payload."""
+    """The step structure of one allgather on one payload.
+
+    With a non-raw ``codec``, the transmission steps are priced at the
+    given wire sizes (defaulting to the raw sizes when the caller has no
+    measurement) and the schedule is bracketed by the codec's encode and
+    decode steps, mirroring what :func:`repro.mpi.collectives.allgather`
+    charges during a functional run.
+    """
     if part_bytes < 0:
         raise CommunicationError("negative part size")
     if total_bytes is None:
         total_bytes = part_bytes * comm.num_ranks
+    encoded = codec not in (None, "raw")
+    tx_part = part_bytes
+    tx_total = total_bytes
+    if encoded:
+        tx_part = part_bytes if wire_part_bytes is None else wire_part_bytes
+        tx_total = total_bytes if wire_total_bytes is None else wire_total_bytes
     ppn = comm.mapping.ppn
     nodes = comm.cluster.nodes
-    total_t, breakdown = allgather_time(comm, algorithm, part_bytes, total_bytes)
+    total_t, breakdown = allgather_time(
+        comm, algorithm, tx_part, tx_total, subgroups=subgroups
+    )
 
     steps: list[ScheduleStep] = []
+    if encoded:
+        enc_t = comm.codec_model.encode_time_ns(part_bytes)
+        dec_t = comm.codec_model.decode_time_ns(tx_total)
+        total_t += enc_t + dec_t
+        ratio = total_bytes / tx_total if tx_total else 0.0
+        steps.append(
+            ScheduleStep(
+                "codec encode",
+                "none",
+                f"every rank encodes its part with the '{codec}' frontier "
+                f"codec ({format_bytes(part_bytes)} -> "
+                f"{format_bytes(tx_part)} per part, {ratio:.1f}x overall)",
+                0.0,
+                enc_t,
+            )
+        )
+    def _finish(steps: list[ScheduleStep]) -> list[ScheduleStep]:
+        """Append the decode step (when encoded) and check the total."""
+        if encoded:
+            steps.append(
+                ScheduleStep(
+                    "codec decode",
+                    "none",
+                    f"every rank decodes the gathered '{codec}' payload "
+                    f"back to the full bitmap "
+                    f"({format_bytes(tx_total)} -> {format_bytes(total_bytes)})",
+                    0.0,
+                    dec_t,
+                )
+            )
+        assert abs(sum(s.time_ns for s in steps) - total_t) < 1e-6
+        return steps
+
     if set(breakdown) == {"ring"}:
         steps.append(
             ScheduleStep(
@@ -64,11 +117,11 @@ def explain_allgather(
                 f"{comm.num_ranks - 1} steps; every rank forwards its "
                 f"current block to its successor (node-major order: "
                 f"{ppn - 1} intra copies + 1 inter flow per node per step)",
-                total_bytes - part_bytes,
+                tx_total - tx_part,
                 breakdown["ring"],
             )
         )
-        return steps
+        return _finish(steps)
     if set(breakdown) == {"recursive_doubling"}:
         steps.append(
             ScheduleStep(
@@ -76,11 +129,11 @@ def explain_allgather(
                 "both",
                 f"log2({comm.num_ranks}) rounds of pairwise exchange, "
                 f"payload doubling each round",
-                total_bytes - part_bytes,
+                tx_total - tx_part,
                 breakdown["recursive_doubling"],
             )
         )
-        return steps
+        return _finish(steps)
 
     if algorithm is AllgatherAlgorithm.LEADER_OVERLAPPED:
         steps.append(
@@ -90,11 +143,11 @@ def explain_allgather(
                 "leader scheme with perfectly overlapped intra/inter "
                 "steps (HierKNEM-style): completes when the slower side "
                 "does — the intra side, at large payloads (Fig. 6)",
-                total_bytes * (ppn - 1) + part_bytes * (ppn - 1),
+                tx_total * (ppn - 1) + tx_part * (ppn - 1),
                 breakdown["overlapped"],
             )
         )
-        return steps
+        return _finish(steps)
 
     # The leader-based family (Figs. 5a, 5b, 7).
     gather = breakdown.get("intra_gather", 0.0)
@@ -108,11 +161,11 @@ def explain_allgather(
                 f"every per-socket leader allgathers the FULL payload "
                 f"({ppn} flows per node, each carrying whole node blocks "
                 f"— {ppn}x the volume of Fig. 7)",
-                (total_bytes - total_bytes / nodes) * ppn if nodes > 1 else 0,
+                (tx_total - tx_total / nodes) * ppn if nodes > 1 else 0,
                 inter,
             )
         )
-        return steps
+        return _finish(steps)
 
     if gather > 0:
         steps.append(
@@ -121,7 +174,7 @@ def explain_allgather(
                 "intra-node",
                 f"{ppn - 1} children copy their parts to the node leader "
                 f"(Fig. 5 STEP 1)",
-                part_bytes * (ppn - 1),
+                tx_part * (ppn - 1),
                 gather,
             )
         )
@@ -137,13 +190,14 @@ def explain_allgather(
             )
         )
     if algorithm is AllgatherAlgorithm.PARALLEL_SHARED:
+        groups = ppn if subgroups is None else subgroups
         steps.append(
             ScheduleStep(
                 "step 2 inter",
                 "inter-node",
-                f"{ppn} subgroups allgather 1/{ppn} of the data each, "
-                f"concurrently saturating the IB ports (Fig. 7)",
-                total_bytes - total_bytes / nodes if nodes > 1 else 0,
+                f"{groups} subgroups allgather 1/{groups} of the data "
+                f"each, concurrently saturating the IB ports (Fig. 7)",
+                tx_total - tx_total / nodes if nodes > 1 else 0,
                 inter,
             )
         )
@@ -154,7 +208,7 @@ def explain_allgather(
                 "inter-node",
                 "node leaders allgather node blocks over InfiniBand "
                 "(Fig. 5 STEP 2; one flow per node)",
-                total_bytes - total_bytes / nodes if nodes > 1 else 0,
+                tx_total - tx_total / nodes if nodes > 1 else 0,
                 inter,
             )
         )
@@ -165,7 +219,7 @@ def explain_allgather(
                 "intra-node",
                 f"the leader broadcasts the full result to {ppn - 1} "
                 f"children (Fig. 5a STEP 3)",
-                total_bytes * (ppn - 1),
+                tx_total * (ppn - 1),
                 bcast,
             )
         )
@@ -180,5 +234,4 @@ def explain_allgather(
                 0.0,
             )
         )
-    assert abs(sum(s.time_ns for s in steps) - total_t) < 1e-6
-    return steps
+    return _finish(steps)

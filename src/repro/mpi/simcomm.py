@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import CommunicationError
+from repro.machine.costmodel import CodecCostModel
 from repro.machine.memory import MemoryModel
 from repro.machine.network import NetworkModel
 from repro.machine.spec import ClusterSpec
@@ -32,11 +33,24 @@ __all__ = ["SimComm", "CollectiveResult"]
 
 @dataclass
 class CollectiveResult:
-    """Outcome of one simulated collective."""
+    """Outcome of one simulated collective.
+
+    ``raw_bytes`` is the pre-codec logical payload (the sum of every
+    rank's contribution); ``wire_bytes`` is that payload as transmitted —
+    after the frontier codec shrank it and, for alltoallv, minus free
+    self-messages.  The message schedule may carry *multiples* of
+    ``wire_bytes`` (e.g. the leader broadcast re-moves the gathered data
+    on every node); the per-channel split of that carried volume lives in
+    the comm event's ``intra_bytes``/``inter_bytes`` attributes.
+    """
 
     data: object
     rank_times: np.ndarray  # ns per rank
     breakdown: dict[str, float] = field(default_factory=dict)
+    raw_bytes: float = 0.0
+    wire_bytes: float = 0.0
+    wire_part_bytes: float = 0.0
+    codec: str | None = None
 
     @property
     def max_time(self) -> float:
@@ -59,6 +73,10 @@ class SimComm:
         self.mapping = mapping
         self.network = NetworkModel(cluster)
         self.memory = MemoryModel(cluster.node)
+        # Encode/decode throughputs charged when a frontier codec is
+        # active (repro.mpi.codecs); the allgather path and the pricer
+        # both read this so functional events and assembled timings agree.
+        self.codec_model = CodecCostModel()
         self.num_ranks = mapping.num_ranks
         # Telemetry sink: every collective emits one CommEvent with its
         # per-rank simulated durations; the default null tracer makes
@@ -250,6 +268,8 @@ class SimComm:
             data=recv,
             rank_times=times,
             breakdown={"alltoallv": float(times.max(initial=0.0))},
+            raw_bytes=float(send_bytes.sum()),
+            wire_bytes=float(send_bytes.sum() - np.trace(send_bytes)),
         )
         if self.tracer.enabled:
             nodes = np.array(
@@ -258,13 +278,20 @@ class SimComm:
             )
             same_node = nodes[:, None] == nodes[None, :]
             self_mask = np.eye(np_ranks, dtype=bool)
+            intra = float(send_bytes[same_node & ~self_mask].sum())
+            inter = float(send_bytes[~same_node].sum())
             self.tracer.comm_event(
                 "alltoallv",
                 nbytes=float(send_bytes.sum()),
                 rank_times=times,
                 breakdown=result.breakdown,
+                # Pre-share payload vs. bytes on an actual channel:
+                # self-messages are pointer hand-offs and never hit a
+                # wire, so wire_bytes excludes the diagonal.
+                raw_bytes=float(send_bytes.sum()),
+                wire_bytes=intra + inter,
                 self_bytes=float(send_bytes[self_mask].sum()),
-                intra_bytes=float(send_bytes[same_node & ~self_mask].sum()),
-                inter_bytes=float(send_bytes[~same_node].sum()),
+                intra_bytes=intra,
+                inter_bytes=inter,
             )
         return result

@@ -82,6 +82,12 @@ class CommEvent:
     collective (``CollectiveResult.rank_times``); ``breakdown`` is the
     per-step time split (e.g. ``intra_gather`` / ``inter`` /
     ``intra_bcast`` for the leader allgather family, Fig. 6).
+
+    ``raw_bytes`` / ``wire_bytes`` separate the logical payload from what
+    was transmitted (post frontier-codec, minus free self-messages); with
+    no codec active they coincide up to the self-message diagonal.
+    ``codec`` names the frontier codec that produced ``wire_bytes``
+    (None = no codec layer on this op).
     """
 
     op: str
@@ -90,6 +96,9 @@ class CommEvent:
     rank_times: list[float] = field(default_factory=list)
     breakdown: dict[str, float] = field(default_factory=dict)
     algorithm: str | None = None
+    raw_bytes: float = 0.0
+    wire_bytes: float = 0.0
+    codec: str | None = None
     span: str | None = None  # name of the innermost enclosing span
     attrs: dict = field(default_factory=dict)
 
@@ -109,6 +118,9 @@ class CommEvent:
             "max_time_ns": self.max_time_ns,
             "breakdown_ns": self.breakdown,
             "algorithm": self.algorithm,
+            "raw_bytes": self.raw_bytes,
+            "wire_bytes": self.wire_bytes,
+            "codec": self.codec,
             "span": self.span,
             "attrs": self.attrs,
         }
@@ -256,9 +268,17 @@ class SpanTracer:
         rank_times=None,
         breakdown: dict[str, float] | None = None,
         algorithm: str | None = None,
+        raw_bytes: float | None = None,
+        wire_bytes: float | None = None,
+        codec: str | None = None,
         **attrs,
     ) -> None:
-        """Record one simulated collective (and update comm metrics)."""
+        """Record one simulated collective (and update comm metrics).
+
+        ``raw_bytes``/``wire_bytes`` default to the logical payload when
+        the op has no codec layer, so every event carries a meaningful
+        pre/post-codec pair.
+        """
         times = [float(t) for t in rank_times] if rank_times is not None else []
         ev = CommEvent(
             op=op,
@@ -267,6 +287,9 @@ class SpanTracer:
             rank_times=times,
             breakdown=dict(breakdown) if breakdown else {},
             algorithm=algorithm,
+            raw_bytes=float(nbytes if raw_bytes is None else raw_bytes),
+            wire_bytes=float(nbytes if wire_bytes is None else wire_bytes),
+            codec=codec,
             span=self._stack[-1].name if self._stack else None,
             attrs=attrs,
         )
@@ -275,6 +298,8 @@ class SpanTracer:
         if m is not None:
             m.counter("comm.calls_total", op=op).inc()
             m.counter("comm.bytes_total", op=op).inc(ev.nbytes)
+            m.counter("comm.raw_bytes_total", op=op).inc(ev.raw_bytes)
+            m.counter("comm.wire_bytes_total", op=op).inc(ev.wire_bytes)
             m.counter("comm.sim_time_ns_total", op=op).inc(ev.max_time_ns)
             for step, t in ev.breakdown.items():
                 m.counter("comm.step_sim_time_ns_total", op=op, step=step).inc(t)

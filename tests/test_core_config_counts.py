@@ -7,6 +7,7 @@ import pytest
 from repro.core import (
     BFSConfig,
     BFSEngine,
+    CommConfig,
     RunCounts,
     StructureSizes,
     assemble,
@@ -82,13 +83,13 @@ class TestBFSConfig:
 
     def test_validation(self):
         with pytest.raises(ConfigError):
-            BFSConfig(granularity=100)
+            CommConfig(summary_granularity=100)
         with pytest.raises(ConfigError):
             BFSConfig(alpha=0)
         with pytest.raises(ConfigError):
-            BFSConfig(parallel_allgather=True)  # needs share_all
+            CommConfig(parallel_allgather=True)  # needs Share all
         with pytest.raises(ConfigError):
-            BFSConfig(share_all=True)  # needs share_in_queue
+            CommConfig(codec="no-such-codec")
         with pytest.raises(ConfigError):
             BFSConfig(ppn=0)
 

@@ -8,7 +8,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import BFSConfig, BFSEngine, TraversalMode, paper_variants
+from repro.core import BFSConfig, BFSEngine, CommConfig, TraversalMode, paper_variants
 from repro.core.validate import validate_parent_tree
 from repro.errors import ConfigError, GraphError
 from repro.graph import (
@@ -145,7 +145,7 @@ class TestEngineCorrectness:
         g = rmat_graph(scale=11, seed=2)
         cluster = paper_cluster(nodes=1)
         root = int(np.argmax(g.degrees()))
-        cfg = BFSConfig(use_summary=False)
+        cfg = BFSConfig(comm=CommConfig(use_summary=False))
         res = BFSEngine(g, cluster, cfg).run(root)
         validate_parent_tree(g, root, res.parent)
 

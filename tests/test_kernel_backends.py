@@ -12,7 +12,7 @@ giant-degree hub, and pathological chunk widths.
 import numpy as np
 import pytest
 
-from repro.core import BFSConfig, BFSEngine, Bitmap, SummaryBitmap, bottomup
+from repro.core import BFSConfig, BFSEngine, Bitmap, CommConfig, SummaryBitmap, bottomup
 from repro.core.kernels import (
     ActiveSetBackend,
     ReferenceBackend,
@@ -168,8 +168,8 @@ class TestEngineEquivalence:
 
     @pytest.mark.parametrize("config_kwargs", [
         {},
-        {"granularity": 256},
-        {"use_summary": False},
+        {"comm": CommConfig(summary_granularity=256)},
+        {"comm": CommConfig(use_summary=False)},
         {"kernel_chunk": 5},
         {"degree_balanced": True},
     ])

@@ -6,7 +6,7 @@ import dataclasses as dc
 import numpy as np
 import pytest
 
-from repro.core import BFSConfig, BFSEngine, TraversalMode
+from repro.core import BFSConfig, BFSEngine, CommConfig, TraversalMode
 from repro.core.validate import validate_parent_tree
 from repro.errors import GraphError
 from repro.experiments.cli import main as cli_main
@@ -83,9 +83,7 @@ class TestEngineCorners:
     def test_share_all_without_summary(self):
         g = rmat_graph(scale=12, seed=5)
         cluster = paper_cluster(nodes=2)
-        cfg = BFSConfig(
-            share_in_queue=True, share_all=True, use_summary=False
-        )
+        cfg = BFSConfig(comm=CommConfig.shared_all(use_summary=False))
         root = int(np.argmax(g.degrees()))
         res = BFSEngine(g, cluster, cfg).run(root)
         validate_parent_tree(g, root, res.parent)
@@ -151,7 +149,7 @@ class TestAnalyticOptions:
 
     def test_synthesize_without_summary(self):
         counts, _ = synthesize_run_counts(
-            24, BFSConfig(use_summary=False), num_ranks=16
+            24, BFSConfig(comm=CommConfig(use_summary=False)), num_ranks=16
         )
         bu = [l for l in counts.levels if l.direction == "bottom_up"]
         assert bu

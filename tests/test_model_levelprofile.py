@@ -4,7 +4,7 @@ evaluation mode, including cross-validation against functional runs."""
 import numpy as np
 import pytest
 
-from repro.core import BFSConfig, BFSEngine, TraversalMode
+from repro.core import BFSConfig, BFSEngine, CommConfig, TraversalMode
 from repro.errors import ConfigError
 from repro.graph import rmat_graph, degree_statistics
 from repro.graph.degree import sample_roots
@@ -162,7 +162,7 @@ class TestSynthesizeAndAnalytic:
             cluster, BFSConfig.original_ppn8(), 32
         )
         without = analytic_graph500(
-            cluster, BFSConfig(use_summary=False), 32
+            cluster, BFSConfig(comm=CommConfig(use_summary=False)), 32
         )
         assert without.seconds > with_summary.seconds
 

@@ -6,7 +6,7 @@ import dataclasses as dc
 import numpy as np
 import pytest
 
-from repro.core import BFSConfig, StructureSizes
+from repro.core import BFSConfig, CommConfig, StructureSizes
 from repro.core.counts import Direction, LevelCounts, RunCounts
 from repro.core.timing import CostConstants, assemble, _Pricer
 from repro.machine import paper_cluster
@@ -132,7 +132,8 @@ class TestPricerInvariants:
             run_counts(comm, [lc]), comm, BFSConfig.original_ppn8(), sizes
         )
         without = assemble(
-            run_counts(comm, [lc]), comm, BFSConfig(use_summary=False), sizes
+            run_counts(comm, [lc]), comm,
+            BFSConfig(comm=CommConfig(use_summary=False)), sizes
         )
         assert without.breakdown.bu_comm < with_s.breakdown.bu_comm
 
