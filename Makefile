@@ -1,6 +1,6 @@
 # Developer convenience targets for the reproduction.
 
-.PHONY: install test bench bench-baseline experiments report examples all clean
+.PHONY: install test bench bench-baseline bench-smoke perf-gate experiments report examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -24,6 +24,29 @@ bench-baseline:
 		--benchmark-json=BENCH_kernels.json
 	pytest benchmarks/bench_comm.py --benchmark-only \
 		--benchmark-json=BENCH_comm.json
+
+# Fresh benchmark JSONs for gating (not the committed baselines):
+# kernels at the CI smoke scale (12), comm at the baseline scale (15 —
+# its simulated metrics are deterministic, so they diff exactly against
+# the committed file even across machines).
+bench-smoke:
+	mkdir -p .perfgate
+	REPRO_BENCH_SCALE=12 pytest benchmarks/bench_kernels.py --benchmark-only \
+		--benchmark-json=.perfgate/BENCH_kernels.json
+	pytest benchmarks/bench_comm.py --benchmark-only \
+		--benchmark-json=.perfgate/BENCH_comm.json
+
+# Regression gate: diff the fresh bench-smoke JSONs against the
+# committed baselines.  Wall-clock stats are ignored (baselines come
+# from another machine); simulated metrics get a generous 100 %
+# (2x sim-time) tolerance.  Kernel benchmarks carrying a different
+# scale context are reported as incomparable, not gated.
+# See docs/OBSERVABILITY.md.
+perf-gate: bench-smoke
+	repro-perf diff BENCH_kernels.json .perfgate/BENCH_kernels.json \
+		--fail-on-regress 100 --no-wall --json .perfgate/verdict_kernels.json
+	repro-perf diff BENCH_comm.json .perfgate/BENCH_comm.json \
+		--fail-on-regress 100 --no-wall --json .perfgate/verdict_comm.json
 
 experiments:
 	repro-experiment all --quick

@@ -46,6 +46,9 @@ def run_and_report(benchmark, experiment_id: str, settings) -> None:
     )
     print()
     print(result.to_text())
+    # Identity key for the baseline differ (repro-perf diff): runs of
+    # different experiments are never compared against each other.
+    benchmark.extra_info["experiment"] = experiment_id
     for name, (paper, measured) in result.claims.items():
         benchmark.extra_info[name] = f"paper {paper} | measured {measured}"
     registry = default_registry()

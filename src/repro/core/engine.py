@@ -297,6 +297,9 @@ class BFSEngine:
         )
         if tr.enabled:
             result.telemetry = RunTelemetry.from_tracer(tr, self.metrics)
+            from repro.obs.analyze import attribute_run
+
+            result.telemetry.attribution = attribute_run(result)
         if self.metrics is not None:
             self._record_metrics(result)
         return result
@@ -313,6 +316,13 @@ class BFSEngine:
         stall_hist = m.histogram("bfs.level_stall_ns")
         for lc, lt in zip(result.counts.levels, result.timing.levels):
             m.counter("bfs.levels_total", direction=lc.direction).inc()
+            for comp, ns in lt.comm_components().items():
+                m.counter(
+                    "bfs.comm.component_sim_ns_total", component=comp
+                ).inc(ns)
+            m.histogram(
+                "bfs.level_compute_imbalance", direction=lc.direction
+            ).observe(lt.compute_imbalance)
             m.counter(
                 "bfs.examined_edges_total", direction=lc.direction
             ).inc(float(lc.examined_edges.sum()))

@@ -34,13 +34,47 @@ from repro.mpi.simcomm import SimComm
 from repro.util import bitops
 
 __all__ = [
+    "COMM_COMPONENTS",
     "CostConstants",
     "StructureSizes",
     "LevelTiming",
     "PhaseBreakdown",
     "BfsTiming",
     "assemble",
+    "comm_component_split",
 ]
+
+#: Attribution categories for communication time: the two bottom-up
+#: allgathers the paper profiles separately (Fig. 12/14), the top-down
+#: pair exchange, and the per-level control allreduces.
+COMM_COMPONENTS = (
+    "allgather_in_queue",
+    "allgather_summary",
+    "alltoallv",
+    "allreduce",
+)
+
+
+def comm_component_split(comm_steps: dict[str, float]) -> dict[str, float]:
+    """Group a level's ``comm_steps`` into :data:`COMM_COMPONENTS`.
+
+    The pricer prefixes every in_queue-allgather step with ``inq_`` and
+    every summary-allgather step with ``summary_`` (including the codec
+    encode/decode terms), so the per-collective attribution is a pure
+    regrouping — the component sums always add up to ``comm_ns``.
+    Unrecognized steps are preserved under ``other``.
+    """
+    out = dict.fromkeys(COMM_COMPONENTS, 0.0)
+    for step, t in comm_steps.items():
+        if step.startswith("inq_"):
+            out["allgather_in_queue"] += t
+        elif step.startswith("summary_"):
+            out["allgather_summary"] += t
+        elif step in ("alltoallv", "allreduce"):
+            out[step] += t
+        else:
+            out["other"] = out.get("other", 0.0) + t
+    return out
 
 # Scalar-work constants (CPU cycles per event).  These are the knobs a
 # profile-calibrated simulator exposes; defaults chosen for a tight BFS
@@ -132,6 +166,33 @@ class LevelTiming:
     def total_ns(self) -> float:
         """Level total: compute + comm + switch + stall."""
         return self.compute_mean_ns + self.comm_ns + self.switch_ns + self.stall_ns
+
+    @property
+    def critical_rank(self) -> int:
+        """The straggler: rank with the largest compute time this level
+        (the one every other rank waits for at the barrier); -1 when no
+        per-rank detail was recorded."""
+        if self.compute_rank_ns is None or len(self.compute_rank_ns) == 0:
+            return -1
+        return int(np.argmax(self.compute_rank_ns))
+
+    @property
+    def compute_imbalance(self) -> float:
+        """Load-imbalance ratio max/mean of the per-rank compute times
+        (1.0 = perfectly balanced; falls back to max/mean of the scalar
+        aggregates when per-rank detail is absent)."""
+        arr = self.compute_rank_ns
+        if arr is not None and len(arr) > 0:
+            mean = float(np.mean(arr))
+            return float(np.max(arr)) / mean if mean > 0 else 1.0
+        if self.compute_mean_ns > 0:
+            return self.compute_max_ns / self.compute_mean_ns
+        return 1.0
+
+    def comm_components(self) -> dict[str, float]:
+        """This level's communication time per attribution component
+        (see :func:`comm_component_split`)."""
+        return comm_component_split(self.comm_steps)
 
 
 @dataclass

@@ -12,9 +12,16 @@ Usage::
 representative of the experiment and writes its simulated timeline as
 Chrome trace-event JSON (one track per simulated rank — open it at
 https://ui.perfetto.dev), plus a ``<PATH>.events.jsonl`` span/collective
-event log next to it.  ``--metrics-out`` dumps the process-wide metrics
-registry (experiment wall-clocks, run counters, communication volumes)
-as JSON.  See docs/OBSERVABILITY.md.
+event log next to it.  When several experiments run (``all``), each
+experiment writes to its own file, named by
+:func:`trace_output_path`: ``PATH.<experiment>.json`` (and
+``PATH.<experiment>.json.events.jsonl``) — experiments never clobber
+each other's traces.  ``--attribution`` prints the per-level /
+whole-run performance attribution (the Fig. 11-style compute/comm
+breakdown; see ``repro-perf attribute``) of that same instrumented
+run.  ``--metrics-out`` dumps the process-wide metrics registry
+(experiment wall-clocks, run counters, communication volumes) as JSON.
+See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -30,7 +37,7 @@ from repro.experiments.registry import (
     traced_reference_run,
 )
 
-__all__ = ["main"]
+__all__ = ["main", "trace_output_path"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -80,6 +87,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "running several); a .events.jsonl log is written next to it",
     )
     parser.add_argument(
+        "--attribution",
+        action="store_true",
+        help="print the per-level / whole-run performance attribution "
+        "(compute vs. each communication component, critical rank, "
+        "stragglers) of one instrumented reference run per experiment; "
+        "shares the run with --trace-out when both are given",
+    )
+    parser.add_argument(
         "--metrics-out",
         metavar="PATH",
         help="write the metrics registry (wall-clocks, counters, "
@@ -104,21 +119,31 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _suffixed(path: str, eid: str, many: bool) -> str:
-    """``path`` unchanged for a single experiment, ``path.eid.ext`` style
-    suffixing when running several."""
+def trace_output_path(path: str, eid: str, many: bool) -> str:
+    """Where ``--trace-out PATH`` writes experiment ``eid``'s trace.
+
+    A single experiment writes to ``PATH`` verbatim; when several run
+    (``repro-experiment all``) each gets ``PATH.<experiment>.json`` so
+    no experiment clobbers another's trace.  The JSONL event log always
+    lands next to the trace as ``<trace>.events.jsonl``.
+    """
     return path if not many else f"{path}.{eid}.json"
 
 
-def _write_trace(path: str, eid: str, settings, registry) -> None:
-    """Run the traced reference BFS for ``eid`` and export its trace."""
-    from repro.obs.export import write_chrome_trace, write_events_jsonl
+def _traced_result(eid: str, settings, registry):
+    """One instrumented reference BFS run for ``eid``."""
     from repro.obs.tracer import SpanTracer
 
     tracer = SpanTracer(metrics=registry)
-    result = traced_reference_run(
+    return traced_reference_run(
         eid, settings, tracer=tracer, metrics=registry
     )
+
+
+def _write_trace(path: str, result) -> None:
+    """Export an instrumented run's trace + event log."""
+    from repro.obs.export import write_chrome_trace, write_events_jsonl
+
     write_chrome_trace(path, result)
     events_path = f"{path}.events.jsonl"
     write_events_jsonl(events_path, result.telemetry)
@@ -188,10 +213,12 @@ def main(argv: list[str] | None = None) -> int:
             with open(path, "w", encoding="utf-8") as fh:
                 fh.write(result.to_csv())
             print(f"[csv written to {path}]")
-        if args.trace_out:
-            _write_trace(
-                _suffixed(args.trace_out, eid, many), eid, settings, registry
-            )
+        if args.trace_out or args.attribution:
+            traced = _traced_result(eid, settings, registry)
+            if args.trace_out:
+                _write_trace(trace_output_path(args.trace_out, eid, many), traced)
+            if args.attribution:
+                print(traced.telemetry.attribution.to_text())
         print(f"[{eid} completed in {elapsed:.1f}s]")
         print()
 

@@ -25,6 +25,7 @@ from repro.experiments.common import ExperimentResult, ExperimentSettings
 __all__ = [
     "EXPERIMENTS",
     "get_experiment",
+    "reference_engine",
     "run_experiment",
     "traced_reference_run",
 ]
@@ -86,21 +87,20 @@ def run_experiment(
     return result
 
 
-def traced_reference_run(
+def reference_engine(
     experiment_id: str,
     settings: ExperimentSettings | None = None,
     tracer=None,
     metrics=None,
 ):
-    """One fully-instrumented BFS run representative of an experiment.
+    """The engine + root for an experiment's reference BFS run.
 
-    Used by ``repro-experiment --trace-out``: builds the graph and
-    cluster the experiment's weak-scaling point implies (its ``NODES``
-    attribute, default 2, at the settings' measured scale) and executes
-    one traversal of the paper's full optimization stack with the given
-    tracer/metrics attached.  Returns the
-    :class:`~repro.core.engine.BFSResult`, whose ``telemetry`` feeds the
-    Chrome trace / JSONL exporters.
+    Builds the graph and cluster the experiment's weak-scaling point
+    implies (its ``NODES`` attribute, default 2, at the settings'
+    measured scale) configured with the paper's full optimization stack.
+    Returns ``(engine, root)`` so callers that need the machine model
+    after the run (``repro-perf drift`` re-prices the recorded counts on
+    it) can keep the engine.
     """
     import numpy as np
 
@@ -127,4 +127,24 @@ def traced_reference_run(
         metrics=metrics,
     )
     root = int(np.argmax(graph.degrees()))
+    return engine, root
+
+
+def traced_reference_run(
+    experiment_id: str,
+    settings: ExperimentSettings | None = None,
+    tracer=None,
+    metrics=None,
+):
+    """One fully-instrumented BFS run representative of an experiment.
+
+    Used by ``repro-experiment --trace-out``: executes one traversal of
+    the :func:`reference_engine` configuration with the given
+    tracer/metrics attached.  Returns the
+    :class:`~repro.core.engine.BFSResult`, whose ``telemetry`` feeds the
+    Chrome trace / JSONL exporters.
+    """
+    engine, root = reference_engine(
+        experiment_id, settings, tracer=tracer, metrics=metrics
+    )
     return engine.run(root)

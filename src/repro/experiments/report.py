@@ -74,12 +74,41 @@ def _result_markdown(result: ExperimentResult) -> str:
     return "\n".join(lines)
 
 
+#: Experiments whose section can carry a trace-derived attribution
+#: appendix: the paper's breakdown figures.
+ATTRIBUTION_EXPERIMENTS = ("fig11", "fig12", "fig14")
+
+
+def _attribution_markdown(eid: str, settings: ExperimentSettings) -> str:
+    """A fenced attribution block from one instrumented reference run."""
+    from repro.experiments.registry import traced_reference_run
+    from repro.obs.tracer import SpanTracer
+
+    result = traced_reference_run(eid, settings, tracer=SpanTracer())
+    return "\n".join(
+        [
+            "### Trace attribution (instrumented reference run)",
+            "",
+            "```",
+            result.telemetry.attribution.to_text(),
+            "```",
+            "",
+        ]
+    )
+
+
 def render_markdown(
     results: dict[str, ExperimentResult],
     settings: ExperimentSettings,
     elapsed_s: float,
+    attribution: bool = False,
 ) -> str:
-    """Render all experiment results as the EXPERIMENTS.md document."""
+    """Render all experiment results as the EXPERIMENTS.md document.
+
+    ``attribution=True`` appends a trace-derived breakdown section to
+    the paper's breakdown figures (fig11/fig12/fig14); off by default so
+    the committed EXPERIMENTS.md stays byte-stable across this option.
+    """
     parts = [_PREAMBLE]
     parts.append(
         f"Generated {datetime.date.today().isoformat()} on Python "
@@ -91,12 +120,15 @@ def render_markdown(
     )
     for eid in EXPERIMENTS:
         parts.append(_result_markdown(results[eid]))
+        if attribution and eid in ATTRIBUTION_EXPERIMENTS:
+            parts.append(_attribution_markdown(eid, settings))
     return "\n".join(parts)
 
 
 def generate_report(
     path: str | Path = "EXPERIMENTS.md",
     settings: ExperimentSettings | None = None,
+    attribution: bool = False,
 ) -> Path:
     """Run every experiment and write the markdown report to ``path``."""
     settings = settings or ExperimentSettings()
@@ -106,7 +138,7 @@ def generate_report(
         print(f"running {eid}...", file=sys.stderr, flush=True)
         results[eid] = run_experiment(eid, settings)
     elapsed = time.perf_counter() - start
-    text = render_markdown(results, settings, elapsed)
+    text = render_markdown(results, settings, elapsed, attribution=attribution)
     out = Path(path)
     out.write_text(text, encoding="utf-8")
     print(f"wrote {out} ({elapsed:.0f} s)", file=sys.stderr)

@@ -13,8 +13,15 @@ kernels and the simulated communicator.
 * :mod:`repro.obs.export` — Chrome trace-event JSON (one track per
   simulated rank, simulated timestamps; open in Perfetto), JSONL event
   log, terminal summary table.
+* :mod:`repro.obs.analyze` — critical-path attribution (the Fig. 11
+  breakdown computed from a trace) and model-drift detection.
+* :mod:`repro.obs.baseline` — canonical schema + policy-aware differ
+  over the committed ``BENCH_*.json`` baselines.
+* :mod:`repro.obs.perfcli` — the ``repro-perf`` command
+  (attribute / drift / diff).
 
-See ``docs/OBSERVABILITY.md`` for the span model and event schema.
+See ``docs/OBSERVABILITY.md`` for the span model, event schema, and the
+attribution / drift / diff walkthroughs.
 """
 
 from repro.obs.export import (
@@ -61,4 +68,44 @@ __all__ = [
     "events_jsonl",
     "write_events_jsonl",
     "summary_table",
+    "LevelAttribution",
+    "RunAttribution",
+    "attribute_run",
+    "attribute_timing",
+    "record_attribution",
+    "DriftComponent",
+    "ModelDriftReport",
+    "detect_model_drift",
+    "Baseline",
+    "BenchRecord",
+    "DiffRow",
+    "DiffVerdict",
+    "diff_baselines",
 ]
+
+# analyze/baseline pull in repro.core (and transitively repro.mpi, which
+# itself imports repro.obs.tracer), so they are resolved lazily to keep
+# this package importable from anywhere in that chain.
+_LAZY = {
+    "LevelAttribution": "repro.obs.analyze",
+    "RunAttribution": "repro.obs.analyze",
+    "attribute_run": "repro.obs.analyze",
+    "attribute_timing": "repro.obs.analyze",
+    "record_attribution": "repro.obs.analyze",
+    "DriftComponent": "repro.obs.analyze",
+    "ModelDriftReport": "repro.obs.analyze",
+    "detect_model_drift": "repro.obs.analyze",
+    "Baseline": "repro.obs.baseline",
+    "BenchRecord": "repro.obs.baseline",
+    "DiffRow": "repro.obs.baseline",
+    "DiffVerdict": "repro.obs.baseline",
+    "diff_baselines": "repro.obs.baseline",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        return getattr(importlib.import_module(_LAZY[name]), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,447 @@
+"""Benchmark baseline store and differ behind ``repro-perf diff``.
+
+The committed ``BENCH_kernels.json`` / ``BENCH_comm.json`` files are
+pytest-benchmark output: wall-clock stats per benchmark plus the
+simulator's own accounting in ``extra_info`` (simulated seconds, raw and
+wire bytes, examined edges...).  This module gives them a canonical
+schema and a policy-aware diff so "makes a hot path measurably faster"
+stays checkable PR over PR:
+
+* **context** keys (scale, nodes, ppn, backend, codec, experiment)
+  identify *what* was measured — a mismatch makes two records
+  incomparable, never a regression (CI smoke runs at scale 12 against a
+  committed scale-15 baseline on purpose);
+* **metric** values are compared directionally — simulated seconds and
+  wire bytes must not grow, TEPS and reduction percentages must not
+  shrink, and determinism invariants (raw bytes, examined edges,
+  in-queue reads) must not change at all;
+* **facts** (strings, lists — e.g. the per-level codec choices) are
+  gated on equality;
+* **wall-clock** stats are separable (``include_wall=False``) because
+  they only compare meaningfully on the same machine.
+
+Everything numeric is diffed; unknown metric names become info rows so a
+new counter shows up in the report before anyone writes policy for it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "CONTEXT_KEYS",
+    "BenchRecord",
+    "Baseline",
+    "DiffRow",
+    "DiffVerdict",
+    "diff_baselines",
+    "metric_direction",
+]
+
+#: extra_info keys that identify the measurement rather than score it.
+CONTEXT_KEYS = ("scale", "nodes", "ppn", "backend", "codec", "experiment")
+
+#: Substring → direction policy, first match wins.  ``equal`` metrics are
+#: determinism invariants; ``higher``/``lower`` state which way is better.
+_DIRECTION_RULES: tuple[tuple[str, str], ...] = (
+    ("raw_bytes", "equal"),
+    ("examined_edges", "equal"),
+    ("inqueue_reads", "equal"),
+    ("candidates", "equal"),
+    ("frontier", "equal"),
+    ("allreduces", "equal"),
+    ("visited", "equal"),
+    ("levels", "equal"),
+    ("teps", "higher"),
+    ("reduction_pct", "higher"),
+    ("ratio", "higher"),
+    ("wall_", "lower"),
+    ("seconds", "lower"),
+    ("time", "lower"),
+    ("bytes", "lower"),
+    ("gathered_edges", "lower"),
+    ("chunk_rounds", "lower"),
+    ("stall", "lower"),
+)
+
+#: Relative slack for ``equal`` metrics (floats that went through JSON).
+_EQUAL_EPS = 1e-4
+
+
+def metric_direction(name: str) -> str:
+    """The comparison policy for a metric name: ``equal`` (invariant),
+    ``higher`` (bigger is better), ``lower`` (smaller is better) or
+    ``info`` (report, never gate)."""
+    for needle, direction in _DIRECTION_RULES:
+        if needle in name:
+            return direction
+    return "info"
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark in canonical form."""
+
+    name: str
+    group: str | None = None
+    #: Identity of the measurement (subset of extra_info + params).
+    context: dict[str, str] = field(default_factory=dict)
+    #: Numeric observations, including ``wall_*`` from the stats block.
+    metrics: dict[str, float] = field(default_factory=dict)
+    #: Non-numeric invariants (stringified), gated on equality.
+    facts: dict[str, str] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """The record as a plain JSON-ready dict."""
+        return {
+            "name": self.name,
+            "group": self.group,
+            "context": dict(self.context),
+            "metrics": dict(self.metrics),
+            "facts": dict(self.facts),
+        }
+
+
+#: stats keys copied into metrics as wall-clock observations.
+_WALL_STATS = {"min": "wall_min_s", "mean": "wall_mean_s"}
+
+
+def _canonicalize(bench: dict) -> BenchRecord:
+    rec = BenchRecord(name=bench["name"], group=bench.get("group"))
+    sources: dict = {}
+    sources.update(bench.get("params") or {})
+    sources.update(bench.get("extra_info") or {})
+    for key, value in sources.items():
+        if key in CONTEXT_KEYS or key == "backend_name":
+            rec.context[key.removesuffix("_name")] = str(value)
+        elif key == "telemetry":
+            continue  # registry snapshot: aggregate, not per-benchmark
+        elif isinstance(value, bool):
+            rec.facts[key] = str(value)
+        elif isinstance(value, (int, float)):
+            rec.metrics[key] = float(value)
+        else:
+            rec.facts[key] = json.dumps(value, sort_keys=True, default=str)
+    stats = bench.get("stats") or {}
+    for stat, metric in _WALL_STATS.items():
+        if stat in stats:
+            rec.metrics[metric] = float(stats[stat])
+    return rec
+
+
+@dataclass
+class Baseline:
+    """All benchmarks of one ``BENCH_*.json`` file, canonicalized."""
+
+    source: str
+    records: dict[str, BenchRecord] = field(default_factory=dict)
+    commit: str | None = None
+    datetime: str | None = None
+
+    @classmethod
+    def from_benchmark_json(cls, path: str | Path) -> "Baseline":
+        """Load a pytest-benchmark JSON file."""
+        path = Path(path)
+        doc = json.loads(path.read_text())
+        commit = (doc.get("commit_info") or {}).get("id")
+        base = cls(
+            source=str(path), commit=commit, datetime=doc.get("datetime")
+        )
+        for bench in doc.get("benchmarks", []):
+            rec = _canonicalize(bench)
+            base.records[rec.name] = rec
+        return base
+
+    def as_dict(self) -> dict:
+        """The baseline as a plain JSON-ready dict."""
+        return {
+            "source": self.source,
+            "commit": self.commit,
+            "datetime": self.datetime,
+            "records": {
+                name: rec.as_dict()
+                for name, rec in sorted(self.records.items())
+            },
+        }
+
+
+@dataclass
+class DiffRow:
+    """One compared metric (or fact, or structural note)."""
+
+    benchmark: str
+    metric: str
+    #: ok | regression | improved | changed | incomparable | missing |
+    #: added | info
+    status: str
+    direction: str = "info"
+    old: float | str | None = None
+    new: float | str | None = None
+    delta_pct: float | None = None
+    note: str = ""
+
+    @property
+    def gating(self) -> bool:
+        """True when this row alone fails the diff."""
+        return self.status in ("regression", "changed", "missing")
+
+    def as_dict(self) -> dict:
+        """The row as a plain JSON-ready dict."""
+        return {
+            "benchmark": self.benchmark,
+            "metric": self.metric,
+            "status": self.status,
+            "direction": self.direction,
+            "old": self.old,
+            "new": self.new,
+            "delta_pct": self.delta_pct,
+            "note": self.note,
+        }
+
+
+@dataclass
+class DiffVerdict:
+    """Outcome of one baseline diff."""
+
+    old_source: str
+    new_source: str
+    tolerance_pct: float
+    wall_tolerance_pct: float
+    include_wall: bool
+    rows: list[DiffRow] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[DiffRow]:
+        """The rows that fail the gate."""
+        return [r for r in self.rows if r.gating]
+
+    @property
+    def improvements(self) -> list[DiffRow]:
+        """The rows that moved in the good direction past tolerance."""
+        return [r for r in self.rows if r.status == "improved"]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed."""
+        return not self.regressions
+
+    def as_dict(self) -> dict:
+        """The verdict as a plain JSON-ready dict (the CI artifact)."""
+        return {
+            "schema": "repro.perfdiff/v1",
+            "ok": self.ok,
+            "old": self.old_source,
+            "new": self.new_source,
+            "tolerance_pct": self.tolerance_pct,
+            "wall_tolerance_pct": self.wall_tolerance_pct,
+            "include_wall": self.include_wall,
+            "regressions": [r.as_dict() for r in self.regressions],
+            "rows": [r.as_dict() for r in self.rows],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The verdict as a JSON document."""
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def to_text(self, max_ok_rows: int = 20) -> str:
+        """Terminal table: gating rows first, then improvements, then a
+        capped tail of unchanged/info rows."""
+        from repro.util.formatting import format_table
+
+        def fmt(v):
+            if isinstance(v, float):
+                return f"{v:.6g}"
+            if v is None:
+                return "-"
+            s = str(v)
+            return s if len(s) <= 32 else s[:29] + "..."
+
+        ordered = sorted(
+            self.rows,
+            key=lambda r: (
+                not r.gating,
+                r.status != "improved",
+                r.benchmark,
+                r.metric,
+            ),
+        )
+        shown = [r for r in ordered if r.gating or r.status == "improved"]
+        tail = [r for r in ordered if r not in shown][:max_ok_rows]
+        rows = []
+        for r in shown + tail:
+            delta = (
+                f"{r.delta_pct:+.2f}%" if r.delta_pct is not None else "-"
+            )
+            rows.append(
+                [
+                    r.benchmark,
+                    r.metric,
+                    fmt(r.old),
+                    fmt(r.new),
+                    delta,
+                    r.status.upper() if r.gating else r.status,
+                ]
+            )
+        verdict = "OK" if self.ok else f"FAIL ({len(self.regressions)} regression(s))"
+        title = (
+            f"perf diff {verdict}: {self.old_source} -> {self.new_source} "
+            f"(tolerance {self.tolerance_pct:g}%"
+            + (
+                f", wall {self.wall_tolerance_pct:g}%"
+                if self.include_wall
+                else ", wall ignored"
+            )
+            + ")"
+        )
+        table = format_table(
+            ["benchmark", "metric", "old", "new", "delta", "status"],
+            rows,
+            title=title,
+        )
+        hidden = len(self.rows) - len(shown) - len(tail)
+        if hidden > 0:
+            table += f"\n({hidden} unchanged row(s) elided)"
+        return table
+
+
+def _delta_pct(old: float, new: float) -> float | None:
+    if old == 0.0:
+        return None if new == 0.0 else math.inf
+    return (new - old) / abs(old) * 100.0
+
+
+def _compare_metric(
+    bench: str,
+    metric: str,
+    old: float,
+    new: float,
+    tolerance_pct: float,
+) -> DiffRow:
+    direction = metric_direction(metric)
+    delta = _delta_pct(old, new)
+    row = DiffRow(
+        benchmark=bench,
+        metric=metric,
+        status="ok",
+        direction=direction,
+        old=old,
+        new=new,
+        delta_pct=delta,
+    )
+    if direction == "info":
+        row.status = "info"
+        return row
+    if direction == "equal":
+        same = math.isclose(old, new, rel_tol=_EQUAL_EPS, abs_tol=1e-9)
+        if not same:
+            row.status = "changed"
+            row.note = "determinism invariant changed"
+        return row
+    if delta is None:
+        return row
+    worse = delta if direction == "lower" else -delta
+    if worse > tolerance_pct:
+        row.status = "regression"
+        row.note = f"worse by {abs(delta):.2f}% (> {tolerance_pct:g}%)"
+    elif worse < -tolerance_pct:
+        row.status = "improved"
+    return row
+
+
+def diff_baselines(
+    old: Baseline,
+    new: Baseline,
+    tolerance_pct: float = 10.0,
+    wall_tolerance_pct: float | None = None,
+    include_wall: bool = True,
+) -> DiffVerdict:
+    """Compare two baselines under the direction policy.
+
+    ``tolerance_pct`` bounds how much a directional metric may move the
+    wrong way; ``wall_tolerance_pct`` (default 5× the main tolerance)
+    applies to the ``wall_*`` stats, which are far noisier than simulated
+    quantities; ``include_wall=False`` drops them entirely (the CI gate
+    does, since the committed baselines come from a different machine).
+    """
+    if wall_tolerance_pct is None:
+        wall_tolerance_pct = 5.0 * tolerance_pct
+    verdict = DiffVerdict(
+        old_source=old.source,
+        new_source=new.source,
+        tolerance_pct=tolerance_pct,
+        wall_tolerance_pct=wall_tolerance_pct,
+        include_wall=include_wall,
+    )
+    for name in sorted(old.records):
+        old_rec = old.records[name]
+        new_rec = new.records.get(name)
+        if new_rec is None:
+            verdict.rows.append(
+                DiffRow(
+                    benchmark=name,
+                    metric="-",
+                    status="missing",
+                    note="benchmark disappeared from the new run",
+                )
+            )
+            continue
+        mismatched = {
+            k: (old_rec.context.get(k), new_rec.context.get(k))
+            for k in set(old_rec.context) | set(new_rec.context)
+            if old_rec.context.get(k) != new_rec.context.get(k)
+        }
+        if mismatched:
+            detail = ", ".join(
+                f"{k}: {o} -> {n}"
+                for k, (o, n) in sorted(mismatched.items())
+            )
+            verdict.rows.append(
+                DiffRow(
+                    benchmark=name,
+                    metric="context",
+                    status="incomparable",
+                    old=str(dict(sorted(old_rec.context.items()))),
+                    new=str(dict(sorted(new_rec.context.items()))),
+                    note=f"context differs ({detail}); not gated",
+                )
+            )
+            continue
+        for metric in sorted(set(old_rec.metrics) & set(new_rec.metrics)):
+            is_wall = metric.startswith("wall_")
+            if is_wall and not include_wall:
+                continue
+            verdict.rows.append(
+                _compare_metric(
+                    name,
+                    metric,
+                    old_rec.metrics[metric],
+                    new_rec.metrics[metric],
+                    wall_tolerance_pct if is_wall else tolerance_pct,
+                )
+            )
+        for fact in sorted(set(old_rec.facts) & set(new_rec.facts)):
+            ov, nv = old_rec.facts[fact], new_rec.facts[fact]
+            verdict.rows.append(
+                DiffRow(
+                    benchmark=name,
+                    metric=fact,
+                    status="ok" if ov == nv else "changed",
+                    direction="equal",
+                    old=ov,
+                    new=nv,
+                    note="" if ov == nv else "recorded fact changed",
+                )
+            )
+    for name in sorted(set(new.records) - set(old.records)):
+        verdict.rows.append(
+            DiffRow(
+                benchmark=name,
+                metric="-",
+                status="added",
+                note="new benchmark (no baseline); not gated",
+            )
+        )
+    return verdict

@@ -168,25 +168,44 @@ def write_events_jsonl(path: str, telemetry: "RunTelemetry") -> None:
         fh.write(events_jsonl(telemetry))
 
 
+def _split_labels(formatted: str) -> tuple[str, str]:
+    """``name{k=v,...}`` -> ``(name, "k=v,...")`` (labels empty if none)."""
+    if formatted.endswith("}") and "{" in formatted:
+        name, _, labels = formatted.partition("{")
+        return name, labels[:-1]
+    return formatted, ""
+
+
 def summary_table(metrics: "MetricsRegistry", title: str = "telemetry") -> str:
-    """A metrics registry rendered as a terminal table."""
+    """A metrics registry rendered as a terminal table.
+
+    Labels get their own column so series with different label arity
+    (``bfs.runs_total`` next to ``comm.step_sim_time_ns_total{op=,step=}``)
+    stay aligned, and rows are sorted by metric name / labels / type
+    across all three families so the output is deterministic and related
+    series are adjacent regardless of metric kind.
+    """
     from repro.util.formatting import format_table
 
     snapshot = metrics.as_dict()
     rows: list[list] = []
     for name, value in snapshot["counters"].items():
-        rows.append([name, "counter", f"{value:,.0f}"])
+        rows.append([*_split_labels(name), "counter", f"{value:,.0f}"])
     for name, value in snapshot["gauges"].items():
-        rows.append([name, "gauge", f"{value:.4g}"])
+        rows.append([*_split_labels(name), "gauge", f"{value:.4g}"])
     for name, summ in snapshot["histograms"].items():
         rows.append(
             [
-                name,
+                *_split_labels(name),
                 "histogram",
                 f"n={summ['count']} mean={summ['mean']:.4g} "
+                f"p50={summ['p50']:.4g} p99={summ['p99']:.4g} "
                 f"min={summ['min']:.4g} max={summ['max']:.4g}",
             ]
         )
+    rows.sort(key=lambda r: (r[0], r[1], r[2]))
     if not rows:
-        rows.append(["(no metrics recorded)", "", ""])
-    return format_table(["metric", "type", "value"], rows, title=title)
+        rows.append(["(no metrics recorded)", "", "", ""])
+    return format_table(
+        ["metric", "labels", "type", "value"], rows, title=title
+    )

@@ -62,19 +62,46 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observed values (count/sum/min/max/mean).
+    """Streaming summary of observed values with quantile estimation.
 
-    Keeps only scalar aggregates — observation streams from large runs
-    (e.g. per-rank stall times every level) stay O(1) in memory.
+    Scalar aggregates (count/sum/min/max/mean) are exact; quantiles come
+    from logarithmic buckets (relative width ``_BUCKET_BASE``), so memory
+    stays bounded by the observations' dynamic range — observation
+    streams from large runs (e.g. per-rank stall times every level) never
+    store individual samples.  Within a bucket the estimate is the
+    geometric midpoint, clamped to the observed ``[min, max]``, giving a
+    worst-case relative error of about 9 % and exact answers for empty
+    and single-valued streams.
     """
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "_buckets")
+
+    #: Bucket boundary ratio: value v > 0 lands in bucket
+    #: ``ceil(log(v) / log(base))``, i.e. (base**(i-1), base**i].
+    _BUCKET_BASE = 2.0 ** 0.25
+    _LOG_BASE = math.log(_BUCKET_BASE)
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        # (sign, index) -> count; sign in {-1, 0, 1}, index 0 for sign 0.
+        self._buckets: dict[tuple[int, int], int] = {}
+
+    @classmethod
+    def _bucket(cls, value: float) -> tuple[int, int]:
+        if value == 0.0:
+            return (0, 0)
+        sign = 1 if value > 0 else -1
+        return (sign, math.ceil(math.log(abs(value)) / cls._LOG_BASE - 1e-12))
+
+    @classmethod
+    def _representative(cls, key: tuple[int, int]) -> float:
+        sign, idx = key
+        if sign == 0:
+            return 0.0
+        return sign * cls._BUCKET_BASE ** (idx - 0.5)
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -85,20 +112,50 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        key = self._bucket(value)
+        self._buckets[key] = self._buckets.get(key, 0) + 1
 
     @property
     def mean(self) -> float:
         """Arithmetic mean of the observations (0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile (``q`` in [0, 100]).
+
+        Returns 0.0 for an empty histogram; exact for a single sample
+        (and for any single-valued stream, via the min/max clamp).
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile {q} outside [0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        # The extreme ranks are tracked exactly.
+        if rank <= 1:
+            return self.min
+        if rank >= self.count:
+            return self.max
+        cumulative = 0
+        value = self.max
+        for key in sorted(self._buckets, key=self._representative):
+            cumulative += self._buckets[key]
+            if cumulative >= rank:
+                value = self._representative(key)
+                break
+        return min(max(value, self.min), self.max)
+
     def summary(self) -> dict:
-        """The aggregates as a plain dict."""
+        """The aggregates (plus p50/p90/p99 estimates) as a plain dict."""
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
             "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
         }
 
 
@@ -112,7 +169,10 @@ class MetricsRegistry:
 
     @staticmethod
     def _key(name: str, labels: dict) -> tuple:
-        return (name, tuple(sorted(labels.items())))
+        # Label values are stringified so series identity matches the
+        # rendered name and mixed-type values (level=3 vs level="3")
+        # cannot split one series or break deterministic sorting.
+        return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
 
     def counter(self, name: str, **labels) -> Counter:
         """The counter for ``name`` + labels, created on first use."""

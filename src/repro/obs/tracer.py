@@ -322,6 +322,9 @@ class RunTelemetry:
     spans: list[Span] = field(default_factory=list)
     comm_events: list[CommEvent] = field(default_factory=list)
     metrics: object | None = None
+    #: :class:`repro.obs.analyze.RunAttribution` of the run, filled in by
+    #: the engine after pricing (None until then, or for untraced runs).
+    attribution: object | None = None
 
     @classmethod
     def from_tracer(cls, tracer: SpanTracer, metrics=None) -> "RunTelemetry":

@@ -1,0 +1,285 @@
+"""Tests for the benchmark baseline store and policy-aware differ."""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs.baseline import (
+    Baseline,
+    diff_baselines,
+    metric_direction,
+)
+
+
+def _doc(benchmarks):
+    return {
+        "machine_info": {"node": "test"},
+        "commit_info": {"id": "deadbeef", "branch": "main"},
+        "datetime": "2026-08-06T00:00:00+00:00",
+        "benchmarks": benchmarks,
+    }
+
+
+def _bench(name, extra_info=None, stats=None, params=None):
+    return {
+        "name": name,
+        "group": None,
+        "params": params,
+        "extra_info": extra_info or {},
+        "stats": stats or {"min": 0.1, "max": 0.2, "mean": 0.15},
+    }
+
+
+@pytest.fixture
+def comm_doc():
+    return _doc(
+        [
+            _bench(
+                "test_comm_bytes[auto]",
+                extra_info={
+                    "codec": "auto",
+                    "scale": 15,
+                    "nodes": 16,
+                    "ppn": 8,
+                    "allgather_raw_bytes": 20800.0,
+                    "allgather_wire_bytes": 10122.0,
+                    "reduction_pct": 51.3,
+                    "simulated_seconds": 4.1e-4,
+                    "per_level_codecs": ["sparse-index", "raw"],
+                },
+            ),
+            _bench(
+                "test_kernel[activeset]",
+                extra_info={
+                    "backend": "activeset",
+                    "scale": 15,
+                    "examined_edges": 20932,
+                    "gathered_edges": 33398,
+                    "chunk_rounds": 2,
+                },
+            ),
+        ]
+    )
+
+
+def _write(tmp_path, name, doc):
+    p = tmp_path / name
+    p.write_text(json.dumps(doc))
+    return p
+
+
+class TestMetricDirection:
+    def test_policy(self):
+        assert metric_direction("allgather_raw_bytes") == "equal"
+        assert metric_direction("examined_edges") == "equal"
+        assert metric_direction("inqueue_reads") == "equal"
+        assert metric_direction("simulated_seconds") == "lower"
+        assert metric_direction("allgather_wire_bytes") == "lower"
+        assert metric_direction("wall_mean_s") == "lower"
+        assert metric_direction("gathered_edges") == "lower"
+        assert metric_direction("simulated_teps") == "higher"
+        assert metric_direction("reduction_pct") == "higher"
+        assert metric_direction("unheard_of_metric") == "info"
+
+
+class TestBaselineLoad:
+    def test_committed_baselines_parse(self):
+        for path in ("BENCH_kernels.json", "BENCH_comm.json"):
+            base = Baseline.from_benchmark_json(path)
+            assert base.records
+            assert base.commit
+        comm = Baseline.from_benchmark_json("BENCH_comm.json")
+        rec = comm.records["test_comm_bytes[auto]"]
+        assert rec.context["codec"] == "auto"
+        assert rec.context["scale"] == "15"
+        assert rec.metrics["allgather_raw_bytes"] == 20800.0
+        assert "wall_mean_s" in rec.metrics
+        assert "per_level_codecs" in rec.facts
+
+    def test_params_feed_context(self, tmp_path):
+        doc = _doc(
+            [_bench("b", params={"backend_name": "activeset"})]
+        )
+        base = Baseline.from_benchmark_json(_write(tmp_path, "a.json", doc))
+        assert base.records["b"].context["backend"] == "activeset"
+
+    def test_as_dict_roundtrips(self, comm_doc, tmp_path):
+        base = Baseline.from_benchmark_json(
+            _write(tmp_path, "a.json", comm_doc)
+        )
+        doc = json.loads(json.dumps(base.as_dict()))
+        assert set(doc["records"]) == set(base.records)
+
+
+class TestDiff:
+    def test_identical_is_ok(self, comm_doc, tmp_path):
+        p = _write(tmp_path, "a.json", comm_doc)
+        base = Baseline.from_benchmark_json(p)
+        verdict = diff_baselines(base, base)
+        assert verdict.ok
+        assert not verdict.regressions
+
+    def test_teps_regression_gates(self, tmp_path, comm_doc):
+        """Acceptance: a synthetic >= 20 % simulated-TEPS regression
+        (simulated seconds up 25 %) fails the diff."""
+        old = Baseline.from_benchmark_json(
+            _write(tmp_path, "old.json", comm_doc)
+        )
+        bad = copy.deepcopy(comm_doc)
+        bad["benchmarks"][0]["extra_info"]["simulated_seconds"] *= 1.25
+        new = Baseline.from_benchmark_json(
+            _write(tmp_path, "new.json", bad)
+        )
+        verdict = diff_baselines(old, new, tolerance_pct=20.0)
+        assert not verdict.ok
+        assert any(
+            r.metric == "simulated_seconds" for r in verdict.regressions
+        )
+
+    def test_regression_within_tolerance_passes(self, tmp_path, comm_doc):
+        old = Baseline.from_benchmark_json(
+            _write(tmp_path, "old.json", comm_doc)
+        )
+        mild = copy.deepcopy(comm_doc)
+        mild["benchmarks"][0]["extra_info"]["simulated_seconds"] *= 1.05
+        new = Baseline.from_benchmark_json(
+            _write(tmp_path, "new.json", mild)
+        )
+        assert diff_baselines(old, new, tolerance_pct=20.0).ok
+        assert not diff_baselines(old, new, tolerance_pct=1.0).ok
+
+    def test_improvement_not_gated(self, tmp_path, comm_doc):
+        old = Baseline.from_benchmark_json(
+            _write(tmp_path, "old.json", comm_doc)
+        )
+        better = copy.deepcopy(comm_doc)
+        better["benchmarks"][0]["extra_info"]["simulated_seconds"] *= 0.5
+        new = Baseline.from_benchmark_json(
+            _write(tmp_path, "new.json", better)
+        )
+        verdict = diff_baselines(old, new, tolerance_pct=10.0)
+        assert verdict.ok
+        assert any(
+            r.metric == "simulated_seconds" for r in verdict.improvements
+        )
+
+    def test_invariant_change_gates_regardless_of_direction(
+        self, tmp_path, comm_doc
+    ):
+        old = Baseline.from_benchmark_json(
+            _write(tmp_path, "old.json", comm_doc)
+        )
+        # examined_edges going DOWN would look like an improvement under
+        # a directional policy, but it is a determinism invariant.
+        mutated = copy.deepcopy(comm_doc)
+        mutated["benchmarks"][1]["extra_info"]["examined_edges"] = 20000
+        new = Baseline.from_benchmark_json(
+            _write(tmp_path, "new.json", mutated)
+        )
+        verdict = diff_baselines(old, new, tolerance_pct=100.0)
+        assert not verdict.ok
+        row = next(r for r in verdict.regressions)
+        assert row.metric == "examined_edges"
+        assert row.status == "changed"
+
+    def test_fact_change_gates(self, tmp_path, comm_doc):
+        old = Baseline.from_benchmark_json(
+            _write(tmp_path, "old.json", comm_doc)
+        )
+        mutated = copy.deepcopy(comm_doc)
+        mutated["benchmarks"][0]["extra_info"]["per_level_codecs"] = [
+            "raw", "raw",
+        ]
+        new = Baseline.from_benchmark_json(
+            _write(tmp_path, "new.json", mutated)
+        )
+        verdict = diff_baselines(old, new, tolerance_pct=100.0)
+        assert not verdict.ok
+        assert any(
+            r.metric == "per_level_codecs" and r.status == "changed"
+            for r in verdict.regressions
+        )
+
+    def test_context_mismatch_is_incomparable_not_gated(
+        self, tmp_path, comm_doc
+    ):
+        old = Baseline.from_benchmark_json(
+            _write(tmp_path, "old.json", comm_doc)
+        )
+        smoke = copy.deepcopy(comm_doc)
+        smoke["benchmarks"][1]["extra_info"]["scale"] = 12
+        # even a wild metric change is not gated when contexts differ
+        smoke["benchmarks"][1]["extra_info"]["examined_edges"] = 1
+        new = Baseline.from_benchmark_json(
+            _write(tmp_path, "new.json", smoke)
+        )
+        verdict = diff_baselines(old, new, tolerance_pct=1.0)
+        rows = [
+            r for r in verdict.rows
+            if r.benchmark == "test_kernel[activeset]"
+        ]
+        assert len(rows) == 1
+        assert rows[0].status == "incomparable"
+        assert not rows[0].gating
+
+    def test_missing_benchmark_gates_added_does_not(
+        self, tmp_path, comm_doc
+    ):
+        old = Baseline.from_benchmark_json(
+            _write(tmp_path, "old.json", comm_doc)
+        )
+        pruned = copy.deepcopy(comm_doc)
+        dropped = pruned["benchmarks"].pop(1)
+        pruned["benchmarks"].append(_bench("brand_new"))
+        new = Baseline.from_benchmark_json(
+            _write(tmp_path, "new.json", pruned)
+        )
+        verdict = diff_baselines(old, new)
+        statuses = {r.benchmark: r.status for r in verdict.rows if r.metric == "-"}
+        assert statuses[dropped["name"]] == "missing"
+        assert statuses["brand_new"] == "added"
+        assert not verdict.ok
+
+    def test_wall_separable(self, tmp_path, comm_doc):
+        old = Baseline.from_benchmark_json(
+            _write(tmp_path, "old.json", comm_doc)
+        )
+        slower = copy.deepcopy(comm_doc)
+        for b in slower["benchmarks"]:
+            b["stats"] = {"min": 10.0, "max": 11.0, "mean": 10.5}
+        new = Baseline.from_benchmark_json(
+            _write(tmp_path, "new.json", slower)
+        )
+        gated = diff_baselines(
+            old, new, tolerance_pct=10.0, include_wall=True
+        )
+        assert not gated.ok
+        assert all(
+            r.metric.startswith("wall_") for r in gated.regressions
+        )
+        ignored = diff_baselines(
+            old, new, tolerance_pct=10.0, include_wall=False
+        )
+        assert ignored.ok
+        assert not any(
+            r.metric.startswith("wall_") for r in ignored.rows
+        )
+
+    def test_verdict_json_schema(self, tmp_path, comm_doc):
+        base = Baseline.from_benchmark_json(
+            _write(tmp_path, "a.json", comm_doc)
+        )
+        verdict = diff_baselines(base, base)
+        doc = json.loads(verdict.to_json())
+        assert doc["schema"] == "repro.perfdiff/v1"
+        assert doc["ok"] is True
+        assert doc["regressions"] == []
+        assert len(doc["rows"]) == len(verdict.rows)
+
+    def test_to_text_renders(self, tmp_path, comm_doc):
+        base = Baseline.from_benchmark_json(
+            _write(tmp_path, "a.json", comm_doc)
+        )
+        text = diff_baselines(base, base).to_text()
+        assert "perf diff OK" in text

@@ -166,6 +166,80 @@ class TestEventsJsonl:
         assert len(records) == len(tel.spans) + len(tel.comm_events)
 
 
+@pytest.fixture(scope="module")
+def codec_traced_result():
+    """A traced run with the auto frontier codec active (codec-aware
+    raw/wire accounting on every collective event)."""
+    import dataclasses
+
+    g = rmat_graph(scale=11, seed=6)
+    cfg = BFSConfig.granularity_variant(256)
+    cfg = dataclasses.replace(
+        cfg, comm=dataclasses.replace(cfg.comm, codec="auto")
+    )
+    tr = SpanTracer()
+    engine = BFSEngine(g, paper_cluster(nodes=2), cfg, tracer=tr)
+    return engine.run(int(np.argmax(g.degrees())))
+
+
+class TestCodecAwareExport:
+    """Satellite: raw/wire byte args on CommEvents flow end-to-end
+    through the JSONL log and the Chrome export."""
+
+    def test_comm_events_carry_raw_wire_and_codec(self, codec_traced_result):
+        events = codec_traced_result.telemetry.comm_events
+        allgathers = [ev for ev in events if ev.op == "allgather"]
+        assert allgathers, "no allgather events traced"
+        for ev in allgathers:
+            d = ev.as_dict()
+            assert d["raw_bytes"] is not None
+            assert d["wire_bytes"] is not None
+            assert d["codec"] is not None
+            # the auto codec picks the cheapest encoding, never inflates
+            assert d["wire_bytes"] <= d["raw_bytes"]
+
+    def test_events_jsonl_preserves_byte_accounting(
+        self, codec_traced_result, tmp_path
+    ):
+        path = tmp_path / "events.jsonl"
+        write_events_jsonl(str(path), codec_traced_result.telemetry)
+        comm_lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if json.loads(line)["kind"] == "comm_event"
+        ]
+        assert comm_lines
+        allgathers = [r for r in comm_lines if r["op"] == "allgather"]
+        assert allgathers
+        for rec in allgathers:
+            assert {"raw_bytes", "wire_bytes", "codec"} <= set(rec)
+            assert rec["wire_bytes"] <= rec["raw_bytes"]
+
+    def test_rank_timeline_comm_args_carry_allgather_steps(
+        self, codec_traced_result
+    ):
+        bu_comm = [
+            iv
+            for track in rank_timeline(codec_traced_result)
+            for iv in track
+            if iv["cat"] == "comm" and iv["direction"] == "bottom_up"
+        ]
+        assert bu_comm
+        for iv in bu_comm:
+            assert any(k.startswith("inq_") for k in iv["args"]), iv["args"]
+
+    def test_chrome_trace_passes_comm_args_through(self, codec_traced_result):
+        doc = chrome_trace(codec_traced_result)
+        bu_comms = [
+            e
+            for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "comm:bottom_up"
+        ]
+        assert bu_comms
+        for e in bu_comms:
+            assert any(k.startswith("inq_") for k in e["args"])
+
+
 class TestSummaryTable:
     def test_renders_all_metric_kinds(self, traced_result):
         table = summary_table(traced_result.telemetry.metrics)
@@ -175,6 +249,44 @@ class TestSummaryTable:
 
     def test_empty_registry_renders(self):
         assert "no metrics recorded" in summary_table(MetricsRegistry())
+
+    def test_labels_get_their_own_column(self):
+        # Label sets of differing arity must not make rows ragged: the
+        # metric column holds only the family name, labels a separate one.
+        reg = MetricsRegistry()
+        reg.counter("bfs.runs_total").inc()
+        reg.counter("comm.step_sim_time_ns_total", op="allgather",
+                    step="inter").inc(5)
+        reg.gauge("bfs.last_run.teps").set(1e9)
+        table = summary_table(reg)
+        header = table.splitlines()[1]
+        assert [c.strip() for c in header.split("|")] == [
+            "metric", "labels", "type", "value",
+        ]
+        row = next(
+            ln for ln in table.splitlines()
+            if ln.startswith("comm.step_sim_time_ns_total")
+        )
+        assert "op=allgather,step=inter" in row
+        assert "{" not in row  # labels no longer embedded in the name
+
+    def test_rows_sorted_across_metric_kinds(self):
+        reg = MetricsRegistry()
+        reg.histogram("a.hist").observe(1.0)
+        reg.counter("z.counter").inc()
+        reg.gauge("m.gauge").set(2.0)
+        reg.counter("a.counter", op="x").inc()
+        lines = summary_table(reg).splitlines()[3:]
+        names = [ln.split("|")[0].strip() for ln in lines]
+        assert names == sorted(names)
+
+    def test_histogram_cell_shows_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in (1.0, 2.0, 100.0):
+            h.observe(v)
+        table = summary_table(reg)
+        assert "p50=" in table and "p99=" in table
 
 
 class TestCliTraceOut:

@@ -55,6 +55,71 @@ class TestHistogram:
         assert s["count"] == 0
         assert s["mean"] == 0.0
         assert math.isfinite(s["min"]) and math.isfinite(s["max"])
+        assert s["p50"] == 0.0 and s["p90"] == 0.0 and s["p99"] == 0.0
+
+
+class TestHistogramPercentile:
+    def test_empty_is_zero(self):
+        h = Histogram()
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert h.percentile(q) == 0.0
+
+    def test_single_sample_is_exact(self):
+        h = Histogram()
+        h.observe(42.0)
+        for q in (0.0, 1.0, 50.0, 99.0, 100.0):
+            assert h.percentile(q) == 42.0
+        s = h.summary()
+        assert s["p50"] == 42.0 and s["p99"] == 42.0
+
+    def test_single_valued_stream_is_exact(self):
+        h = Histogram()
+        for _ in range(100):
+            h.observe(7.5)
+        assert h.percentile(50.0) == 7.5
+        assert h.percentile(99.0) == 7.5
+
+    def test_zero_only_stream(self):
+        h = Histogram()
+        for _ in range(5):
+            h.observe(0.0)
+        assert h.percentile(50.0) == 0.0
+        assert h.percentile(99.0) == 0.0
+
+    def test_out_of_range_raises(self):
+        h = Histogram()
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(-1.0)
+        with pytest.raises(ValueError):
+            h.percentile(100.5)
+
+    def test_quantiles_within_bucket_error(self):
+        # Uniform 1..1000: log-bucket estimate must land within the
+        # documented ~9 % relative error of the exact quantile.
+        h = Histogram()
+        for v in range(1, 1001):
+            h.observe(float(v))
+        for q, exact in ((50.0, 500.0), (90.0, 900.0), (99.0, 990.0)):
+            est = h.percentile(q)
+            assert abs(est - exact) / exact < 0.10, (q, est)
+
+    def test_quantiles_are_monotone_and_clamped(self):
+        h = Histogram()
+        for v in (1.0, 10.0, 100.0, 1000.0):
+            h.observe(v)
+        qs = [h.percentile(q) for q in (0.0, 25.0, 50.0, 75.0, 100.0)]
+        assert qs == sorted(qs)
+        assert qs[0] >= h.min and qs[-1] <= h.max
+        assert h.percentile(100.0) == 1000.0
+
+    def test_negative_values(self):
+        h = Histogram()
+        for v in (-100.0, -10.0, -1.0):
+            h.observe(v)
+        assert h.percentile(1.0) == -100.0  # clamped to min
+        assert -15.0 < h.percentile(50.0) < -5.0
+        assert h.percentile(100.0) == -1.0
 
 
 class TestMetricsRegistry:

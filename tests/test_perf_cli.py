@@ -1,0 +1,220 @@
+"""Tests for the ``repro-perf`` CLI and the trace-out naming contract."""
+
+import json
+
+import pytest
+
+from repro.obs.perfcli import main
+
+
+def _comm_doc():
+    return {
+        "machine_info": {},
+        "commit_info": {"id": "deadbeef"},
+        "datetime": "2026-08-06T00:00:00+00:00",
+        "benchmarks": [
+            {
+                "name": "test_comm_bytes[auto]",
+                "group": None,
+                "params": None,
+                "extra_info": {
+                    "codec": "auto",
+                    "scale": 15,
+                    "simulated_seconds": 4.0e-4,
+                    "allgather_raw_bytes": 20800.0,
+                },
+                "stats": {"min": 0.1, "mean": 0.12},
+            }
+        ],
+    }
+
+
+class TestDiffExitCodes:
+    def test_identical_exits_zero(self, tmp_path, capsys):
+        p = tmp_path / "base.json"
+        p.write_text(json.dumps(_comm_doc()))
+        rc = main(["diff", str(p), str(p), "--fail-on-regress", "10"])
+        assert rc == 0
+        assert "perf diff OK" in capsys.readouterr().out
+
+    def test_synthetic_regression_exits_nonzero(self, tmp_path, capsys):
+        """Acceptance: >= 20 % simulated-TEPS regression -> exit != 0."""
+        old = tmp_path / "old.json"
+        old.write_text(json.dumps(_comm_doc()))
+        bad_doc = _comm_doc()
+        bad_doc["benchmarks"][0]["extra_info"]["simulated_seconds"] *= 1.25
+        new = tmp_path / "new.json"
+        new.write_text(json.dumps(bad_doc))
+        verdict_path = tmp_path / "verdict.json"
+        rc = main(
+            [
+                "diff", str(old), str(new),
+                "--fail-on-regress", "20",
+                "--json", str(verdict_path),
+            ]
+        )
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        verdict = json.loads(verdict_path.read_text())
+        assert verdict["ok"] is False
+        assert verdict["schema"] == "repro.perfdiff/v1"
+
+    def test_committed_baseline_self_diff(self, capsys):
+        assert main(["diff", "BENCH_comm.json", "BENCH_comm.json"]) == 0
+
+    def test_no_wall_ignores_machine_speed(self, tmp_path):
+        old = tmp_path / "old.json"
+        old.write_text(json.dumps(_comm_doc()))
+        slow_doc = _comm_doc()
+        slow_doc["benchmarks"][0]["stats"] = {"min": 9.0, "mean": 9.5}
+        new = tmp_path / "new.json"
+        new.write_text(json.dumps(slow_doc))
+        assert main(["diff", str(old), str(new)]) == 1
+        assert main(["diff", str(old), str(new), "--no-wall"]) == 0
+
+
+class TestAttributeCommand:
+    def test_fig11_attribution_matches_recorded_sums(self, tmp_path, capsys):
+        """Acceptance: `repro-perf attribute` on the fig11 configuration
+        reproduces the compute/comm split within 1 % of the sums the
+        timing layer already recorded."""
+        out = tmp_path / "attr.json"
+        rc = main(
+            [
+                "attribute", "--experiment", "fig11", "--quick",
+                "--json", str(out),
+            ]
+        )
+        assert rc == 0
+        assert "run attribution" in capsys.readouterr().out
+        attr = json.loads(out.read_text())
+        assert attr["schema"] == "repro.attribution/v1"
+
+        # Re-run the identical (deterministic) reference configuration
+        # and compare against its recorded PhaseBreakdown.
+        from repro.experiments.common import ExperimentSettings
+        from repro.experiments.registry import traced_reference_run
+        from repro.obs.tracer import SpanTracer
+
+        result = traced_reference_run(
+            "fig11", ExperimentSettings().quick(), tracer=SpanTracer()
+        )
+        bd = result.timing.breakdown
+        compute = sum(attr["compute_ns"].values())
+        comm = sum(attr["comm_ns"].values())
+        assert compute == pytest.approx(
+            bd.td_compute + bd.bu_compute, rel=0.01
+        )
+        assert comm == pytest.approx(bd.td_comm + bd.bu_comm, rel=0.01)
+        assert attr["total_ns"] == pytest.approx(bd.total, rel=0.01)
+        assert len(attr["levels"]) == result.levels
+
+
+class TestDriftCommand:
+    def test_exact_layers_clean(self, tmp_path, capsys):
+        out = tmp_path / "drift.json"
+        rc = main(
+            [
+                "drift", "--experiment", "fig11", "--quick",
+                "--analytic-threshold", "1e9",
+                "--fail-on-drift",
+                "--json", str(out),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["ok"] is True
+        exact = [
+            c for c in doc["components"]
+            if c["source"] in ("pricing", "trace")
+        ]
+        assert exact
+        assert all(abs(c["rel_error"]) <= 1e-9 for c in exact)
+
+    def test_fail_on_drift_gates(self, capsys):
+        # the analytic approximation cannot match a tiny functional run
+        # to 1e-6 % on every component
+        rc = main(
+            [
+                "drift", "--experiment", "fig11", "--quick",
+                "--analytic-threshold", "1e-6",
+                "--fail-on-drift",
+            ]
+        )
+        assert rc == 1
+        assert "DRIFT" in capsys.readouterr().out
+
+
+class TestTraceOutNaming:
+    """Satellite: `--trace-out PATH` naming is explicit and collision-free."""
+
+    def test_single_experiment_uses_path_verbatim(self):
+        from repro.experiments.cli import trace_output_path
+
+        assert trace_output_path("/tmp/t.json", "fig09", many=False) == (
+            "/tmp/t.json"
+        )
+
+    def test_many_experiments_get_unique_paths(self):
+        from repro.experiments.cli import trace_output_path
+        from repro.experiments.registry import EXPERIMENTS
+
+        paths = {
+            trace_output_path("/tmp/t.json", eid, many=True)
+            for eid in EXPERIMENTS
+        }
+        assert len(paths) == len(EXPERIMENTS)
+        assert all(p.startswith("/tmp/t.json.") for p in paths)
+        assert trace_output_path("/tmp/t.json", "fig09", many=True) == (
+            "/tmp/t.json.fig09.json"
+        )
+
+    def test_two_experiments_do_not_clobber(self, tmp_path, monkeypatch):
+        """Regression: running several experiments with --trace-out must
+        write one distinct trace (+ event log) per experiment."""
+        from repro.experiments import cli
+        from repro.experiments.registry import EXPERIMENTS
+
+        subset = {eid: EXPERIMENTS[eid] for eid in ("fig09", "fig11")}
+        monkeypatch.setattr(cli, "EXPERIMENTS", subset)
+
+        class _StubResult:
+            def to_text(self):
+                return "(stubbed experiment table)"
+
+        monkeypatch.setattr(
+            cli, "run_experiment", lambda eid, settings: _StubResult()
+        )
+
+        base = tmp_path / "t.json"
+        rc = cli.main(["all", "--quick", "--trace-out", str(base)])
+        assert rc == 0
+        assert not base.exists()  # 'all' never writes the bare path
+        seen = set()
+        for eid in subset:
+            trace = tmp_path / f"t.json.{eid}.json"
+            events = tmp_path / f"t.json.{eid}.json.events.jsonl"
+            assert trace.exists(), f"missing trace for {eid}"
+            assert events.exists(), f"missing event log for {eid}"
+            doc = json.loads(trace.read_text())
+            assert doc["traceEvents"]
+            seen.add(trace.read_text())
+        assert len(seen) == 2  # distinct runs, not one file written twice
+
+
+class TestAttributionFlag:
+    def test_cli_attribution_output(self, capsys, monkeypatch):
+        from repro.experiments import cli
+
+        class _StubResult:
+            def to_text(self):
+                return "(stubbed experiment table)"
+
+        monkeypatch.setattr(
+            cli, "run_experiment", lambda eid, settings: _StubResult()
+        )
+        rc = cli.main(["fig11", "--quick", "--attribution"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "run attribution" in out
+        assert "per-level attribution" in out
