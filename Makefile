@@ -1,6 +1,6 @@
 # Developer convenience targets for the reproduction.
 
-.PHONY: install test bench bench-baseline bench-smoke perf-gate experiments report examples all clean
+.PHONY: install test bench bench-baseline bench-smoke perf-gate chaos-smoke experiments report examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -47,6 +47,15 @@ perf-gate: bench-smoke
 		--fail-on-regress 100 --no-wall --json .perfgate/verdict_kernels.json
 	repro-perf diff BENCH_comm.json .perfgate/BENCH_comm.json \
 		--fail-on-regress 100 --no-wall --json .perfgate/verdict_comm.json
+
+# Fault-injection campaign: sweep the chaos scenario catalogue at the
+# CI smoke scale and fail unless every scenario comes back recovered
+# (bit-identical + validated) or degraded-but-correct.  The JSON report
+# lands in .perfgate/ next to the perf verdicts.  See docs/ROBUSTNESS.md.
+chaos-smoke:
+	mkdir -p .perfgate
+	repro-chaos --scale 12 --nodes 2 --seed 0 \
+		--json .perfgate/chaos-report.json
 
 experiments:
 	repro-experiment all --quick

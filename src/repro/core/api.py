@@ -33,19 +33,27 @@ def run_bfs(
     config: BFSConfig | None = None,
     validate: bool = False,
     comm: CommConfig | None = None,
+    faults=None,
+    resilience=None,
 ) -> BFSResult:
     """One BFS traversal, optionally validated.
 
     Defaults: one 8-socket node and the paper's bound one-process-per-
     socket configuration.  ``comm`` overrides the configuration's
     communication block (sharing variant, allgather flavour, frontier
-    codec) without rebuilding the whole config.
+    codec) without rebuilding the whole config.  ``faults`` (a
+    :class:`~repro.faults.plan.FaultPlan`) runs the traversal under
+    deterministic fault injection; ``resilience`` (a
+    :class:`~repro.faults.recovery.ResilienceConfig`) tunes the
+    checkpoint/retry policy — see :mod:`repro.faults`.
     """
     cluster = cluster or paper_cluster(nodes=1)
     config = config or BFSConfig.original_ppn8()
     if comm is not None:
         config = replace(config, comm=comm)
-    result = BFSEngine(graph, cluster, config).run(root)
+    result = BFSEngine(
+        graph, cluster, config, faults=faults, resilience=resilience
+    ).run(root)
     if validate:
         validate_parent_tree(graph, root, result.parent)
     return result

@@ -37,7 +37,16 @@ from repro.core.hybrid import DirectionPolicy, FrontierStats
 from repro.core.kernels import resolve_backend
 from repro.core.state import RankState
 from repro.core.timing import BfsTiming, CostConstants, StructureSizes, assemble
-from repro.errors import ConfigError, GraphError
+from repro.errors import ConfigError, FaultError, GraphError
+from repro.faults.checkpoint import BFSCheckpoint
+from repro.faults.injector import (
+    FaultInjector,
+    PayloadCorruptionFault,
+    TransientCollectiveFault,
+    words_checksum,
+)
+from repro.faults.plan import FaultPlan
+from repro.faults.recovery import RecoveryLog, RecoveryReport, ResilienceConfig
 from repro.graph.partition import (
     Partition1D,
     degree_balanced_bounds,
@@ -67,6 +76,8 @@ class BFSResult:
     timing: BfsTiming
     # Filled only when the engine ran with a recording tracer.
     telemetry: RunTelemetry | None = None
+    # Filled only when the engine ran with fault tolerance enabled.
+    recovery: RecoveryReport | None = None
 
     @property
     def visited(self) -> int:
@@ -80,8 +91,18 @@ class BFSResult:
 
     @property
     def seconds(self) -> float:
-        """Simulated wall time of the traversal."""
-        return self.timing.total_seconds
+        """Simulated wall time of the traversal.
+
+        A recovered run honestly pays for what fault tolerance did:
+        retransmissions, backoff, checkpoints, restores and replayed
+        levels all land on top of the fault-free pricing (``timing``
+        itself stays fault-free-equivalent so recovered runs can be
+        compared bit-for-bit against a clean baseline).
+        """
+        total = self.timing.total_seconds
+        if self.recovery is not None:
+            total += self.recovery.overhead_seconds
+        return total
 
     @property
     def teps(self) -> float:
@@ -102,6 +123,8 @@ class BFSEngine:
         constants: CostConstants = CostConstants(),
         tracer=None,
         metrics=None,
+        faults: FaultPlan | FaultInjector | None = None,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         self.graph = graph
         self.cluster = cluster
@@ -112,6 +135,20 @@ class BFSEngine:
         # undecorated hot path is unchanged.
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        # Fault tolerance is opt-in the same way: with no plan the
+        # injector stays None, no communicator hook fires, and the level
+        # loop takes the exact seed path.  A plan implies a (default)
+        # ResilienceConfig; a ResilienceConfig alone enables
+        # checkpointing/verification without injecting anything.
+        if isinstance(faults, FaultPlan):
+            faults = None if faults.empty else FaultInjector(faults)
+        self.injector: FaultInjector | None = faults
+        if self.injector is not None:
+            self.injector.bind(tracer=self.tracer, metrics=self.metrics)
+            if resilience is None:
+                resilience = ResilienceConfig()
+        self.resilience = resilience
+        self._log: RecoveryLog | None = None
         # Kernel backend: config.kernel > $REPRO_KERNEL > registry default.
         # Backends are bit-identical on all priced counts (enforced by the
         # equivalence suite), so this only changes speed and memory.
@@ -126,6 +163,7 @@ class BFSEngine:
         ppn = config.resolve_ppn(cluster)
         self.mapping = ProcessMapping(cluster, ppn, config.binding)
         self.comm = SimComm(cluster, self.mapping, tracer=self.tracer)
+        self.comm.injector = self.injector
         np_ranks = self.mapping.num_ranks
 
         n = graph.num_vertices
@@ -223,6 +261,17 @@ class BFSEngine:
             else None
         )
 
+        inj = self.injector
+        res_cfg = self.resilience
+        tolerant = res_cfg is not None
+        log = RecoveryLog() if tolerant else None
+        self._log = log
+        if inj is not None:
+            inj.reset()
+        if tolerant:
+            res_cfg.store.clear()
+        last_ckpt_level = -1
+
         owner = int(self.partition.owner(root))
         root_local = states[owner].to_local(np.array([root]))
         states[owner].discover(root_local, np.array([root]))
@@ -239,6 +288,24 @@ class BFSEngine:
                 stats = self._global_stats(states, frontier_lists)
                 if stats.frontier_vertices == 0:
                     break
+                if (
+                    tolerant
+                    and res_cfg.checkpoint_every > 0
+                    and level % res_cfg.checkpoint_every == 0
+                    and level != last_ckpt_level
+                ):
+                    # Top-of-level snapshot: captured *before* the
+                    # direction decision so a rollback replays it too.
+                    # After a rollback the restored level's state is
+                    # identical to the stored snapshot, so it is skipped
+                    # rather than re-captured (and re-priced).
+                    last_ckpt_level = level
+                    self._checkpoint(
+                        level, prev_direction, policy, states,
+                        frontier_lists, visited_words, log,
+                    )
+                if inj is not None:
+                    inj.begin_level(level)
                 direction = policy.decide(stats, tracer=tr)
                 lc = LevelCounts(level=level, direction=direction)
                 # Frontier statistics + termination check: 3 small
@@ -252,22 +319,34 @@ class BFSEngine:
                     [len(lst) for lst in frontier_lists], dtype=np.int64
                 )
 
-                with tr.span(
-                    "level",
-                    cat="level",
-                    level=level,
-                    direction=direction,
-                    switched=lc.switched,
-                    frontier=stats.frontier_vertices,
-                ):
-                    if direction == Direction.TOP_DOWN:
-                        frontier_lists = self._top_down_level(
-                            states, frontier_lists, lc
-                        )
-                    else:
-                        frontier_lists = self._bottom_up_level(
-                            states, frontier_lists, lc, shared, visited_words
-                        )
+                try:
+                    with tr.span(
+                        "level",
+                        cat="level",
+                        level=level,
+                        direction=direction,
+                        switched=lc.switched,
+                        frontier=stats.frontier_vertices,
+                    ):
+                        if direction == Direction.TOP_DOWN:
+                            frontier_lists = self._top_down_level(
+                                states, frontier_lists, lc
+                            )
+                        else:
+                            frontier_lists = self._bottom_up_level(
+                                states, frontier_lists, lc, shared,
+                                visited_words,
+                            )
+                except PayloadCorruptionFault as exc:
+                    # Checksum mismatch: the gathered frontier is not
+                    # trustworthy; nothing durable was mutated yet, so
+                    # roll back and replay from the last snapshot.
+                    frontier_lists, level, prev_direction = self._rollback(
+                        "corruption", exc, level, policy, states, counts,
+                        visited_words, log, lost_through=level,
+                    )
+                    last_ckpt_level = level
+                    continue
 
                 lc.discovered = np.array(
                     [len(lst) for lst in frontier_lists], dtype=np.int64
@@ -275,6 +354,23 @@ class BFSEngine:
                 counts.levels.append(lc)
                 prev_direction = direction
                 level += 1
+
+                if inj is not None:
+                    # Crash detection happens at the level barrier — the
+                    # crashed level's work completed on the survivors but
+                    # is lost with the dead rank, so it genuinely gets
+                    # replayed from the last snapshot.
+                    crash = inj.take_crash(level - 1)
+                    if crash is not None:
+                        frontier_lists, level, prev_direction = (
+                            self._rollback(
+                                "crash", None, level - 1, policy, states,
+                                counts, visited_words, log,
+                                lost_through=level - 1, rank=crash.rank,
+                            )
+                        )
+                        last_ckpt_level = level
+                        continue
 
             counts.visited_vertices = sum(st.visited_count() for st in states)
             counts.traversed_edges = (
@@ -288,6 +384,8 @@ class BFSEngine:
                 timing = assemble(
                     counts, self.comm, self.config, self.sizes, self.constants
                 )
+            if inj is not None and inj.has_stragglers:
+                self._reprice_stragglers(timing, inj)
         result = BFSResult(
             root=root,
             parent=parent,
@@ -295,6 +393,14 @@ class BFSEngine:
             counts=counts,
             timing=timing,
         )
+        if tolerant:
+            result.recovery = RecoveryReport.from_log(
+                log, timing, inj.events if inj is not None else []
+            )
+            if self.metrics is not None:
+                self.metrics.counter("recovery.overhead_sim_ns_total").inc(
+                    result.recovery.overhead_ns
+                )
         if tr.enabled:
             result.telemetry = RunTelemetry.from_tracer(tr, self.metrics)
             from repro.obs.analyze import attribute_run
@@ -356,6 +462,164 @@ class BFSEngine:
                         float(lc.inqueue_reads.sum()) / examined
                     )
 
+    # ---- fault tolerance -----------------------------------------------------
+
+    def _checkpoint(
+        self, level, prev_direction, policy, states, frontier_lists,
+        visited_words, log,
+    ) -> None:
+        """Snapshot the run at a level boundary and price the capture."""
+        res_cfg = self.resilience
+        ckpt = BFSCheckpoint.capture(
+            level=level,
+            prev_direction=prev_direction,
+            policy=policy,
+            states=states,
+            frontier_lists=frontier_lists,
+            visited_words=visited_words,
+        )
+        with self.tracer.span(
+            "recovery.checkpoint", cat="recovery",
+            level=level, nbytes=ckpt.nbytes,
+        ):
+            res_cfg.store.put(ckpt)
+        log.checkpoints += 1
+        log.checkpoint_bytes += ckpt.nbytes
+        log.fixed_overhead_ns += res_cfg.cost.checkpoint_ns(
+            ckpt.nbytes, res_cfg.on_disk
+        )
+        if self.metrics is not None:
+            self.metrics.counter("recovery.checkpoints_total").inc()
+            self.metrics.counter("recovery.checkpoint_bytes_total").inc(
+                float(ckpt.nbytes)
+            )
+
+    def _rollback(
+        self, kind, cause, at_level, policy, states, counts, visited_words,
+        log, *, lost_through, rank=None,
+    ):
+        """Restore the latest snapshot after a fault at ``at_level``.
+
+        Rewinds the live state, truncates the already-recorded level
+        counts (the final pricing must never double-count a replayed
+        level) and logs the lost executions — levels ``ckpt.level``
+        through ``lost_through`` inclusive ran once for nothing, so
+        :meth:`RecoveryLog.overhead_ns` charges each of them once more at
+        its final price.  Returns ``(frontier_lists, level,
+        prev_direction)`` to resume from; ``visited_words`` is restored
+        in place so live views stay valid.
+        """
+        res_cfg = self.resilience
+        if res_cfg is None:
+            raise FaultError(
+                f"{kind} fault with fault tolerance disabled",
+                kind=kind, level=at_level, rank=rank,
+            ) from cause
+        ckpt = res_cfg.store.latest()
+        if ckpt is None:
+            raise FaultError(
+                f"{kind} fault at level {at_level} with no checkpoint to "
+                f"restore from",
+                kind=kind, level=at_level, rank=rank,
+            ) from cause
+        if log.rollbacks >= res_cfg.max_rollbacks:
+            raise FaultError(
+                f"rollback budget exhausted after {log.rollbacks} "
+                f"rollbacks",
+                kind=kind, level=at_level, rank=rank,
+                max_rollbacks=res_cfg.max_rollbacks,
+            ) from cause
+        log.rollbacks += 1
+        with self.tracer.span(
+            "recovery.rollback", cat="recovery",
+            kind=kind, from_level=at_level, to_level=ckpt.level,
+        ):
+            frontier_lists, visited = ckpt.restore(policy, states)
+            if visited_words is not None and visited is not None:
+                visited_words[:] = visited
+        del counts.levels[ckpt.level:]
+        log.replayed_levels.extend(range(ckpt.level, lost_through + 1))
+        overhead = res_cfg.cost.restore_ns(ckpt.nbytes, res_cfg.on_disk)
+        if kind == "crash":
+            overhead += res_cfg.cost.crash_detect_ns + res_cfg.cost.respawn_ns
+        log.fixed_overhead_ns += overhead
+        log.note(
+            "rollback", kind=kind, from_level=at_level, to_level=ckpt.level,
+            fixed_ns=overhead, rank=rank,
+        )
+        if self.metrics is not None:
+            self.metrics.counter("recovery.rollbacks_total", kind=kind).inc()
+        return frontier_lists, ckpt.level, ckpt.prev_direction
+
+    def _exchange(self, op, level, fn):
+        """Run one collective with bounded retry on transient faults.
+
+        Each failed attempt wasted its full priced duration (the payload
+        is retransmitted from scratch) plus an exponential backoff; both
+        land in the recovery overhead, never in the level's own pricing.
+        Exhausting the attempt budget aborts the run with a typed
+        :class:`~repro.errors.FaultError`.
+        """
+        if self.injector is None:
+            return fn()
+        res_cfg = self.resilience
+        log = self._log
+        last = None
+        for attempt in range(1, res_cfg.max_attempts + 1):
+            try:
+                return fn()
+            except TransientCollectiveFault as exc:
+                last = exc
+                backoff = res_cfg.cost.backoff_ns(attempt)
+                log.retries += 1
+                log.fixed_overhead_ns += exc.wasted_ns + backoff
+                log.note(
+                    "retry", collective=op, level=level, attempt=attempt,
+                    wasted_ns=exc.wasted_ns, backoff_ns=backoff,
+                )
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "recovery.retries_total", collective=op
+                    ).inc()
+        raise FaultError(
+            f"{op} failed after {res_cfg.max_attempts} attempts at level "
+            f"{level}",
+            collective=op, level=level, attempts=res_cfg.max_attempts,
+        ) from last
+
+    def _reprice_stragglers(self, timing: BfsTiming, inj) -> None:
+        """Fold the plan's straggler slowdowns into the final pricing.
+
+        A straggler is a pure pricing perturbation — it changes no
+        functional result, so it is applied after :func:`assemble`:
+        per-rank compute times stretch by the slowdown factor, the level
+        mean/max/stall are recomputed, and the Fig. 11 breakdown absorbs
+        the deltas (everyone waits for the slow rank at the barrier).
+        """
+        bd = timing.breakdown
+        for lt in timing.levels:
+            if lt.compute_rank_ns is None or len(lt.compute_rank_ns) == 0:
+                continue
+            factors = np.array(
+                [
+                    inj.straggler_factor(r, lt.level)
+                    for r in range(len(lt.compute_rank_ns))
+                ]
+            )
+            if not np.any(factors > 1.0):
+                continue
+            old_mean = lt.compute_mean_ns
+            old_stall = lt.stall_ns
+            lt.compute_rank_ns = lt.compute_rank_ns * factors
+            lt.compute_mean_ns = float(lt.compute_rank_ns.mean())
+            lt.compute_max_ns = float(lt.compute_rank_ns.max())
+            lt.stall_ns = lt.compute_max_ns - lt.compute_mean_ns
+            if lt.direction == Direction.TOP_DOWN:
+                bd.td_compute += lt.compute_mean_ns - old_mean
+            else:
+                bd.bu_compute += lt.compute_mean_ns - old_mean
+            bd.stall += lt.stall_ns - old_stall
+
     # ---- level kernels -------------------------------------------------------
 
     def _top_down_level(
@@ -390,7 +654,10 @@ class BFSEngine:
             dtype=np.int64,
         )
         with tr.span("phase.td_exchange", cat="phase"):
-            res = self.comm.alltoallv(send_matrix)
+            res = self._exchange(
+                "alltoallv", lc.level,
+                lambda: self.comm.alltoallv(send_matrix),
+            )
         with tr.span("phase.td_apply", cat="phase"):
             new_lists = []
             for r in range(np_ranks):
@@ -423,12 +690,29 @@ class BFSEngine:
                 for r in range(np_ranks)
             ]
         tr = self.tracer
+        verify = (
+            self.resilience is not None and self.resilience.verify_checksums
+        )
+        if verify:
+            # Sender-side checksum, folded per rank: the gathered
+            # concatenation must reproduce it exactly (codecs are
+            # lossless), so any in-flight bit flip is caught here before
+            # a single byte of it reaches engine state.
+            exp_x, exp_s = 0, 0
+            for p in parts:
+                x, s = words_checksum(p)
+                exp_x ^= x
+                exp_s = (exp_s + s) % (1 << 64)
         with tr.span("phase.bu_allgather", cat="phase"):
-            res = allgather(
-                self.comm, parts, self.config.in_queue_algorithm(), shared,
-                codec=self.codec,
-                visited_parts=visited_parts,
-                subgroups=self.config.comm.subgroups,
+            res = self._exchange(
+                "allgather", lc.level,
+                lambda: allgather(
+                    self.comm, parts, self.config.in_queue_algorithm(),
+                    shared,
+                    codec=self.codec,
+                    visited_parts=visited_parts,
+                    subgroups=self.config.comm.subgroups,
+                ),
             )
         lc.codec = res.codec
         lc.inq_raw_total_bytes = res.raw_bytes
@@ -438,6 +722,19 @@ class BFSEngine:
             full_words = shared[0].data
         else:
             full_words = res.data
+        if verify:
+            got_x, got_s = words_checksum(full_words)
+            self._log.fixed_overhead_ns += self.resilience.cost.checksum_ns(
+                full_words.size * 8
+            )
+            if (got_x, got_s) != (exp_x, exp_s):
+                raise PayloadCorruptionFault(
+                    "frontier checksum mismatch after allgather",
+                    collective="allgather",
+                    level=lc.level,
+                    expected=f"{exp_x:016x}/{exp_s:016x}",
+                    actual=f"{got_x:016x}/{got_s:016x}",
+                )
         in_queue = Bitmap(n, words=full_words.copy())
         if visited_words is not None:
             # Fold the just-published frontier into the common-knowledge

@@ -5,6 +5,12 @@ boundaries: configuration problems raise :class:`ConfigError`, malformed
 graphs raise :class:`GraphError`, violations detected by the Graph500
 validator raise :class:`ValidationError`, and internal simulator invariant
 breaks raise :class:`SimulationError`.
+
+Every error can carry *structured context* — keyword arguments such as
+``rank=``, ``level=``, ``collective=`` or ``attempt=`` passed at the
+raise site — exposed as the ``context`` dict and folded into
+:meth:`ReproError.to_dict` so tooling (the chaos report, CI artifacts)
+can consume failures without parsing message strings.
 """
 
 from __future__ import annotations
@@ -16,11 +22,53 @@ __all__ = [
     "ValidationError",
     "SimulationError",
     "CommunicationError",
+    "FaultError",
+    "CheckpointError",
 ]
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by :mod:`repro`."""
+    """Base class for all errors raised by :mod:`repro`.
+
+    ``context`` keyword arguments (``rank``, ``level``, ``collective``,
+    ``attempt``, ...) attach machine-readable detail to the failure;
+    ``None`` values are dropped so call sites can pass what they know.
+    """
+
+    def __init__(self, message: str = "", **context) -> None:
+        super().__init__(message)
+        self.context: dict = {
+            key: value for key, value in context.items() if value is not None
+        }
+
+    def to_dict(self) -> dict:
+        """The error as a plain JSON-serializable dict (for reports)."""
+        # The bare message: context is carried structurally, not baked
+        # into the string twice.
+        out: dict = {
+            "type": type(self).__name__,
+            "message": Exception.__str__(self),
+        }
+        if self.context:
+            out["context"] = dict(self.context)
+        cause = self.__cause__
+        if isinstance(cause, ReproError):
+            out["cause"] = cause.to_dict()
+        elif cause is not None:
+            out["cause"] = {
+                "type": type(cause).__name__,
+                "message": str(cause),
+            }
+        return out
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if not self.context:
+            return base
+        detail = ", ".join(
+            f"{key}={value!r}" for key, value in self.context.items()
+        )
+        return f"{base} [{detail}]"
 
 
 class ConfigError(ReproError, ValueError):
@@ -42,3 +90,17 @@ class SimulationError(ReproError, RuntimeError):
 class CommunicationError(SimulationError):
     """A simulated MPI operation was used incorrectly (mismatched sizes,
     unknown rank, message left undelivered, ...)."""
+
+
+class FaultError(SimulationError):
+    """An injected fault could not be recovered from.
+
+    Raised when the fault-tolerant engine exhausts its retry or rollback
+    budget, or a fault strikes with no checkpoint to fall back to.  The
+    structured ``context`` (``kind``, ``rank``, ``level``, ``collective``,
+    ``attempt``) feeds the chaos report's typed failure records.
+    """
+
+
+class CheckpointError(ReproError):
+    """A BFS checkpoint could not be captured, stored or restored."""

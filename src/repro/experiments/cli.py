@@ -31,11 +31,7 @@ import sys
 import time
 
 from repro.experiments.common import ExperimentSettings
-from repro.experiments.registry import (
-    EXPERIMENTS,
-    run_experiment,
-    traced_reference_run,
-)
+from repro.experiments.registry import EXPERIMENTS, run_experiment
 
 __all__ = ["main", "trace_output_path"]
 
@@ -95,6 +91,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "shares the run with --trace-out when both are given",
     )
     parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="run the Graph500 parent-tree validation on one reference "
+        "BFS run per experiment (the five checks of repro.core.validate); "
+        "shares the run with --trace-out/--attribution when given. "
+        "A validation failure exits non-zero with a typed error",
+    )
+    parser.add_argument(
         "--metrics-out",
         metavar="PATH",
         help="write the metrics registry (wall-clocks, counters, "
@@ -130,14 +134,23 @@ def trace_output_path(path: str, eid: str, many: bool) -> str:
     return path if not many else f"{path}.{eid}.json"
 
 
-def _traced_result(eid: str, settings, registry):
-    """One instrumented reference BFS run for ``eid``."""
-    from repro.obs.tracer import SpanTracer
+def _reference_run(eid: str, settings, registry, instrumented: bool):
+    """One reference BFS run for ``eid`` (traced when ``instrumented``).
 
-    tracer = SpanTracer(metrics=registry)
-    return traced_reference_run(
+    Returns ``(engine, root, result)`` so callers can validate the
+    parent tree against the engine's graph as well as export the trace.
+    """
+    from repro.experiments.registry import reference_engine
+
+    tracer = None
+    if instrumented:
+        from repro.obs.tracer import SpanTracer
+
+        tracer = SpanTracer(metrics=registry)
+    engine, root = reference_engine(
         eid, settings, tracer=tracer, metrics=registry
     )
+    return engine, root, engine.run(root)
 
 
 def _write_trace(path: str, result) -> None:
@@ -213,12 +226,35 @@ def main(argv: list[str] | None = None) -> int:
             with open(path, "w", encoding="utf-8") as fh:
                 fh.write(result.to_csv())
             print(f"[csv written to {path}]")
-        if args.trace_out or args.attribution:
-            traced = _traced_result(eid, settings, registry)
+        if args.trace_out or args.attribution or args.validate:
+            engine, ref_root, traced = _reference_run(
+                eid, settings, registry,
+                instrumented=bool(args.trace_out or args.attribution),
+            )
             if args.trace_out:
                 _write_trace(trace_output_path(args.trace_out, eid, many), traced)
             if args.attribution:
                 print(traced.telemetry.attribution.to_text())
+            if args.validate:
+                import json
+
+                from repro.core.validate import validate_parent_tree
+                from repro.errors import ValidationError
+
+                try:
+                    validate_parent_tree(engine.graph, ref_root, traced.parent)
+                except ValidationError as exc:
+                    print(
+                        f"[validation FAILED for {eid}: "
+                        f"{json.dumps(exc.to_dict(), sort_keys=True)}]",
+                        file=sys.stderr,
+                    )
+                    return 1
+                print(
+                    f"[validated: reference-run parent tree passes the "
+                    f"Graph500 checks ({traced.visited} vertices reached, "
+                    f"{traced.levels} levels)]"
+                )
         print(f"[{eid} completed in {elapsed:.1f}s]")
         print()
 

@@ -1,0 +1,71 @@
+"""Deterministic fault injection and fault-tolerant execution support.
+
+The subsystem has four layers (see docs/ROBUSTNESS.md):
+
+* :mod:`repro.faults.plan` — declarative, seeded fault scenarios
+  (:class:`FaultPlan` and the per-kind specs);
+* :mod:`repro.faults.injector` — the runtime :class:`FaultInjector` the
+  communicator and engine consult before moving bytes or pricing time;
+* :mod:`repro.faults.checkpoint` — level-granular BFS state snapshots
+  with in-memory and on-disk (``.npz``) stores;
+* :mod:`repro.faults.recovery` — the tolerance policy
+  (:class:`ResilienceConfig`), simulated recovery pricing
+  (:class:`RecoveryCostModel`) and the per-run :class:`RecoveryReport`.
+
+``repro-chaos`` (:mod:`repro.faults.chaoscli`) sweeps scenario matrices
+and verifies every recovered run against its fault-free twin.
+"""
+
+from repro.faults.checkpoint import (
+    BFSCheckpoint,
+    CheckpointStore,
+    DiskCheckpointStore,
+    MemoryCheckpointStore,
+)
+from repro.faults.injector import (
+    FaultEvent,
+    FaultInjector,
+    PayloadCorruptionFault,
+    RankCrashFault,
+    TransientCollectiveFault,
+    words_checksum,
+)
+from repro.faults.plan import (
+    FaultPlan,
+    LinkDegradation,
+    PayloadCorruption,
+    RankCrash,
+    StragglerSlowdown,
+    TransientFaults,
+    available_scenarios,
+)
+from repro.faults.recovery import (
+    RecoveryCostModel,
+    RecoveryLog,
+    RecoveryReport,
+    ResilienceConfig,
+)
+
+__all__ = [
+    "BFSCheckpoint",
+    "CheckpointStore",
+    "DiskCheckpointStore",
+    "MemoryCheckpointStore",
+    "FaultEvent",
+    "FaultInjector",
+    "PayloadCorruptionFault",
+    "RankCrashFault",
+    "TransientCollectiveFault",
+    "words_checksum",
+    "FaultPlan",
+    "LinkDegradation",
+    "PayloadCorruption",
+    "RankCrash",
+    "StragglerSlowdown",
+    "TransientFaults",
+    "available_scenarios",
+    "RecoveryCostModel",
+    "RecoveryLog",
+    "RecoveryReport",
+    "ResilienceConfig",
+]

@@ -1,0 +1,263 @@
+"""Level-granular checkpointing of BFS engine state.
+
+A :class:`BFSCheckpoint` captures everything the engine needs to resume
+a run at the start of a level: the per-rank parent arrays and unexplored
+degrees, the frontier lists, the codec's common-knowledge visited mask,
+the direction-policy state and the level counter.  Checkpoints are deep
+copies — later mutation of the live run never leaks in — and round-trip
+bit-identically through the on-disk ``.npz`` format.
+
+Stores implement a two-method protocol (``put`` / ``latest``):
+:class:`MemoryCheckpointStore` keeps copies in RAM,
+:class:`DiskCheckpointStore` persists each checkpoint as
+``ckpt_level####.npz`` under a directory (surviving the process), both
+raising :class:`~repro.errors.CheckpointError` on malformed input.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CheckpointError
+
+__all__ = [
+    "BFSCheckpoint",
+    "CheckpointStore",
+    "MemoryCheckpointStore",
+    "DiskCheckpointStore",
+]
+
+_FORMAT = 1
+
+
+@dataclass
+class BFSCheckpoint:
+    """A resumable snapshot of one BFS run at a level boundary."""
+
+    level: int
+    prev_direction: str | None
+    policy_direction: str
+    policy_finished_bottom_up: bool
+    parents: list[np.ndarray]
+    unexplored: list[int]
+    frontier_lists: list[np.ndarray]
+    visited_words: np.ndarray | None
+
+    @property
+    def num_ranks(self) -> int:
+        """Rank count this snapshot was captured from."""
+        return len(self.parents)
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size (the quantity recovery pricing charges)."""
+        total = sum(int(p.nbytes) for p in self.parents)
+        total += sum(int(f.nbytes) for f in self.frontier_lists)
+        if self.visited_words is not None:
+            total += int(self.visited_words.nbytes)
+        total += 8 * len(self.unexplored)
+        return total
+
+    # ---- capture / restore ------------------------------------------------
+
+    @classmethod
+    def capture(
+        cls,
+        *,
+        level: int,
+        prev_direction: str | None,
+        policy,
+        states,
+        frontier_lists: list[np.ndarray],
+        visited_words: np.ndarray | None,
+    ) -> "BFSCheckpoint":
+        """Deep-copy the engine's mutable state at a level boundary."""
+        return cls(
+            level=int(level),
+            prev_direction=prev_direction,
+            policy_direction=str(policy._direction),
+            policy_finished_bottom_up=bool(policy._finished_bottom_up),
+            parents=[st.parent.copy() for st in states],
+            unexplored=[int(st.unexplored_degree) for st in states],
+            frontier_lists=[
+                np.array(f, dtype=np.int64, copy=True) for f in frontier_lists
+            ],
+            visited_words=(
+                None if visited_words is None else visited_words.copy()
+            ),
+        )
+
+    def restore(self, policy, states) -> tuple[list[np.ndarray], np.ndarray | None]:
+        """Write this snapshot back into live engine state.
+
+        Mutates ``states`` and ``policy`` in place; returns fresh copies
+        of the frontier lists and visited mask (so the store's copy stays
+        pristine for repeated rollbacks).
+        """
+        if len(states) != len(self.parents):
+            raise CheckpointError(
+                f"checkpoint captured {len(self.parents)} ranks, engine has "
+                f"{len(states)}",
+                level=self.level,
+            )
+        for st, parent, unexplored in zip(
+            states, self.parents, self.unexplored
+        ):
+            if st.parent.shape != parent.shape:
+                raise CheckpointError(
+                    "checkpoint parent shape mismatch",
+                    rank=st.rank,
+                    level=self.level,
+                )
+            st.parent[:] = parent
+            st.unexplored_degree = int(unexplored)
+        policy._direction = self.policy_direction
+        policy._finished_bottom_up = self.policy_finished_bottom_up
+        frontier = [f.copy() for f in self.frontier_lists]
+        visited = None if self.visited_words is None else self.visited_words.copy()
+        return frontier, visited
+
+    # ---- persistence ------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the snapshot as a ``.npz`` archive."""
+        meta = {
+            "format": _FORMAT,
+            "level": self.level,
+            "prev_direction": self.prev_direction,
+            "policy_direction": self.policy_direction,
+            "policy_finished_bottom_up": self.policy_finished_bottom_up,
+            "num_ranks": self.num_ranks,
+            "unexplored": list(self.unexplored),
+            "has_visited": self.visited_words is not None,
+        }
+        arrays = {
+            "meta": np.bytes_(json.dumps(meta).encode("utf-8")),
+        }
+        for r, parent in enumerate(self.parents):
+            arrays[f"parent_{r}"] = parent
+        for r, frontier in enumerate(self.frontier_lists):
+            arrays[f"frontier_{r}"] = frontier
+        if self.visited_words is not None:
+            arrays["visited_words"] = self.visited_words
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BFSCheckpoint":
+        """Read a snapshot written by :meth:`save`."""
+        try:
+            with np.load(path) as data:
+                meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+                if meta.get("format") != _FORMAT:
+                    raise CheckpointError(
+                        f"{path}: unsupported checkpoint format "
+                        f"{meta.get('format')!r}"
+                    )
+                nr = int(meta["num_ranks"])
+                return cls(
+                    level=int(meta["level"]),
+                    prev_direction=meta["prev_direction"],
+                    policy_direction=meta["policy_direction"],
+                    policy_finished_bottom_up=bool(
+                        meta["policy_finished_bottom_up"]
+                    ),
+                    parents=[data[f"parent_{r}"] for r in range(nr)],
+                    unexplored=[int(u) for u in meta["unexplored"]],
+                    frontier_lists=[
+                        data[f"frontier_{r}"] for r in range(nr)
+                    ],
+                    visited_words=(
+                        data["visited_words"]
+                        if meta["has_visited"]
+                        else None
+                    ),
+                )
+        except CheckpointError:
+            raise
+        except Exception as exc:
+            raise CheckpointError(
+                f"{path}: unreadable checkpoint archive: {exc}"
+            ) from exc
+
+
+class CheckpointStore:
+    """Protocol: where checkpoints live between capture and rollback."""
+
+    def put(self, ckpt: BFSCheckpoint) -> None:  # pragma: no cover
+        """Persist a snapshot, evicting the oldest beyond the keep limit."""
+        raise NotImplementedError
+
+    def latest(self) -> BFSCheckpoint | None:  # pragma: no cover
+        """Return the most recent snapshot, or None if the store is empty."""
+        raise NotImplementedError
+
+    def clear(self) -> None:  # pragma: no cover
+        """Drop every stored snapshot (called at the start of each run)."""
+        raise NotImplementedError
+
+
+class MemoryCheckpointStore(CheckpointStore):
+    """In-memory store keeping the most recent ``keep`` checkpoints."""
+
+    def __init__(self, keep: int = 2) -> None:
+        if keep < 1:
+            raise CheckpointError("keep must be >= 1")
+        self.keep = keep
+        self._ckpts: list[BFSCheckpoint] = []
+
+    def put(self, ckpt: BFSCheckpoint) -> None:
+        """Record a snapshot (evicting the oldest past ``keep``)."""
+        self._ckpts.append(ckpt)
+        del self._ckpts[: -self.keep]
+
+    def latest(self) -> BFSCheckpoint | None:
+        """Most recent snapshot, or None when empty."""
+        return self._ckpts[-1] if self._ckpts else None
+
+    def clear(self) -> None:
+        """Drop everything (a new run starts)."""
+        self._ckpts = []
+
+    def __len__(self) -> int:
+        return len(self._ckpts)
+
+
+class DiskCheckpointStore(CheckpointStore):
+    """On-disk store: one ``ckpt_level####.npz`` per checkpoint."""
+
+    def __init__(self, directory: str | Path, keep: int = 2) -> None:
+        if keep < 1:
+            raise CheckpointError("keep must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+
+    def _paths(self) -> list[Path]:
+        return sorted(self.directory.glob("ckpt_level*.npz"))
+
+    def path_for(self, level: int) -> Path:
+        """Where the checkpoint of ``level`` lives."""
+        return self.directory / f"ckpt_level{level:05d}.npz"
+
+    def put(self, ckpt: BFSCheckpoint) -> None:
+        """Persist a snapshot and prune beyond ``keep``."""
+        ckpt.save(self.path_for(ckpt.level))
+        paths = self._paths()
+        for stale in paths[: -self.keep]:
+            stale.unlink(missing_ok=True)
+
+    def latest(self) -> BFSCheckpoint | None:
+        """Load the most recent snapshot from disk (None when empty)."""
+        paths = self._paths()
+        if not paths:
+            return None
+        return BFSCheckpoint.load(paths[-1])
+
+    def clear(self) -> None:
+        """Delete every stored checkpoint."""
+        for path in self._paths():
+            path.unlink(missing_ok=True)

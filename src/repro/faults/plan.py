@@ -1,0 +1,313 @@
+"""Declarative, seeded fault scenarios.
+
+A :class:`FaultPlan` is a frozen description of every fault a run should
+suffer: rank crashes at specific levels, per-rank straggler slowdowns,
+per-node link-bandwidth degradation, transient collective failures drawn
+from a probability schedule, and payload bit-flip corruption.  The plan
+is *fully deterministic*: the transient-failure and corruption draws are
+counter-based hashes of ``(seed, collective sequence number)``, so the
+same plan produces the identical fault schedule — and therefore the
+identical recovered result and simulated-time pricing — on every run, on
+every machine (no RNG state, no ``PYTHONHASHSEED`` dependence).
+
+Plans are built directly from the spec dataclasses or via the named
+scenario catalogue (:func:`FaultPlan.scenario`) the chaos CLI sweeps.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, fields
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "RankCrash",
+    "StragglerSlowdown",
+    "LinkDegradation",
+    "TransientFaults",
+    "PayloadCorruption",
+    "FaultPlan",
+    "available_scenarios",
+]
+
+
+def _unit_hash(seed: int, *parts) -> float:
+    """Deterministic value in [0, 1) from a seed and discrete parts.
+
+    CRC32 over the canonical repr — stable across processes and Python
+    versions, unlike ``hash()``.
+    """
+    payload = repr((int(seed),) + tuple(parts)).encode("ascii")
+    return zlib.crc32(payload) / 2**32
+
+
+def _spec_dict(spec) -> dict:
+    out = {"kind": type(spec).__name__}
+    for f in fields(spec):
+        out[f.name] = getattr(spec, f.name)
+    return out
+
+
+@dataclass(frozen=True)
+class RankCrash:
+    """Rank ``rank`` crashes while executing level ``level``.
+
+    The crash is detected at the level's barrier; recovery restores the
+    last checkpoint and replays the lost levels.  Each crash fires once.
+    """
+
+    rank: int
+    level: int
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ConfigError(f"crash rank must be >= 0, got {self.rank}")
+        if self.level < 0:
+            raise ConfigError(f"crash level must be >= 0, got {self.level}")
+
+
+@dataclass(frozen=True)
+class StragglerSlowdown:
+    """Rank ``rank`` computes ``factor``x slower on a window of levels.
+
+    A pure pricing perturbation: the functional result is unchanged, but
+    the rank's per-level compute time — and therefore every other rank's
+    barrier stall — is inflated (``last_level=None`` = to the end).
+    """
+
+    rank: int
+    factor: float
+    first_level: int = 0
+    last_level: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ConfigError(
+                f"straggler factor must be >= 1, got {self.factor}"
+            )
+
+    def applies(self, level: int) -> bool:
+        """True when this slowdown is active at ``level``."""
+        if level < self.first_level:
+            return False
+        return self.last_level is None or level <= self.last_level
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """Node ``node``'s InfiniBand bandwidth is multiplied by ``factor``.
+
+    Composes with the cluster's own ``weak_nodes`` derating and applies
+    for the whole run, to both the functional collectives and the final
+    pricing pass (which share the communicator).
+    """
+
+    node: int
+    factor: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.factor <= 1.0:
+            raise ConfigError(
+                f"link degradation factor must be in (0, 1], got {self.factor}"
+            )
+
+
+@dataclass(frozen=True)
+class TransientFaults:
+    """Collectives fail transiently with probability ``probability``.
+
+    Whether the ``k``-th collective invocation of the run fails is a
+    counter-based hash of ``(seed, k)`` — deterministic, and each retry
+    (a new invocation) draws a fresh value, so bounded retry converges.
+    ``ops`` filters the collectives targeted; the level window bounds
+    when the schedule is live.
+    """
+
+    probability: float
+    ops: tuple[str, ...] = ("allgather", "alltoallv")
+    first_level: int = 0
+    last_level: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability < 1.0:
+            raise ConfigError(
+                f"transient probability must be in [0, 1), got "
+                f"{self.probability}"
+            )
+
+    def applies(self, op: str, level: int) -> bool:
+        """True when this schedule covers collective ``op`` at ``level``."""
+        if op not in self.ops or level < self.first_level:
+            return False
+        return self.last_level is None or level <= self.last_level
+
+
+@dataclass(frozen=True)
+class PayloadCorruption:
+    """Flip ``bit_flips`` bits in the first matching collective payload.
+
+    Fires once, on the first ``op`` collective at or after ``level``.
+    The engine's frontier checksums detect the damage and roll back to
+    the last checkpoint instead of computing a silently wrong tree.
+    """
+
+    level: int
+    bit_flips: int = 1
+    op: str = "allgather"
+
+    def __post_init__(self) -> None:
+        if self.bit_flips < 1:
+            raise ConfigError(
+                f"bit_flips must be >= 1, got {self.bit_flips}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that will go wrong during one BFS run."""
+
+    seed: int = 0
+    crashes: tuple[RankCrash, ...] = ()
+    stragglers: tuple[StragglerSlowdown, ...] = ()
+    links: tuple[LinkDegradation, ...] = ()
+    transients: tuple[TransientFaults, ...] = ()
+    corruptions: tuple[PayloadCorruption, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return not (
+            self.crashes
+            or self.stragglers
+            or self.links
+            or self.transients
+            or self.corruptions
+        )
+
+    def transient_fires(self, op: str, level: int, seq: int) -> bool:
+        """Deterministic failure decision for collective invocation
+        ``seq`` (``op`` at ``level``)."""
+        for spec in self.transients:
+            if spec.applies(op, level) and (
+                _unit_hash(self.seed, "transient", seq) < spec.probability
+            ):
+                return True
+        return False
+
+    def straggler_factor(self, rank: int, level: int) -> float:
+        """Combined compute slowdown of ``rank`` at ``level`` (>= 1)."""
+        factor = 1.0
+        for spec in self.stragglers:
+            if spec.rank == rank and spec.applies(level):
+                factor *= spec.factor
+        return factor
+
+    def link_derating(self, node: int) -> float:
+        """Combined bandwidth multiplier of ``node`` (<= 1)."""
+        factor = 1.0
+        for spec in self.links:
+            if spec.node == node:
+                factor *= spec.factor
+        return factor
+
+    def corruption_bit(self, seq: int, nbits: int, flip: int) -> int:
+        """Deterministic position of the ``flip``-th corrupted bit in an
+        ``nbits``-bit payload (collective invocation ``seq``)."""
+        return int(
+            _unit_hash(self.seed, "corrupt", seq, flip) * nbits
+        ) % max(1, nbits)
+
+    def as_dict(self) -> dict:
+        """The plan as a plain JSON-serializable dict."""
+        return {
+            "seed": self.seed,
+            "crashes": [_spec_dict(s) for s in self.crashes],
+            "stragglers": [_spec_dict(s) for s in self.stragglers],
+            "links": [_spec_dict(s) for s in self.links],
+            "transients": [_spec_dict(s) for s in self.transients],
+            "corruptions": [_spec_dict(s) for s in self.corruptions],
+        }
+
+    # ---- scenario catalogue -----------------------------------------------
+
+    @classmethod
+    def scenario(
+        cls,
+        name: str,
+        seed: int = 0,
+        *,
+        num_ranks: int = 16,
+        nodes: int = 2,
+        depth: int = 6,
+    ) -> "FaultPlan":
+        """A named scenario from the chaos catalogue.
+
+        ``depth`` is the (expected) number of BFS levels — scenarios that
+        strike "late" clamp their trigger level against it so the fault
+        always fires.
+        """
+        builder = _SCENARIOS.get(name)
+        if builder is None:
+            raise ConfigError(
+                f"unknown chaos scenario {name!r}; available: "
+                f"{', '.join(available_scenarios())}"
+            )
+        return builder(
+            seed, max(1, num_ranks), max(1, nodes), max(2, depth)
+        )
+
+
+def _crash_early(seed, num_ranks, nodes, depth) -> FaultPlan:
+    return FaultPlan(
+        seed=seed, crashes=(RankCrash(rank=1 % num_ranks, level=1),)
+    )
+
+
+def _crash_late(seed, num_ranks, nodes, depth) -> FaultPlan:
+    return FaultPlan(
+        seed=seed,
+        crashes=(RankCrash(rank=num_ranks - 1, level=max(1, depth - 2)),),
+    )
+
+
+def _straggler(seed, num_ranks, nodes, depth) -> FaultPlan:
+    return FaultPlan(
+        seed=seed, stragglers=(StragglerSlowdown(rank=0, factor=3.0),)
+    )
+
+
+def _flaky_link(seed, num_ranks, nodes, depth) -> FaultPlan:
+    return FaultPlan(
+        seed=seed,
+        links=(LinkDegradation(node=nodes - 1, factor=0.25),),
+        transients=(TransientFaults(probability=0.15),),
+    )
+
+
+def _corruption(seed, num_ranks, nodes, depth) -> FaultPlan:
+    return FaultPlan(
+        seed=seed,
+        corruptions=(
+            PayloadCorruption(level=min(2, depth - 1), bit_flips=3),
+        ),
+    )
+
+
+def _transient(seed, num_ranks, nodes, depth) -> FaultPlan:
+    return FaultPlan(seed=seed, transients=(TransientFaults(probability=0.3),))
+
+
+_SCENARIOS = {
+    "crash-early": _crash_early,
+    "crash-late": _crash_late,
+    "straggler": _straggler,
+    "flaky-link": _flaky_link,
+    "corruption": _corruption,
+    "transient": _transient,
+}
+
+
+def available_scenarios() -> tuple[str, ...]:
+    """Names of the built-in chaos scenarios, in sweep order."""
+    return tuple(_SCENARIOS)

@@ -8,6 +8,7 @@ graphs between scripts.
 from __future__ import annotations
 
 import json
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
@@ -40,14 +41,26 @@ def save_edge_list(path: str | Path, edges: EdgeList) -> None:
 
 
 def load_edge_list(path: str | Path) -> EdgeList:
-    """Read an edge list written by :func:`save_edge_list`."""
-    with np.load(path) as data:
+    """Read an edge list written by :func:`save_edge_list`.
+
+    A truncated or corrupt archive raises a :class:`GraphError` naming
+    the damaged member and its byte offset in the file, never a raw
+    numpy/zipfile traceback.
+    """
+    with _open_npz(path) as data:
         _check_kind(data, b"edge_list", path)
-        return EdgeList(
-            num_vertices=int(data["num_vertices"]),
-            sources=data["sources"],
-            targets=data["targets"],
+        num_vertices = int(_read_member(data, "num_vertices", path))
+        sources = _read_member(data, "sources", path)
+        targets = _read_member(data, "targets", path)
+    if sources.ndim != 1 or sources.shape != targets.shape:
+        raise GraphError(
+            f"{path}: sources/targets must be equal-length 1-D arrays, "
+            f"got shapes {sources.shape} and {targets.shape}",
+            path=str(path),
         )
+    return EdgeList(
+        num_vertices=num_vertices, sources=sources, targets=targets
+    )
 
 
 def save_graph(path: str | Path, graph: Graph) -> None:
@@ -64,16 +77,53 @@ def save_graph(path: str | Path, graph: Graph) -> None:
 
 
 def load_graph(path: str | Path) -> Graph:
-    """Read a CSR graph written by :func:`save_graph`."""
-    with np.load(path) as data:
+    """Read a CSR graph written by :func:`save_graph`.
+
+    Beyond archive integrity (see :func:`load_edge_list`), the CSR
+    structure itself is checked — offset monotonicity and agreement with
+    the adjacency length — so a damaged file can never produce a
+    silently wrong graph.
+    """
+    with _open_npz(path) as data:
         _check_kind(data, b"csr_graph", path)
-        meta = json.loads(bytes(data["meta"]).decode("utf-8"))
-        return Graph(
-            num_vertices=int(data["num_vertices"]),
-            offsets=data["offsets"],
-            targets=data["targets"],
-            meta=meta,
+        num_vertices = int(_read_member(data, "num_vertices", path))
+        offsets = _read_member(data, "offsets", path)
+        targets = _read_member(data, "targets", path)
+        meta_raw = _read_member(data, "meta", path)
+    try:
+        meta = json.loads(bytes(meta_raw).decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise GraphError(
+            f"{path}: corrupt JSON metadata block: {exc}",
+            path=str(path), member="meta",
+        ) from exc
+    if offsets.ndim != 1 or offsets.size != num_vertices + 1:
+        raise GraphError(
+            f"{path}: CSR offsets must have num_vertices+1 "
+            f"(= {num_vertices + 1}) entries, got shape {offsets.shape}",
+            path=str(path), member="offsets",
         )
+    if offsets.size and (
+        int(offsets[0]) != 0 or int(offsets[-1]) != targets.size
+    ):
+        raise GraphError(
+            f"{path}: CSR offsets span [{int(offsets[0])}, "
+            f"{int(offsets[-1])}] but the adjacency holds {targets.size} "
+            f"entries",
+            path=str(path), member="offsets",
+        )
+    if np.any(np.diff(offsets) < 0):
+        bad = int(np.argmax(np.diff(offsets) < 0))
+        raise GraphError(
+            f"{path}: CSR offsets decrease at vertex {bad}",
+            path=str(path), member="offsets", vertex=bad,
+        )
+    return Graph(
+        num_vertices=num_vertices,
+        offsets=offsets,
+        targets=targets,
+        meta=meta,
+    )
 
 
 def load_text_edges(
@@ -131,9 +181,75 @@ def save_text_edges(path: str | Path, edges: EdgeList) -> None:
             fh.write(f"{u} {v}\n")
 
 
+def _file_bytes(path: str | Path) -> int:
+    """Size of the archive on disk (-1 when it cannot be stat'ed)."""
+    try:
+        return Path(path).stat().st_size
+    except OSError:
+        return -1
+
+
+def _member_offset(path: str | Path, member: str) -> int:
+    """Byte offset of a member's local header in the zip (-1 unknown)."""
+    import zipfile
+
+    try:
+        with zipfile.ZipFile(path) as zf:
+            return zf.getinfo(member).header_offset
+    except Exception:
+        return -1
+
+
+@contextmanager
+def _open_npz(path: str | Path):
+    """Open an ``.npz`` graph archive, mapping any low-level failure
+    (missing file, truncated zip directory, not-a-zip) to a
+    :class:`GraphError` that names the file and its on-disk size."""
+    try:
+        data = np.load(path)
+    except FileNotFoundError:
+        raise  # a missing file is not a damaged one — keep the usual error
+    except Exception as exc:
+        size = _file_bytes(path)
+        raise GraphError(
+            f"{path}: not a readable .npz graph archive "
+            f"({type(exc).__name__}: {exc}); file is {size} bytes on disk "
+            f"— truncated download or wrong file?",
+            path=str(path), file_bytes=size,
+        ) from exc
+    try:
+        yield data
+    finally:
+        data.close()
+
+
+def _read_member(data, name: str, path: str | Path):
+    """Read one array member, mapping truncation/corruption inside the
+    archive to a :class:`GraphError` with the member's byte offset."""
+    try:
+        return data[name]
+    except KeyError as exc:
+        raise GraphError(
+            f"{path}: archive has no member {name!r} "
+            f"(present: {', '.join(sorted(data.files))})",
+            path=str(path), member=name, file_bytes=_file_bytes(path),
+        ) from exc
+    except Exception as exc:
+        offset = _member_offset(path, f"{name}.npy")
+        raise GraphError(
+            f"{path}: member {name!r} is truncated or corrupt at byte "
+            f"offset {offset} ({type(exc).__name__}: {exc})",
+            path=str(path), member=name, byte_offset=offset,
+            file_bytes=_file_bytes(path),
+        ) from exc
+
+
 def _check_kind(data, expected: bytes, path: str | Path) -> None:
-    kind = bytes(data["kind"]) if "kind" in data else b"?"
+    kind = (
+        bytes(_read_member(data, "kind", path)) if "kind" in data else b"?"
+    )
     if kind != expected:
         raise GraphError(
-            f"{path} holds {kind!r}, expected {expected!r}"
+            f"{path} holds {kind!r}, expected {expected!r}",
+            path=str(path),
         )

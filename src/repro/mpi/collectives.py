@@ -108,7 +108,8 @@ def _deliver(
     if len(shared_buffers) != comm.cluster.nodes:
         raise CommunicationError(
             f"need one shared buffer per node "
-            f"({comm.cluster.nodes}), got {len(shared_buffers)}"
+            f"({comm.cluster.nodes}), got {len(shared_buffers)}",
+            collective="allgather",
         )
     for buf in shared_buffers:
         if buf.data.size != full.size:
@@ -414,12 +415,14 @@ def allgather(
     """
     if len(parts) != comm.num_ranks:
         raise CommunicationError(
-            f"allgather expects {comm.num_ranks} parts, got {len(parts)}"
+            f"allgather expects {comm.num_ranks} parts, got {len(parts)}",
+            collective="allgather",
         )
     if visited_parts is not None and len(visited_parts) != len(parts):
         raise CommunicationError(
             f"visited_parts must align with parts "
-            f"({len(parts)}), got {len(visited_parts)}"
+            f"({len(parts)}), got {len(visited_parts)}",
+            collective="allgather",
         )
     shared_family = algorithm in (
         AllgatherAlgorithm.SHARED_IN,
@@ -429,7 +432,9 @@ def allgather(
     )
     if shared_family and shared_buffers is None:
         raise CommunicationError(
-            f"{algorithm.value} allgather requires node-shared destination buffers"
+            f"{algorithm.value} allgather requires node-shared destination "
+            f"buffers",
+            collective="allgather",
         )
 
     part_bytes = float(max((p.nbytes for p in parts), default=0))
@@ -486,6 +491,14 @@ def allgather(
     )
     breakdown.update(breakdown_extra)
     t += sum(breakdown_extra.values())
+    if comm.injector is not None:
+        # Fault hooks, in wire order: a transient failure wastes the
+        # whole priced attempt (raises; the engine retries and charges
+        # the retransmission), and scheduled payload corruption flips
+        # bits in the delivered words — caught downstream by the
+        # engine's frontier checksums, never silently accepted.
+        comm.injector.collective_attempt("allgather", wasted_ns=t)
+        full = comm.injector.maybe_corrupt("allgather", full)
     data = _deliver(comm, full, shared_buffers if shared_family else None)
     result = _uniform_times(comm, t, breakdown)
     result.data = data

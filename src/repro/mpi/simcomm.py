@@ -82,6 +82,11 @@ class SimComm:
         # per-rank simulated durations; the default null tracer makes
         # that a no-op guarded by a single attribute check.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Fault injector (repro.faults): consulted by every collective
+        # before delivering data and by the channel models for link
+        # degradation.  None (the default) keeps the hot path unchanged —
+        # each hook is a single attribute check.
+        self.injector = None
 
     # ---- channel primitives ------------------------------------------------
 
@@ -110,13 +115,21 @@ class SimComm:
             return 0.0
         return self.network.transfer_time(nbytes, flows=flows, node_index=node_index)
 
+    def node_derating(self, node_index: int) -> float:
+        """Combined network derating of one node: the cluster's own weak
+        link times any injected degradation."""
+        factor = self.cluster.network_derating(node_index)
+        if self.injector is not None:
+            factor *= self.injector.link_derating(node_index)
+        return factor
+
     def slowest_node_inter_time(self, nbytes: float, flows: int = 1) -> float:
         """Inter-node step time bounded by the slowest (possibly derated)
         node — a bulk step completes when its worst channel does."""
         if nbytes <= 0:
             return 0.0
         worst = min(
-            (self.cluster.network_derating(n) for n in range(self.cluster.nodes)),
+            (self.node_derating(n) for n in range(self.cluster.nodes)),
             default=1.0,
         )
         bw = self.network.flow_bandwidth(flows) * worst
@@ -129,7 +142,8 @@ class SimComm:
         clocks = np.asarray(clocks, dtype=np.float64)
         if clocks.shape != (self.num_ranks,):
             raise CommunicationError(
-                f"barrier expects {self.num_ranks} clocks, got {clocks.shape}"
+                f"barrier expects {self.num_ranks} clocks, got {clocks.shape}",
+                collective="barrier",
             )
         stalls = clocks.max() - clocks
         if self.tracer.enabled:
@@ -155,7 +169,12 @@ class SimComm:
         values = np.asarray(values)
         if values.shape[0] != self.num_ranks:
             raise CommunicationError(
-                f"allreduce expects one value per rank ({self.num_ranks})"
+                f"allreduce expects one value per rank ({self.num_ranks})",
+                collective="allreduce_sum",
+            )
+        if self.injector is not None:
+            self.injector.collective_attempt(
+                "allreduce", wasted_ns=self.allreduce_time()
             )
         total = values.sum(axis=0)
         t = self.allreduce_time()
@@ -178,7 +197,12 @@ class SimComm:
         values = np.asarray(values)
         if values.shape[0] != self.num_ranks:
             raise CommunicationError(
-                f"allreduce expects one value per rank ({self.num_ranks})"
+                f"allreduce expects one value per rank ({self.num_ranks})",
+                collective="allreduce_max",
+            )
+        if self.injector is not None:
+            self.injector.collective_attempt(
+                "allreduce", wasted_ns=self.allreduce_time()
             )
         total = values.max(axis=0)
         t = self.allreduce_time()
@@ -209,7 +233,8 @@ class SimComm:
         send_bytes = np.asarray(send_bytes, dtype=np.float64)
         if send_bytes.shape != (np_ranks, np_ranks):
             raise CommunicationError(
-                f"alltoallv expects a {np_ranks}x{np_ranks} byte matrix"
+                f"alltoallv expects a {np_ranks}x{np_ranks} byte matrix",
+                collective="alltoallv",
             )
         ppn = self.mapping.ppn
         ib_lat = self.cluster.node.ib.message_latency_ns
@@ -223,9 +248,7 @@ class SimComm:
         same_node = nodes[:, None] == nodes[None, :]
         nonzero = send_bytes > 0
         np.fill_diagonal(nonzero, False)
-        derate = np.array(
-            [self.cluster.network_derating(int(n)) for n in nodes]
-        )
+        derate = np.array([self.node_derating(int(n)) for n in nodes])
 
         intra_mask = nonzero & same_node
         inter_mask = nonzero & ~same_node
@@ -254,7 +277,8 @@ class SimComm:
         np_ranks = self.num_ranks
         if len(send) != np_ranks or any(len(row) != np_ranks for row in send):
             raise CommunicationError(
-                f"alltoallv expects a {np_ranks}x{np_ranks} send matrix"
+                f"alltoallv expects a {np_ranks}x{np_ranks} send matrix",
+                collective="alltoallv",
             )
         recv: list[list[np.ndarray]] = [
             [send[i][j] for i in range(np_ranks)] for j in range(np_ranks)
@@ -264,6 +288,13 @@ class SimComm:
             dtype=np.float64,
         )
         times = self.alltoallv_time(send_bytes)
+        if self.injector is not None:
+            # A scheduled transient failure wastes the whole attempt:
+            # the raise carries the priced duration so the engine can
+            # charge the retransmission before retrying.
+            self.injector.collective_attempt(
+                "alltoallv", wasted_ns=float(times.max(initial=0.0))
+            )
         result = CollectiveResult(
             data=recv,
             rank_times=times,

@@ -1,0 +1,97 @@
+"""``repro-chaos`` campaign CLI: smoke, report schema, typed failures."""
+
+import json
+
+import pytest
+
+from repro.faults.chaoscli import SCHEMA, main, run_campaign
+from repro.faults.plan import available_scenarios
+
+OUTCOMES_OK = {"recovered", "degraded", "clean"}
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_campaign(list(available_scenarios()), scale=11, nodes=2, seed=0)
+
+
+def test_campaign_all_scenarios_pass(report):
+    assert report["ok"] is True
+    assert {e["name"] for e in report["scenarios"]} == set(
+        available_scenarios()
+    )
+    for e in report["scenarios"]:
+        assert e["outcome"] in OUTCOMES_OK, e
+        assert e["identical"] is True
+        assert e["validated"] is True
+
+
+def test_campaign_report_schema(report):
+    assert report["schema"] == SCHEMA
+    for key in (
+        "scale", "nodes", "num_ranks", "seed", "root", "baseline",
+        "scenarios", "ok", "checkpoint_every",
+    ):
+        assert key in report
+    assert report["baseline"]["levels"] > 0
+    for e in report["scenarios"]:
+        assert "plan" in e and "fault_events" in e
+        assert e["overhead_seconds"] >= 0.0
+    json.dumps(report)  # artifact must be JSON-serializable
+
+
+def test_crash_scenarios_actually_recover(report):
+    by_name = {e["name"]: e for e in report["scenarios"]}
+    for name in ("crash-early", "crash-late", "corruption"):
+        assert by_name[name]["outcome"] == "recovered"
+        assert by_name[name]["rollbacks"] >= 1
+    assert by_name["straggler"]["outcome"] == "degraded"
+    assert by_name["straggler"]["overhead_pct"] > 0
+
+
+def test_campaign_is_deterministic(report):
+    again = run_campaign(
+        list(available_scenarios()), scale=11, nodes=2, seed=0
+    )
+    assert again == report
+
+
+def test_cli_json_artifact(tmp_path, capsys):
+    out = tmp_path / "chaos.json"
+    code = main(
+        ["crash-early", "straggler", "--scale", "11", "--json", str(out)]
+    )
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert report["schema"] == SCHEMA
+    assert report["ok"] is True
+    text = capsys.readouterr().out
+    assert "crash-early" in text and "recovered" in text
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in available_scenarios():
+        assert name in out
+
+
+def test_cli_unknown_scenario(capsys):
+    assert main(["meteor-strike"]) == 2
+
+
+def test_cli_disabled_checkpoints_reports_typed_abort(tmp_path, capsys):
+    out = tmp_path / "chaos.json"
+    code = main(
+        [
+            "crash-early", "--scale", "11",
+            "--checkpoint-every", "0", "--json", str(out),
+        ]
+    )
+    assert code == 1  # aborted scenarios fail the campaign
+    report = json.loads(out.read_text())
+    entry = report["scenarios"][0]
+    assert entry["outcome"] == "aborted"
+    assert entry["error"]["type"] == "FaultError"
+    assert entry["error"]["context"]["kind"] == "crash"
+    assert "aborted" in capsys.readouterr().out

@@ -1,0 +1,237 @@
+"""Determinism and validation of the fault plan/injector layer.
+
+The whole point of :mod:`repro.faults` is that a seeded plan produces
+the *identical* fault schedule on every run and every machine — these
+tests pin the counter-based draws, the spec validation, the scenario
+catalogue and the structured error contract.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CheckpointError,
+    ConfigError,
+    FaultError,
+    ReproError,
+    SimulationError,
+)
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    LinkDegradation,
+    PayloadCorruption,
+    RankCrash,
+    StragglerSlowdown,
+    TransientCollectiveFault,
+    TransientFaults,
+    available_scenarios,
+    words_checksum,
+)
+
+
+# ---- spec validation ------------------------------------------------------
+
+
+def test_spec_validation_rejects_bad_values():
+    with pytest.raises(ConfigError):
+        RankCrash(rank=-1, level=0)
+    with pytest.raises(ConfigError):
+        RankCrash(rank=0, level=-2)
+    with pytest.raises(ConfigError):
+        StragglerSlowdown(rank=0, factor=0.5)
+    with pytest.raises(ConfigError):
+        LinkDegradation(node=0, factor=0.0)
+    with pytest.raises(ConfigError):
+        LinkDegradation(node=0, factor=1.5)
+    with pytest.raises(ConfigError):
+        TransientFaults(probability=1.0)
+    with pytest.raises(ConfigError):
+        TransientFaults(probability=-0.1)
+    with pytest.raises(ConfigError):
+        PayloadCorruption(level=0, bit_flips=0)
+
+
+def test_spec_windows():
+    s = StragglerSlowdown(rank=1, factor=2.0, first_level=2, last_level=4)
+    assert not s.applies(1)
+    assert s.applies(2) and s.applies(4)
+    assert not s.applies(5)
+    t = TransientFaults(probability=0.5, ops=("allgather",), first_level=1)
+    assert t.applies("allgather", 1)
+    assert not t.applies("alltoallv", 1)
+    assert not t.applies("allgather", 0)
+
+
+# ---- determinism ----------------------------------------------------------
+
+
+def test_transient_draws_are_deterministic_and_seed_dependent():
+    plan = FaultPlan(seed=7, transients=(TransientFaults(probability=0.4),))
+    draws = [plan.transient_fires("allgather", 0, k) for k in range(64)]
+    again = [plan.transient_fires("allgather", 0, k) for k in range(64)]
+    assert draws == again
+    assert any(draws) and not all(draws)
+    other = FaultPlan(seed=8, transients=(TransientFaults(probability=0.4),))
+    assert draws != [other.transient_fires("allgather", 0, k) for k in range(64)]
+
+
+def test_corruption_bits_are_deterministic_and_in_range():
+    plan = FaultPlan(seed=3)
+    bits = [plan.corruption_bit(5, 1024, f) for f in range(8)]
+    assert bits == [plan.corruption_bit(5, 1024, f) for f in range(8)]
+    assert all(0 <= b < 1024 for b in bits)
+
+
+def test_plan_factor_composition():
+    plan = FaultPlan(
+        seed=0,
+        stragglers=(
+            StragglerSlowdown(rank=2, factor=2.0),
+            StragglerSlowdown(rank=2, factor=3.0),
+        ),
+        links=(LinkDegradation(node=1, factor=0.5),),
+    )
+    assert plan.straggler_factor(2, 0) == 6.0
+    assert plan.straggler_factor(0, 0) == 1.0
+    assert plan.link_derating(1) == 0.5
+    assert plan.link_derating(0) == 1.0
+
+
+# ---- scenario catalogue ---------------------------------------------------
+
+
+def test_scenario_catalogue_builds_and_serializes():
+    for name in available_scenarios():
+        plan = FaultPlan.scenario(name, seed=5, num_ranks=16, nodes=2, depth=6)
+        assert not plan.empty
+        json.dumps(plan.as_dict())  # must be JSON-serializable
+
+
+def test_unknown_scenario_is_typed():
+    with pytest.raises(ConfigError):
+        FaultPlan.scenario("meteor-strike")
+
+
+def test_empty_plan():
+    assert FaultPlan().empty
+    assert not FaultPlan(crashes=(RankCrash(0, 0),)).empty
+
+
+# ---- injector -------------------------------------------------------------
+
+
+def test_injector_transient_raises_with_context():
+    plan = FaultPlan(seed=1, transients=(TransientFaults(probability=0.9999),))
+    inj = FaultInjector(plan)
+    inj.begin_level(2)
+    with pytest.raises(TransientCollectiveFault) as ei:
+        inj.collective_attempt("allgather", wasted_ns=123.0)
+    exc = ei.value
+    assert exc.wasted_ns == 123.0
+    d = exc.to_dict()
+    assert d["type"] == "TransientCollectiveFault"
+    assert d["context"]["collective"] == "allgather"
+    assert d["context"]["level"] == 2
+    assert inj.events and inj.events[0].kind == "transient"
+
+
+def test_injector_schedule_replays_identically_after_reset():
+    plan = FaultPlan(seed=9, transients=(TransientFaults(probability=0.5),))
+
+    def schedule():
+        inj = FaultInjector(plan)
+        fired = []
+        for k in range(32):
+            try:
+                inj.collective_attempt("alltoallv")
+            except TransientCollectiveFault:
+                fired.append(k)
+        return fired
+
+    assert schedule() == schedule()
+
+
+def test_injector_corruption_flips_exact_bits_once():
+    plan = FaultPlan(
+        seed=4, corruptions=(PayloadCorruption(level=0, bit_flips=3),)
+    )
+    inj = FaultInjector(plan)
+    words = np.zeros(8, dtype=np.uint64)
+    out = inj.maybe_corrupt("allgather", words)
+    assert out is not words  # copy, the input is never mutated
+    assert np.count_nonzero(words) == 0
+    flipped = int(sum(bin(int(w)).count("1") for w in out))
+    assert 1 <= flipped <= 3  # collisions may land on the same bit
+    # one-shot: the next payload passes through untouched
+    again = inj.maybe_corrupt("allgather", words)
+    assert again is words
+
+
+def test_injector_crash_consumed_once():
+    plan = FaultPlan(seed=0, crashes=(RankCrash(rank=3, level=2),))
+    inj = FaultInjector(plan)
+    assert inj.take_crash(1) is None
+    crash = inj.take_crash(2)
+    assert crash is not None and crash.rank == 3
+    assert inj.take_crash(2) is None
+    inj.reset()
+    assert inj.take_crash(2) is not None
+
+
+# ---- checksums ------------------------------------------------------------
+
+
+def test_words_checksum_detects_any_single_flip():
+    rng = np.random.default_rng(0)
+    words = rng.integers(0, 2**63, size=64, dtype=np.int64).astype(np.uint64)
+    base = words_checksum(words)
+    for bit in (0, 17, 63 * 64 + 5):
+        mutated = words.copy()
+        mutated[bit // 64] ^= np.uint64(1) << np.uint64(bit % 64)
+        assert words_checksum(mutated) != base
+
+
+def test_words_checksum_parts_fold_to_concat():
+    rng = np.random.default_rng(1)
+    parts = [
+        rng.integers(0, 2**63, size=n, dtype=np.int64).astype(np.uint64)
+        for n in (3, 5, 0, 9)
+    ]
+    x, s = 0, 0
+    for p in parts:
+        px, ps = words_checksum(p)
+        x ^= px
+        s = (s + ps) % (1 << 64)
+    assert (x, s) == words_checksum(np.concatenate(parts))
+    assert words_checksum(np.zeros(0, dtype=np.uint64)) == (0, 0)
+
+
+# ---- structured errors ----------------------------------------------------
+
+
+def test_error_hierarchy_and_to_dict():
+    assert issubclass(FaultError, SimulationError)
+    assert issubclass(CheckpointError, ReproError)
+    exc = FaultError("boom", rank=3, level=2, collective="allgather")
+    d = exc.to_dict()
+    assert d == {
+        "type": "FaultError",
+        "message": "boom",
+        "context": {"rank": 3, "level": 2, "collective": "allgather"},
+    }
+    assert "rank=3" in str(exc)
+    json.dumps(d)
+
+
+def test_error_cause_recorded():
+    try:
+        try:
+            raise ValueError("inner")
+        except ValueError as inner:
+            raise FaultError("outer", level=1) from inner
+    except FaultError as exc:
+        d = exc.to_dict()
+        assert d["cause"] == {"type": "ValueError", "message": "inner"}

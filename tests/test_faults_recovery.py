@@ -1,0 +1,207 @@
+"""End-to-end fault-tolerance contract of the BFS engine.
+
+The acceptance bar of the robustness work: every injected-fault run must
+either terminate *recovered* — parent tree bit-identical to the
+fault-free baseline and passing the Graph500 validator — or abort with a
+typed, context-carrying :class:`~repro.errors.FaultError`.  Never a
+silently wrong answer, never a raw traceback.  And everything must be
+deterministic: same plan seed, same recovered result, same simulated
+seconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.api import run_bfs
+from repro.core.config import BFSConfig
+from repro.core.engine import BFSEngine
+from repro.core.validate import validate_parent_tree
+from repro.errors import FaultError
+from repro.faults import (
+    FaultPlan,
+    LinkDegradation,
+    PayloadCorruption,
+    RankCrash,
+    ResilienceConfig,
+    StragglerSlowdown,
+    TransientFaults,
+    available_scenarios,
+)
+from repro.graph.rmat import rmat_graph
+from repro.machine.spec import paper_cluster
+
+SCALE = 12
+ROOT = 1
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = rmat_graph(SCALE, seed=3)
+    cluster = paper_cluster(nodes=2)
+    config = BFSConfig.granularity_variant()
+    baseline_engine = BFSEngine(graph, cluster, config)
+    baseline = baseline_engine.run(ROOT)
+    return graph, cluster, config, baseline_engine, baseline
+
+
+@pytest.mark.parametrize("name", available_scenarios())
+def test_every_scenario_recovers_bit_identically(workload, name):
+    graph, cluster, config, base_engine, baseline = workload
+    plan = FaultPlan.scenario(
+        name, seed=7,
+        num_ranks=base_engine.mapping.num_ranks,
+        nodes=cluster.nodes,
+        depth=baseline.levels,
+    )
+    result = BFSEngine(graph, cluster, config, faults=plan).run(ROOT)
+    assert np.array_equal(result.parent, baseline.parent)
+    validate_parent_tree(graph, ROOT, result.parent)
+    assert result.levels == baseline.levels
+    # the functional pricing stays fault-free-equivalent for
+    # non-pricing faults; recovery overhead is carried separately
+    if "straggler" not in name and "link" not in name:
+        assert result.timing.total_ns == baseline.timing.total_ns
+    assert result.recovery is not None
+    assert result.seconds >= baseline.seconds
+
+
+@pytest.mark.parametrize("name", available_scenarios())
+def test_every_scenario_is_deterministic(workload, name):
+    graph, cluster, config, base_engine, baseline = workload
+    kwargs = dict(
+        num_ranks=base_engine.mapping.num_ranks,
+        nodes=cluster.nodes,
+        depth=baseline.levels,
+    )
+    a = BFSEngine(
+        graph, cluster, config, faults=FaultPlan.scenario(name, 7, **kwargs)
+    ).run(ROOT)
+    b = BFSEngine(
+        graph, cluster, config, faults=FaultPlan.scenario(name, 7, **kwargs)
+    ).run(ROOT)
+    assert np.array_equal(a.parent, b.parent)
+    assert a.seconds == b.seconds
+    assert a.recovery.as_dict() == b.recovery.as_dict()
+
+
+def test_crash_recovery_charges_overhead(workload):
+    graph, cluster, config, base_engine, baseline = workload
+    plan = FaultPlan(seed=0, crashes=(RankCrash(rank=1, level=1),))
+    result = BFSEngine(graph, cluster, config, faults=plan).run(ROOT)
+    rec = result.recovery
+    assert rec.rollbacks == 1
+    assert rec.replayed_levels == (1,)
+    assert rec.overhead_ns > 0
+    assert result.seconds == pytest.approx(
+        baseline.seconds + rec.overhead_seconds
+    )
+    assert any(e["kind"] == "crash" for e in rec.fault_events)
+
+
+def test_transient_retries_are_priced(workload):
+    graph, cluster, config, base_engine, baseline = workload
+    plan = FaultPlan(seed=1, transients=(TransientFaults(probability=0.3),))
+    result = BFSEngine(graph, cluster, config, faults=plan).run(ROOT)
+    rec = result.recovery
+    if rec.retries:  # the seeded schedule fires at this seed/scale
+        assert rec.overhead_ns > 0
+        assert any(a["action"] == "retry" for a in rec.actions)
+    assert np.array_equal(result.parent, baseline.parent)
+
+
+def test_corruption_detected_and_rolled_back(workload):
+    graph, cluster, config, base_engine, baseline = workload
+    plan = FaultPlan(
+        seed=2, corruptions=(PayloadCorruption(level=2, bit_flips=3),)
+    )
+    result = BFSEngine(graph, cluster, config, faults=plan).run(ROOT)
+    rec = result.recovery
+    assert rec.rollbacks >= 1
+    assert any(e["kind"] == "corruption" for e in rec.fault_events)
+    assert np.array_equal(result.parent, baseline.parent)
+
+
+def test_straggler_and_link_faults_only_degrade_pricing(workload):
+    graph, cluster, config, base_engine, baseline = workload
+    for plan in (
+        FaultPlan(seed=0, stragglers=(StragglerSlowdown(rank=0, factor=4.0),)),
+        FaultPlan(seed=0, links=(LinkDegradation(node=1, factor=0.25),)),
+    ):
+        result = BFSEngine(graph, cluster, config, faults=plan).run(ROOT)
+        assert np.array_equal(result.parent, baseline.parent)
+        assert result.recovery.rollbacks == 0
+        assert result.timing.total_ns > baseline.timing.total_ns
+
+
+def test_retry_exhaustion_aborts_with_typed_error(workload):
+    graph, cluster, config, _, _ = workload
+    plan = FaultPlan(
+        seed=0, transients=(TransientFaults(probability=0.9999),)
+    )
+    engine = BFSEngine(
+        graph, cluster, config, faults=plan,
+        resilience=ResilienceConfig(max_attempts=3),
+    )
+    with pytest.raises(FaultError) as ei:
+        engine.run(ROOT)
+    d = ei.value.to_dict()
+    assert d["type"] == "FaultError"
+    assert d["context"]["attempts"] == 3
+    assert d["context"]["collective"] in ("allgather", "alltoallv")
+
+
+def test_crash_without_checkpoint_aborts_with_typed_error(workload):
+    graph, cluster, config, _, _ = workload
+    plan = FaultPlan(seed=0, crashes=(RankCrash(rank=0, level=1),))
+    engine = BFSEngine(
+        graph, cluster, config, faults=plan,
+        resilience=ResilienceConfig(checkpoint_every=0),
+    )
+    with pytest.raises(FaultError) as ei:
+        engine.run(ROOT)
+    ctx = ei.value.to_dict()["context"]
+    assert ctx["kind"] == "crash"
+    assert ctx["rank"] == 0
+
+
+def test_fault_free_run_is_untouched(workload):
+    graph, cluster, config, base_engine, baseline = workload
+    assert base_engine.injector is None
+    assert base_engine.comm.injector is None
+    assert baseline.recovery is None
+    # an empty plan never arms the machinery either
+    engine = BFSEngine(graph, cluster, config, faults=FaultPlan(seed=1))
+    assert engine.injector is None
+    assert engine.comm.injector is None
+
+
+def test_run_bfs_passthrough(workload):
+    graph, _, _, _, _ = workload
+    plan = FaultPlan(seed=0, crashes=(RankCrash(rank=0, level=1),))
+    result = run_bfs(
+        graph, ROOT, cluster=paper_cluster(nodes=2),
+        config=BFSConfig.granularity_variant(),
+        validate=True, faults=plan,
+    )
+    assert result.recovery is not None and result.recovery.rollbacks == 1
+
+
+def test_recovery_metrics_and_spans_emitted(workload):
+    graph, cluster, config, base_engine, baseline = workload
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import SpanTracer
+
+    registry = MetricsRegistry()
+    tracer = SpanTracer(metrics=registry)
+    plan = FaultPlan(seed=0, crashes=(RankCrash(rank=1, level=1),))
+    result = BFSEngine(
+        graph, cluster, config, tracer=tracer, metrics=registry, faults=plan
+    ).run(ROOT)
+    assert result.recovery.rollbacks == 1
+    snap = registry.as_dict()["counters"]
+    assert snap.get("fault.injected_total{kind=crash}") == 1
+    assert snap.get("recovery.rollbacks_total{kind=crash}") == 1
+    assert snap.get("recovery.checkpoints_total", 0) >= 1
+    names = {s.name for s in tracer.spans}
+    assert "recovery.checkpoint" in names
+    assert "recovery.rollback" in names

@@ -1,0 +1,169 @@
+"""Graph archive robustness: truncated/corrupt files raise GraphError.
+
+A damaged ``.npz`` must never surface as a numpy/zipfile traceback or —
+worse — a silently wrong graph: every failure mode maps to a
+:class:`~repro.errors.GraphError` carrying the file, the damaged member
+and its byte offset.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.io import (
+    load_edge_list,
+    load_graph,
+    save_edge_list,
+    save_graph,
+)
+from repro.graph.rmat import rmat_graph
+from repro.graph.types import EdgeList
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    graph = rmat_graph(10, seed=1)
+    path = tmp_path / "graph.npz"
+    save_graph(path, graph)
+    return path, graph
+
+
+def test_round_trip_still_works(graph_file):
+    path, graph = graph_file
+    loaded = load_graph(path)
+    assert loaded.num_vertices == graph.num_vertices
+    assert np.array_equal(loaded.offsets, graph.offsets)
+    assert np.array_equal(loaded.targets, graph.targets)
+
+
+def test_truncated_archive(graph_file):
+    path, _ = graph_file
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    with pytest.raises(GraphError) as ei:
+        load_graph(path)
+    exc = ei.value
+    assert "truncated" in str(exc) or "not a readable" in str(exc)
+    assert exc.context["file_bytes"] == len(raw) // 2
+    json.dumps(exc.to_dict())
+
+
+def test_corrupt_member_reports_byte_offset(graph_file):
+    path, _ = graph_file
+    raw = bytearray(path.read_bytes())
+    raw[len(raw) // 2] ^= 0xFF  # flip a byte mid-archive, keep the size
+    path.write_bytes(bytes(raw))
+    with pytest.raises(GraphError) as ei:
+        load_graph(path)
+    ctx = ei.value.context
+    assert "member" in ctx
+    assert ctx.get("byte_offset", -1) >= 0
+
+
+def test_missing_file_keeps_oserror(tmp_path):
+    # a missing file is not a damaged one: the usual error passes through
+    with pytest.raises(FileNotFoundError):
+        load_edge_list(tmp_path / "missing.npz")
+
+
+def test_not_a_zip(tmp_path):
+    path = tmp_path / "junk.npz"
+    path.write_bytes(b"\x00" * 100)
+    with pytest.raises(GraphError) as ei:
+        load_graph(path)
+    assert ei.value.context["file_bytes"] == 100
+
+
+def test_wrong_kind(tmp_path):
+    path = tmp_path / "edges.npz"
+    save_edge_list(
+        path,
+        EdgeList(
+            num_vertices=64,
+            sources=np.array([0, 1], dtype=np.int64),
+            targets=np.array([1, 2], dtype=np.int64),
+        ),
+    )
+    with pytest.raises(GraphError):
+        load_graph(path)
+
+
+def test_missing_member(tmp_path):
+    path = tmp_path / "partial.npz"
+    np.savez_compressed(
+        path,
+        kind=np.bytes_(b"csr_graph"),
+        num_vertices=np.int64(64),
+        offsets=np.zeros(65, dtype=np.int64),
+        # no 'targets', no 'meta'
+    )
+    with pytest.raises(GraphError) as ei:
+        load_graph(path)
+    assert ei.value.context["member"] in ("targets", "meta")
+
+
+def test_inconsistent_csr_offsets(tmp_path):
+    path = tmp_path / "bad_offsets.npz"
+    offsets = np.zeros(65, dtype=np.int64)
+    offsets[-1] = 99  # claims 99 adjacency entries; array below has 4
+    np.savez_compressed(
+        path,
+        kind=np.bytes_(b"csr_graph"),
+        num_vertices=np.int64(64),
+        offsets=offsets,
+        targets=np.array([1, 2, 3, 4], dtype=np.int64),
+        meta=np.bytes_(b"{}"),
+    )
+    with pytest.raises(GraphError) as ei:
+        load_graph(path)
+    assert "adjacency" in str(ei.value)
+
+
+def test_non_monotonic_csr_offsets(tmp_path):
+    path = tmp_path / "decreasing.npz"
+    offsets = np.zeros(65, dtype=np.int64)
+    offsets[1] = 3
+    offsets[2] = 1  # decreases
+    offsets[-1] = 4
+    np.savez_compressed(
+        path,
+        kind=np.bytes_(b"csr_graph"),
+        num_vertices=np.int64(64),
+        offsets=offsets,
+        targets=np.array([1, 2, 3, 4], dtype=np.int64),
+        meta=np.bytes_(b"{}"),
+    )
+    with pytest.raises(GraphError) as ei:
+        load_graph(path)
+    assert "decrease" in str(ei.value)
+
+
+def test_corrupt_meta_json(tmp_path):
+    path = tmp_path / "bad_meta.npz"
+    np.savez_compressed(
+        path,
+        kind=np.bytes_(b"csr_graph"),
+        num_vertices=np.int64(64),
+        offsets=np.zeros(65, dtype=np.int64),
+        targets=np.zeros(0, dtype=np.int64),
+        meta=np.bytes_(b"{not json"),
+    )
+    with pytest.raises(GraphError) as ei:
+        load_graph(path)
+    assert ei.value.context["member"] == "meta"
+
+
+def test_edge_list_shape_mismatch(tmp_path):
+    path = tmp_path / "ragged.npz"
+    np.savez_compressed(
+        path,
+        kind=np.bytes_(b"edge_list"),
+        num_vertices=np.int64(64),
+        sources=np.array([0, 1, 2], dtype=np.int64),
+        targets=np.array([1, 2], dtype=np.int64),
+    )
+    with pytest.raises(GraphError) as ei:
+        load_edge_list(path)
+    assert "equal-length" in str(ei.value)
