@@ -1,6 +1,6 @@
 # Developer convenience targets for the reproduction.
 
-.PHONY: install test bench bench-baseline bench-smoke perf-gate chaos-smoke experiments report examples all clean
+.PHONY: install test bench bench-baseline bench-smoke perf-gate chaos-smoke ledger-log ledger-check dashboard experiments report examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -55,7 +55,27 @@ perf-gate: bench-smoke
 chaos-smoke:
 	mkdir -p .perfgate
 	repro-chaos --scale 12 --nodes 2 --seed 0 \
-		--json .perfgate/chaos-report.json
+		--json .perfgate/chaos-report.json --ledger
+
+# Fold the latest gate artifacts (fresh bench JSONs, perf verdicts,
+# chaos report) into the persistent run ledger under .repro/ledger.
+# See docs/OBSERVABILITY.md ("The run ledger").
+ledger-log:
+	repro-ledger log \
+		--from-bench .perfgate/BENCH_kernels.json \
+		--from-bench .perfgate/BENCH_comm.json \
+		--from-perfdiff .perfgate/verdict_kernels.json \
+		--from-perfdiff .perfgate/verdict_comm.json \
+		--from-chaos .perfgate/chaos-report.json
+
+# N-run trend check over the ledger: each series' newest run against
+# the rolling median of its own history; exits non-zero on a break.
+ledger-check:
+	repro-ledger check --fail-on-break
+
+# Self-contained static HTML dashboard over the ledger (inline SVG).
+dashboard:
+	repro-ledger dash --out dashboard.html
 
 experiments:
 	repro-experiment all --quick

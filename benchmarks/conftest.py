@@ -21,6 +21,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments import ExperimentSettings, run_experiment
+from repro.obs.ledger import environment_provenance
 from repro.obs.metrics import default_registry
 
 
@@ -49,6 +50,9 @@ def run_and_report(benchmark, experiment_id: str, settings) -> None:
     # Identity key for the baseline differ (repro-perf diff): runs of
     # different experiments are never compared against each other.
     benchmark.extra_info["experiment"] = experiment_id
+    # Where the measurement ran: compared as a warning (never a gate) by
+    # the differ, and carried into ledger records built from this JSON.
+    benchmark.extra_info["provenance"] = environment_provenance()
     for name, (paper, measured) in result.claims.items():
         benchmark.extra_info[name] = f"paper {paper} | measured {measured}"
     registry = default_registry()

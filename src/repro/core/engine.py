@@ -59,6 +59,7 @@ from repro.mpi.collectives import allgather
 from repro.mpi.mapping import ProcessMapping
 from repro.mpi.sharedmem import NodeSharedBuffer
 from repro.mpi.simcomm import SimComm
+from repro.obs.hostprof import NULL_HOSTPROF
 from repro.obs.tracer import NULL_TRACER, RunTelemetry
 from repro.util import bitops
 
@@ -125,6 +126,7 @@ class BFSEngine:
         metrics=None,
         faults: FaultPlan | FaultInjector | None = None,
         resilience: ResilienceConfig | None = None,
+        hostprof=None,
     ) -> None:
         self.graph = graph
         self.cluster = cluster
@@ -132,8 +134,11 @@ class BFSEngine:
         self.constants = constants
         # Telemetry is opt-in: the default null tracer makes every hook a
         # no-op and ``metrics=None`` skips all registry updates, so the
-        # undecorated hot path is unchanged.
+        # undecorated hot path is unchanged.  Host profiling follows the
+        # same pattern: the null profiler's phase() returns a shared inert
+        # context manager.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.hostprof = hostprof if hostprof is not None else NULL_HOSTPROF
         self.metrics = metrics
         # Fault tolerance is opt-in the same way: with no plan the
         # injector stays None, no communicator hook fires, and the level
@@ -281,11 +286,13 @@ class BFSEngine:
         frontier_lists[owner] = root_local
 
         tr = self.tracer
+        hp = self.hostprof
         level = 0
         prev_direction: str | None = None
-        with tr.span("bfs.run", cat="run", root=root):
+        with tr.span("bfs.run", cat="run", root=root), hp.phase("run"):
             while True:
-                stats = self._global_stats(states, frontier_lists)
+                with hp.phase("frontier_stats"):
+                    stats = self._global_stats(states, frontier_lists)
                 if stats.frontier_vertices == 0:
                     break
                 if (
@@ -300,10 +307,11 @@ class BFSEngine:
                     # identical to the stored snapshot, so it is skipped
                     # rather than re-captured (and re-priced).
                     last_ckpt_level = level
-                    self._checkpoint(
-                        level, prev_direction, policy, states,
-                        frontier_lists, visited_words, log,
-                    )
+                    with hp.phase("checkpoint"):
+                        self._checkpoint(
+                            level, prev_direction, policy, states,
+                            frontier_lists, visited_words, log,
+                        )
                 if inj is not None:
                     inj.begin_level(level)
                 direction = policy.decide(stats, tracer=tr)
@@ -380,7 +388,7 @@ class BFSEngine:
                 // 2
             )
             parent = np.concatenate([st.parent for st in states])
-            with tr.span("bfs.price", cat="pricing"):
+            with tr.span("bfs.price", cat="pricing"), hp.phase("price"):
                 timing = assemble(
                     counts, self.comm, self.config, self.sizes, self.constants
                 )
@@ -630,7 +638,8 @@ class BFSEngine:
     ) -> list[np.ndarray]:
         np_ranks = self.mapping.num_ranks
         tr = self.tracer
-        with tr.span("phase.td_expand", cat="phase"):
+        hp = self.hostprof
+        with tr.span("phase.td_expand", cat="phase"), hp.phase("td_expand"):
             sends = [
                 topdown.expand(
                     states[r], frontier_lists[r], self.partition,
@@ -653,12 +662,14 @@ class BFSEngine:
             ],
             dtype=np.int64,
         )
-        with tr.span("phase.td_exchange", cat="phase"):
+        with tr.span("phase.td_exchange", cat="phase"), hp.phase(
+            "td_exchange"
+        ):
             res = self._exchange(
                 "alltoallv", lc.level,
                 lambda: self.comm.alltoallv(send_matrix),
             )
-        with tr.span("phase.td_apply", cat="phase"):
+        with tr.span("phase.td_apply", cat="phase"), hp.phase("td_apply"):
             new_lists = []
             for r in range(np_ranks):
                 received = [m.reshape(-1, 2) for m in res.data[r]]
@@ -690,6 +701,7 @@ class BFSEngine:
                 for r in range(np_ranks)
             ]
         tr = self.tracer
+        hp = self.hostprof
         verify = (
             self.resilience is not None and self.resilience.verify_checksums
         )
@@ -703,7 +715,9 @@ class BFSEngine:
                 x, s = words_checksum(p)
                 exp_x ^= x
                 exp_s = (exp_s + s) % (1 << 64)
-        with tr.span("phase.bu_allgather", cat="phase"):
+        with tr.span("phase.bu_allgather", cat="phase"), hp.phase(
+            "bu_allgather"
+        ):
             res = self._exchange(
                 "allgather", lc.level,
                 lambda: allgather(
@@ -745,7 +759,9 @@ class BFSEngine:
         # is bit-identical to the reference code's allgathered summary (it
         # is a pure function of in_queue); its allgather is priced via
         # lc.summary_part_words in timing.assemble.
-        with tr.span("phase.bu_summary_build", cat="phase"):
+        with tr.span("phase.bu_summary_build", cat="phase"), hp.phase(
+            "bu_summary_build"
+        ):
             summary = (
                 SummaryBitmap.build(in_queue, self.config.granularity)
                 if self.config.use_summary
@@ -774,7 +790,7 @@ class BFSEngine:
         inq_reads = np.zeros(np_ranks, dtype=np.int64)
         gathered = np.zeros(np_ranks, dtype=np.int64)
         rounds = np.zeros(np_ranks, dtype=np.int64)
-        with tr.span("phase.bu_scan", cat="phase"):
+        with tr.span("phase.bu_scan", cat="phase"), hp.phase("bu_scan"):
             for r in range(np_ranks):
                 out = bottomup.scan(
                     states[r], in_queue, summary,

@@ -21,7 +21,11 @@ whole-run performance attribution (the Fig. 11-style compute/comm
 breakdown; see ``repro-perf attribute``) of that same instrumented
 run.  ``--metrics-out`` dumps the process-wide metrics registry
 (experiment wall-clocks, run counters, communication volumes) as JSON.
-See docs/OBSERVABILITY.md.
+``--ledger`` appends one ``repro.run/v1`` record per experiment to the
+persistent run ledger (``repro-ledger`` reads it back);
+``--host-profile`` / ``--host-profile-out`` report the *host* cost
+(per-phase wall seconds, tracemalloc peaks, collapsed stacks) of the
+same reference run.  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -105,6 +109,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "histograms) as JSON to PATH at exit",
     )
     parser.add_argument(
+        "--ledger",
+        action="store_true",
+        help="append one repro.run/v1 record per experiment (headline "
+        "metrics + attribution of the instrumented reference run) to "
+        "the run ledger at .repro/ledger (or $REPRO_LEDGER_DIR); "
+        "shares the run with --trace-out/--attribution/--validate",
+    )
+    parser.add_argument(
+        "--host-profile",
+        action="store_true",
+        help="profile the *host* cost of the reference run (per-phase "
+        "wall seconds + tracemalloc peaks) and print the table; "
+        "see docs/OBSERVABILITY.md",
+    )
+    parser.add_argument(
+        "--host-profile-out",
+        metavar="PATH",
+        help="also write the host profile as JSON to PATH and the "
+        "flamegraph-compatible collapsed stacks to PATH.collapsed",
+    )
+    parser.add_argument(
         "--kernel",
         metavar="BACKEND",
         help="BFS kernel backend for every engine this process builds "
@@ -134,7 +159,9 @@ def trace_output_path(path: str, eid: str, many: bool) -> str:
     return path if not many else f"{path}.{eid}.json"
 
 
-def _reference_run(eid: str, settings, registry, instrumented: bool):
+def _reference_run(
+    eid: str, settings, registry, instrumented: bool, hostprof=None
+):
     """One reference BFS run for ``eid`` (traced when ``instrumented``).
 
     Returns ``(engine, root, result)`` so callers can validate the
@@ -148,9 +175,14 @@ def _reference_run(eid: str, settings, registry, instrumented: bool):
 
         tracer = SpanTracer(metrics=registry)
     engine, root = reference_engine(
-        eid, settings, tracer=tracer, metrics=registry
+        eid, settings, tracer=tracer, metrics=registry, hostprof=hostprof
     )
-    return engine, root, engine.run(root)
+    if hostprof is not None:
+        with hostprof:
+            result = engine.run(root)
+    else:
+        result = engine.run(root)
+    return engine, root, result
 
 
 def _write_trace(path: str, result) -> None:
@@ -226,15 +258,45 @@ def main(argv: list[str] | None = None) -> int:
             with open(path, "w", encoding="utf-8") as fh:
                 fh.write(result.to_csv())
             print(f"[csv written to {path}]")
-        if args.trace_out or args.attribution or args.validate:
+        want_hostprof = bool(args.host_profile or args.host_profile_out)
+        if (
+            args.trace_out
+            or args.attribution
+            or args.validate
+            or args.ledger
+            or want_hostprof
+        ):
+            hostprof = None
+            if want_hostprof:
+                from repro.obs.hostprof import HostProfiler
+
+                hostprof = HostProfiler()
             engine, ref_root, traced = _reference_run(
                 eid, settings, registry,
-                instrumented=bool(args.trace_out or args.attribution),
+                instrumented=bool(
+                    args.trace_out or args.attribution or args.ledger
+                ),
+                hostprof=hostprof,
             )
             if args.trace_out:
                 _write_trace(trace_output_path(args.trace_out, eid, many), traced)
             if args.attribution:
                 print(traced.telemetry.attribution.to_text())
+            if hostprof is not None:
+                _report_host_profile(hostprof, args.host_profile_out, eid, many)
+            if args.ledger:
+                from repro.obs.ledger import default_ledger, record_for_result
+
+                ledger = default_ledger()
+                record = record_for_result(
+                    "experiment", eid, traced, engine,
+                    extra_metrics={"experiment_wall_seconds": elapsed},
+                )
+                ledger.append(record)
+                print(
+                    f"[ledger: appended {record.kind}/{record.name} "
+                    f"@{record.fingerprint} to {ledger.path}]"
+                )
             if args.validate:
                 import json
 
@@ -265,6 +327,24 @@ def main(argv: list[str] | None = None) -> int:
             fh.write(registry.to_json())
         print(f"[metrics written to {args.metrics_out}]")
     return 0
+
+
+def _report_host_profile(hostprof, out: str | None, eid: str, many: bool) -> None:
+    """Print (and optionally export) one reference run's host profile."""
+    profile = hostprof.report()
+    print(profile.to_text())
+    if out:
+        import json
+
+        path = out if not many else f"{out}.{eid}.json"
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(profile.as_dict(), fh, indent=2, sort_keys=True)
+        collapsed_path = f"{path}.collapsed"
+        hostprof.write_collapsed(collapsed_path)
+        print(
+            f"[host profile written to {path}; collapsed stacks to "
+            f"{collapsed_path} (flamegraph.pl / speedscope.app)]"
+        )
 
 
 def _print_wall_clock_summary(registry, ids: list[str]) -> None:

@@ -92,6 +92,7 @@ def reference_engine(
     settings: ExperimentSettings | None = None,
     tracer=None,
     metrics=None,
+    hostprof=None,
 ):
     """The engine + root for an experiment's reference BFS run.
 
@@ -125,6 +126,7 @@ def reference_engine(
         BFSConfig.granularity_variant(),
         tracer=tracer,
         metrics=metrics,
+        hostprof=hostprof,
     )
     root = int(np.argmax(graph.degrees()))
     return engine, root

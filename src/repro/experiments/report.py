@@ -134,14 +134,17 @@ def generate_report(
     settings = settings or ExperimentSettings()
     start = time.perf_counter()
     results = {}
+    from repro.obs.log import get_logger
+
+    log = get_logger("experiments.report")
     for eid in EXPERIMENTS:
-        print(f"running {eid}...", file=sys.stderr, flush=True)
+        log.info("running %s", eid)
         results[eid] = run_experiment(eid, settings)
     elapsed = time.perf_counter() - start
     text = render_markdown(results, settings, elapsed, attribution=attribution)
     out = Path(path)
     out.write_text(text, encoding="utf-8")
-    print(f"wrote {out} ({elapsed:.0f} s)", file=sys.stderr)
+    log.info("wrote %s (%.0f s)", out, elapsed)
     return out
 
 

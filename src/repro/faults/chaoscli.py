@@ -49,11 +49,14 @@ from repro.core.validate import validate_parent_tree
 from repro.errors import ReproError, ValidationError
 from repro.faults.plan import FaultPlan, available_scenarios
 from repro.faults.recovery import ResilienceConfig
+from repro.obs.log import get_logger
 from repro.util.formatting import format_table
 
 __all__ = ["main", "run_campaign", "SCHEMA"]
 
 SCHEMA = "repro.chaos/v1"
+
+log = get_logger("chaos")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -103,6 +106,13 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", metavar="PATH",
         help=f"write the {SCHEMA} campaign report as JSON to PATH",
+    )
+    parser.add_argument(
+        "--ledger",
+        action="store_true",
+        help="append a repro.run/v1 summary of the campaign (recovery "
+        "overheads, outcome counts) to the run ledger at .repro/ledger "
+        "(or $REPRO_LEDGER_DIR)",
     )
     parser.add_argument(
         "--metrics-out", metavar="PATH",
@@ -322,10 +332,9 @@ def main(argv: list[str] | None = None) -> int:
         )
     except ReproError as exc:
         # The baseline itself failed — nothing to compare against.
-        print(
-            f"chaos campaign setup failed: "
-            f"{json.dumps(exc.to_dict(), sort_keys=True)}",
-            file=sys.stderr,
+        log.error(
+            "campaign setup failed: %s",
+            json.dumps(exc.to_dict(), sort_keys=True),
         )
         return 1
 
@@ -339,11 +348,22 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
-        print(f"[report written to {args.json}]")
+        log.info("report written to %s", args.json)
+    if args.ledger:
+        from repro.obs.ledger import default_ledger, record_from_chaos_report
+
+        ledger = default_ledger()
+        record = ledger.append(
+            record_from_chaos_report(report, source="repro-chaos")
+        )
+        log.info(
+            "ledger: appended %s/%s @%s to %s",
+            record.kind, record.name, record.fingerprint, ledger.path,
+        )
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as fh:
             fh.write(registry.to_json())
-        print(f"[metrics written to {args.metrics_out}]")
+        log.info("metrics written to %s", args.metrics_out)
     return 0 if report["ok"] else 1
 
 

@@ -19,9 +19,23 @@ kernels and the simulated communicator.
   over the committed ``BENCH_*.json`` baselines.
 * :mod:`repro.obs.perfcli` — the ``repro-perf`` command
   (attribute / drift / diff).
+* :mod:`repro.obs.ledger` — append-only ``repro.run/v1`` JSONL store of
+  every measured run (commit, config fingerprint, headline metrics,
+  attribution, environment provenance).
+* :mod:`repro.obs.trend` — rolling-median + MAD trend check of each
+  ledger series' latest run against its own history.
+* :mod:`repro.obs.hostprof` — opt-in host-side phase profiling (wall,
+  cProfile collapsed stacks, tracemalloc peaks); off-by-default
+  :data:`~repro.obs.hostprof.NULL_HOSTPROF` mirrors the null tracer.
+* :mod:`repro.obs.dash` — standalone static HTML dashboard over the
+  ledger (inline SVG, no dependencies).
+* :mod:`repro.obs.log` — ``REPRO_LOG`` structured stdlib logging for
+  CLI diagnostics.
+* :mod:`repro.obs.ledgercli` — the ``repro-ledger`` command
+  (log / list / show / check / dash).
 
 See ``docs/OBSERVABILITY.md`` for the span model, event schema, and the
-attribution / drift / diff walkthroughs.
+attribution / drift / diff / ledger / trend walkthroughs.
 """
 
 from repro.obs.export import (
@@ -32,6 +46,14 @@ from repro.obs.export import (
     write_chrome_trace,
     write_events_jsonl,
 )
+from repro.obs.hostprof import (
+    NULL_HOSTPROF,
+    HostPhase,
+    HostProfile,
+    HostProfiler,
+    NullHostProfiler,
+)
+from repro.obs.log import get_logger, setup_logging
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -81,6 +103,22 @@ __all__ = [
     "DiffRow",
     "DiffVerdict",
     "diff_baselines",
+    "HostPhase",
+    "HostProfile",
+    "HostProfiler",
+    "NullHostProfiler",
+    "NULL_HOSTPROF",
+    "get_logger",
+    "setup_logging",
+    "LedgerRecord",
+    "RunLedger",
+    "default_ledger",
+    "environment_provenance",
+    "record_for_result",
+    "TrendReport",
+    "check_records",
+    "render_dashboard",
+    "write_dashboard",
 ]
 
 # analyze/baseline pull in repro.core (and transitively repro.mpi, which
@@ -100,6 +138,15 @@ _LAZY = {
     "DiffRow": "repro.obs.baseline",
     "DiffVerdict": "repro.obs.baseline",
     "diff_baselines": "repro.obs.baseline",
+    "LedgerRecord": "repro.obs.ledger",
+    "RunLedger": "repro.obs.ledger",
+    "default_ledger": "repro.obs.ledger",
+    "environment_provenance": "repro.obs.ledger",
+    "record_for_result": "repro.obs.ledger",
+    "TrendReport": "repro.obs.trend",
+    "check_records": "repro.obs.trend",
+    "render_dashboard": "repro.obs.dash",
+    "write_dashboard": "repro.obs.dash",
 }
 
 

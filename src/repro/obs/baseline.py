@@ -93,6 +93,9 @@ class BenchRecord:
     metrics: dict[str, float] = field(default_factory=dict)
     #: Non-numeric invariants (stringified), gated on equality.
     facts: dict[str, str] = field(default_factory=dict)
+    #: Where the measurement ran (python/numpy/platform/host); compared
+    #: as a warning, never a gate — wall noise across hosts is expected.
+    provenance: dict[str, str] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         """The record as a plain JSON-ready dict."""
@@ -102,6 +105,7 @@ class BenchRecord:
             "context": dict(self.context),
             "metrics": dict(self.metrics),
             "facts": dict(self.facts),
+            "provenance": dict(self.provenance),
         }
 
 
@@ -119,6 +123,8 @@ def _canonicalize(bench: dict) -> BenchRecord:
             rec.context[key.removesuffix("_name")] = str(value)
         elif key == "telemetry":
             continue  # registry snapshot: aggregate, not per-benchmark
+        elif key == "provenance" and isinstance(value, dict):
+            rec.provenance = {k: str(v) for k, v in value.items()}
         elif isinstance(value, bool):
             rec.facts[key] = str(value)
         elif isinstance(value, (int, float)):
@@ -175,7 +181,7 @@ class DiffRow:
     benchmark: str
     metric: str
     #: ok | regression | improved | changed | incomparable | missing |
-    #: added | info
+    #: added | info | warning
     status: str
     direction: str = "info"
     old: float | str | None = None
@@ -224,6 +230,16 @@ class DiffVerdict:
         return [r for r in self.rows if r.status == "improved"]
 
     @property
+    def warnings(self) -> list[DiffRow]:
+        """Non-gating caveats (provenance mismatch)."""
+        return [r for r in self.rows if r.status == "warning"]
+
+    @property
+    def incomparable(self) -> list[DiffRow]:
+        """Benchmark pairs whose measurement context differs."""
+        return [r for r in self.rows if r.status == "incomparable"]
+
+    @property
     def ok(self) -> bool:
         """True when nothing regressed."""
         return not self.regressions
@@ -263,12 +279,17 @@ class DiffVerdict:
             self.rows,
             key=lambda r: (
                 not r.gating,
+                r.status != "warning",
                 r.status != "improved",
                 r.benchmark,
                 r.metric,
             ),
         )
-        shown = [r for r in ordered if r.gating or r.status == "improved"]
+        shown = [
+            r
+            for r in ordered
+            if r.gating or r.status in ("improved", "warning")
+        ]
         tail = [r for r in ordered if r not in shown][:max_ok_rows]
         rows = []
         for r in shown + tail:
@@ -286,6 +307,8 @@ class DiffVerdict:
                 ]
             )
         verdict = "OK" if self.ok else f"FAIL ({len(self.regressions)} regression(s))"
+        if self.warnings:
+            verdict += f", {len(self.warnings)} warning(s)"
         title = (
             f"perf diff {verdict}: {self.old_source} -> {self.new_source} "
             f"(tolerance {self.tolerance_pct:g}%"
@@ -375,9 +398,32 @@ def diff_baselines(
         wall_tolerance_pct=wall_tolerance_pct,
         include_wall=include_wall,
     )
+    # Provenance differences warn once per (key, old, new) triple, not
+    # once per benchmark — the block is stamped identically file-wide.
+    prov_seen: set[tuple[str, str, str]] = set()
     for name in sorted(old.records):
         old_rec = old.records[name]
         new_rec = new.records.get(name)
+        if new_rec is not None and old_rec.provenance and new_rec.provenance:
+            for key in sorted(
+                set(old_rec.provenance) | set(new_rec.provenance)
+            ):
+                ov = old_rec.provenance.get(key, "")
+                nv = new_rec.provenance.get(key, "")
+                if ov != nv and (key, ov, nv) not in prov_seen:
+                    prov_seen.add((key, ov, nv))
+                    verdict.rows.append(
+                        DiffRow(
+                            benchmark="*",
+                            metric=f"provenance.{key}",
+                            status="warning",
+                            direction="equal",
+                            old=ov,
+                            new=nv,
+                            note="environment differs; wall stats may "
+                            "not be comparable (not gated)",
+                        )
+                    )
         if new_rec is None:
             verdict.rows.append(
                 DiffRow(

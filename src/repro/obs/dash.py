@@ -1,0 +1,550 @@
+"""Self-contained static HTML dashboard over the run ledger.
+
+``repro-ledger dash`` renders the ledger's history as one standalone
+HTML file — inline SVG, inline CSS, zero external assets or scripts —
+so it can be committed, attached to CI, or opened from a tarball:
+
+* stat tiles (runs on record, latest commit, latest TEPS);
+* TEPS trend lines per experiment, one series per config fingerprint;
+* stacked simulated-time attribution bars per run;
+* codec wire-vs-raw byte reduction bars;
+* chaos recovery-overhead history;
+* a plain table of recent records (the accessibility view of the same
+  data the charts show).
+
+Colors follow the validated reference palette (light and dark both
+selected, swapped via CSS custom properties); series hues are assigned
+in fixed slot order, never cycled, with overflow folded into "other".
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+from repro.obs.ledger import LedgerRecord
+
+__all__ = ["render_dashboard", "write_dashboard"]
+
+#: Validated categorical palette, fixed assignment order (light, dark).
+_SERIES = (
+    ("#2a78d6", "#3987e5"),  # blue
+    ("#eb6834", "#d95926"),  # orange
+    ("#1baf7a", "#199e70"),  # aqua
+    ("#eda100", "#c98500"),  # yellow
+    ("#e87ba4", "#d55181"),  # magenta
+    ("#008300", "#008300"),  # green
+    ("#4a3aa7", "#9085e9"),  # violet
+    ("#e34948", "#e66767"),  # red
+)
+
+#: Attribution components in fixed stack order → fixed palette slot.
+_ATTR_COMPONENTS = (
+    ("compute_ns", "compute"),
+    ("comm_ns", "comm"),
+    ("switch_ns", "switch"),
+    ("stall_ns", "stall"),
+)
+
+_CSS = """
+:root { color-scheme: light dark; }
+body {
+  margin: 0; padding: 24px;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page); color: var(--ink);
+}
+.viz-root {
+  --page: #f9f9f7; --surface: #fcfcfb;
+  --ink: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --baseline: #c3c2b7;
+  --border: rgba(11, 11, 11, 0.10);
+"""
+_CSS_LIGHT_SERIES = "".join(
+    f"  --s{i + 1}: {light};\n" for i, (light, _) in enumerate(_SERIES)
+)
+_CSS_DARK = """}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    --page: #0d0d0d; --surface: #1a1a19;
+    --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --baseline: #383835;
+    --border: rgba(255, 255, 255, 0.10);
+"""
+_CSS_DARK_SERIES = "".join(
+    f"    --s{i + 1}: {dark};\n" for i, (_, dark) in enumerate(_SERIES)
+)
+_CSS_TAIL = """  }
+}
+h1 { font-size: 20px; font-weight: 600; margin: 0 0 4px; }
+h2 { font-size: 14px; font-weight: 600; margin: 24px 0 8px; }
+.sub { color: var(--ink-2); font-size: 12px; margin: 0 0 16px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 16px 0; }
+.tile {
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px; min-width: 140px;
+}
+.tile .v { font-size: 24px; font-weight: 600; }
+.tile .k { font-size: 11px; color: var(--ink-2); margin-top: 2px; }
+.card {
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px; margin: 12px 0;
+}
+.legend { display: flex; flex-wrap: wrap; gap: 12px; margin: 8px 0 0;
+  font-size: 11px; color: var(--ink-2); }
+.legend .sw { display: inline-block; width: 10px; height: 10px;
+  border-radius: 2px; margin-right: 4px; vertical-align: -1px; }
+svg text { font-family: inherit; font-size: 10px; fill: var(--muted); }
+svg .lbl { fill: var(--ink-2); }
+table { border-collapse: collapse; font-size: 12px; width: 100%; }
+th, td { text-align: left; padding: 4px 10px 4px 0;
+  border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums; }
+th { color: var(--ink-2); font-weight: 600; }
+.empty { color: var(--muted); font-size: 12px; }
+"""
+
+
+def _esc(text: object) -> str:
+    return html.escape(str(text), quote=True)
+
+
+def _fmt(value: float) -> str:
+    """Compact human number for labels and table cells."""
+    v = float(value)
+    for scale, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(v) >= scale:
+            return f"{v / scale:.2f}{suffix}"
+    if v == int(v):
+        return str(int(v))
+    return f"{v:.3g}"
+
+
+def _ticks(vmax: float, n: int = 4) -> list[float]:
+    """n evenly spaced ticks from 0 to a rounded-up vmax."""
+    if vmax <= 0:
+        return [0.0, 1.0]
+    step = vmax / n
+    # Snap to 1/2/5 × power of ten.
+    mag = 10 ** (len(f"{int(step)}") - 1) if step >= 1 else 1.0
+    while mag > step:
+        mag /= 10
+    for mult in (1, 2, 5, 10):
+        if mag * mult >= step:
+            step = mag * mult
+            break
+    return [step * i for i in range(n + 1)]
+
+
+def _legend(entries: list[tuple[int, str]]) -> str:
+    """Legend chips for (slot, label) pairs — only shown for ≥2 series."""
+    if len(entries) < 2:
+        return ""
+    chips = "".join(
+        f'<span><span class="sw" style="background:var(--s{slot})"></span>'
+        f"{_esc(label)}</span>"
+        for slot, label in entries
+    )
+    return f'<div class="legend">{chips}</div>'
+
+
+def _frame(width: int, height: int, pad: tuple, ymax: float, ylabel: str):
+    """Shared chart frame: gridlines + y ticks + baseline.
+
+    Returns (svg-prefix parts, x0, x1, y0, y1, y-scale fn).
+    """
+    top, right, bottom, left = pad
+    x0, x1 = left, width - right
+    y0, y1 = height - bottom, top
+
+    def sy(v: float) -> float:
+        return y0 - (v / ymax) * (y0 - y1) if ymax else y0
+
+    parts = []
+    for t in _ticks(ymax):
+        if t > ymax * 1.05:
+            continue
+        y = sy(t)
+        parts.append(
+            f'<line x1="{x0}" y1="{y:.1f}" x2="{x1}" y2="{y:.1f}" '
+            f'stroke="var(--grid)" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{x0 - 6}" y="{y + 3:.1f}" '
+            f'text-anchor="end">{_fmt(t)}</text>'
+        )
+    parts.append(
+        f'<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}" '
+        f'stroke="var(--baseline)" stroke-width="1"/>'
+    )
+    parts.append(
+        f'<text x="{x0}" y="{y1 - 6}" class="lbl">{_esc(ylabel)}</text>'
+    )
+    return parts, x0, x1, y0, y1, sy
+
+
+def _line_chart(
+    series: list[tuple[str, list[tuple[str, float]]]],
+    ylabel: str,
+    width: int = 640,
+    height: int = 220,
+) -> str:
+    """Multi-series line chart; each series is (label, [(xlabel, y)])."""
+    pad = (18, 12, 24, 56)
+    npoints = max(len(pts) for _, pts in series)
+    ymax = max(
+        (y for _, pts in series for _, y in pts), default=0.0
+    ) * 1.08 or 1.0
+    parts, x0, x1, y0, y1, sy = _frame(width, height, pad, ymax, ylabel)
+
+    def sx(i: int) -> float:
+        if npoints <= 1:
+            return (x0 + x1) / 2
+        return x0 + (i / (npoints - 1)) * (x1 - x0)
+
+    entries = []
+    for s_idx, (label, pts) in enumerate(series[: len(_SERIES)]):
+        slot = s_idx + 1
+        entries.append((slot, label))
+        coords = [(sx(i), sy(y)) for i, (_, y) in enumerate(pts)]
+        if len(coords) > 1:
+            d = "M" + " L".join(f"{x:.1f},{y:.1f}" for x, y in coords)
+            parts.append(
+                f'<path d="{d}" fill="none" stroke="var(--s{slot})" '
+                f'stroke-width="2" stroke-linejoin="round"/>'
+            )
+        for (x, y), (xl, v) in zip(coords, pts):
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3.5" '
+                f'fill="var(--s{slot})" stroke="var(--surface)" '
+                f'stroke-width="2"><title>'
+                f"{_esc(label)} · {_esc(xl)}: {_fmt(v)}</title></circle>"
+            )
+        # Direct label at the last point.
+        if coords:
+            lx, ly = coords[-1]
+            parts.append(
+                f'<text x="{lx - 4:.1f}" y="{ly - 8:.1f}" text-anchor="end" '
+                f'class="lbl">{_esc(label)}</text>'
+            )
+    # x labels: first and last point only (commit-ish, keep sparse).
+    ref = max(series, key=lambda s: len(s[1]))[1]
+    for i in (0, npoints - 1):
+        if 0 <= i < len(ref):
+            anchor = "start" if i == 0 else "end"
+            parts.append(
+                f'<text x="{sx(i):.1f}" y="{y0 + 14}" '
+                f'text-anchor="{anchor}">{_esc(ref[i][0])}</text>'
+            )
+    body = "".join(parts)
+    svg = (
+        f'<svg viewBox="0 0 {width} {height}" width="100%" '
+        f'role="img">{body}</svg>'
+    )
+    return svg + _legend(entries)
+
+
+def _stacked_bars(
+    bars: list[tuple[str, list[float]]],
+    labels: list[str],
+    ylabel: str,
+    width: int = 640,
+    height: int = 220,
+) -> str:
+    """Stacked bars; each bar is (xlabel, [component values])."""
+    pad = (18, 12, 24, 56)
+    ymax = max((sum(vals) for _, vals in bars), default=0.0) * 1.08 or 1.0
+    parts, x0, x1, y0, y1, sy = _frame(width, height, pad, ymax, ylabel)
+    n = len(bars)
+    slot_w = (x1 - x0) / max(n, 1)
+    bar_w = min(28.0, slot_w * 0.6)
+    for b_idx, (xlabel, vals) in enumerate(bars):
+        cx = x0 + slot_w * (b_idx + 0.5)
+        base = 0.0
+        for c_idx, v in enumerate(vals):
+            if v <= 0:
+                continue
+            y_top = sy(base + v)
+            y_bot = sy(base)
+            # 2px surface gap between stacked segments.
+            h = max(y_bot - y_top - 2, 1.0)
+            slot = c_idx + 1
+            parts.append(
+                f'<rect x="{cx - bar_w / 2:.1f}" y="{y_top:.1f}" '
+                f'width="{bar_w:.1f}" height="{h:.1f}" rx="2" '
+                f'fill="var(--s{slot})"><title>'
+                f"{_esc(xlabel)} · {_esc(labels[c_idx])}: {_fmt(v)}"
+                f"</title></rect>"
+            )
+            base += v
+        parts.append(
+            f'<text x="{cx:.1f}" y="{y0 + 14}" text-anchor="middle">'
+            f"{_esc(xlabel)}</text>"
+        )
+    body = "".join(parts)
+    svg = (
+        f'<svg viewBox="0 0 {width} {height}" width="100%" '
+        f'role="img">{body}</svg>'
+    )
+    entries = [(i + 1, lab) for i, lab in enumerate(labels)]
+    return svg + _legend(entries)
+
+
+def _card(title: str, body: str, sub: str = "") -> str:
+    subline = f'<p class="sub">{_esc(sub)}</p>' if sub else ""
+    return f'<div class="card"><h2>{_esc(title)}</h2>{subline}{body}</div>'
+
+
+def _series_label(rec: LedgerRecord) -> str:
+    cfg = rec.config
+    bits = [str(cfg.get("kernel", "?"))]
+    codec = cfg.get("codec")
+    if codec and codec != "raw":
+        bits.append(str(codec))
+    bits.append(rec.fingerprint[:6])
+    return "/".join(bits)
+
+
+def _xlabel(rec: LedgerRecord) -> str:
+    return rec.commit or (rec.ts or "")[:10] or "?"
+
+
+# ---------------------------------------------------------------------------
+# Sections
+# ---------------------------------------------------------------------------
+
+
+def _tiles(records: list[LedgerRecord]) -> str:
+    exps = [r for r in records if r.kind == "experiment"]
+    latest = records[-1] if records else None
+    tiles = [
+        (str(len(records)), "runs on record"),
+        (str(len({r.series for r in records})), "config series"),
+    ]
+    if latest is not None:
+        tiles.append((latest.commit or "?", "latest commit"))
+    if exps:
+        teps = exps[-1].metrics.get("teps")
+        if teps:
+            tiles.append((_fmt(teps), f"latest TEPS ({exps[-1].name})"))
+    body = "".join(
+        f'<div class="tile"><div class="v">{_esc(v)}</div>'
+        f'<div class="k">{_esc(k)}</div></div>'
+        for v, k in tiles
+    )
+    return f'<div class="tiles">{body}</div>'
+
+
+def _teps_section(records: list[LedgerRecord]) -> str:
+    by_name: dict[str, dict[tuple, list[LedgerRecord]]] = {}
+    for rec in records:
+        if rec.kind in ("experiment", "benchmark") and rec.metrics.get(
+            "teps"
+        ):
+            by_name.setdefault(rec.name, {}).setdefault(
+                rec.series, []
+            ).append(rec)
+    if not by_name:
+        return _card(
+            "TEPS trend", '<p class="empty">no experiment runs yet</p>'
+        )
+    cards = []
+    for name in sorted(by_name):
+        groups = by_name[name]
+        series = []
+        for key in sorted(groups)[: len(_SERIES)]:
+            recs = groups[key]
+            series.append(
+                (
+                    _series_label(recs[-1]),
+                    [(_xlabel(r), r.metrics["teps"]) for r in recs],
+                )
+            )
+        folded = len(groups) - len(series)
+        sub = "one line per config fingerprint" + (
+            f" ({folded} more folded)" if folded > 0 else ""
+        )
+        cards.append(
+            _card(f"TEPS · {name}", _line_chart(series, "TEPS"), sub)
+        )
+    return "".join(cards)
+
+
+def _attribution_section(records: list[LedgerRecord]) -> str:
+    runs = [r for r in records if r.attribution][-12:]
+    if not runs:
+        return _card(
+            "Simulated-time attribution",
+            '<p class="empty">no attributed runs yet</p>',
+        )
+    labels = [label for _, label in _ATTR_COMPONENTS]
+    bars = []
+    for rec in runs:
+        vals = []
+        for key, _ in _ATTR_COMPONENTS:
+            v = rec.attribution.get(key, 0)
+            # compute_ns / comm_ns are per-component breakdown dicts.
+            if isinstance(v, dict):
+                v = sum(v.values())
+            vals.append(float(v) / 1e6)
+        bars.append((_xlabel(rec), vals))
+    return _card(
+        "Simulated-time attribution",
+        _stacked_bars(bars, labels, "simulated ms"),
+        f"per run, last {len(runs)} attributed runs",
+    )
+
+
+def _codec_section(records: list[LedgerRecord]) -> str:
+    rows = []
+    for rec in records:
+        raw = rec.metrics.get("allgather_raw_bytes")
+        wire = rec.metrics.get("allgather_wire_bytes")
+        if raw and wire is not None and raw > 0:
+            rows.append((rec, 100.0 * (1.0 - wire / raw)))
+    rows = rows[-12:]
+    if not rows:
+        return _card(
+            "Codec wire-byte reduction",
+            '<p class="empty">no byte-accounted runs yet</p>',
+        )
+    bars = [
+        (f"{_xlabel(rec)}·{rec.config.get('codec', 'raw')}", [pct])
+        for rec, pct in rows
+    ]
+    return _card(
+        "Codec wire-byte reduction",
+        _stacked_bars(bars, ["reduction"], "% vs raw"),
+        "allgather wire bytes vs raw bytes, higher is better",
+    )
+
+
+def _chaos_section(records: list[LedgerRecord]) -> str:
+    runs = [r for r in records if r.kind == "chaos"]
+    if not runs:
+        return _card(
+            "Chaos recovery overhead",
+            '<p class="empty">no chaos campaigns yet</p>',
+        )
+    per_scenario: dict[str, list[tuple[str, float]]] = {}
+    for rec in runs:
+        overheads = (rec.extra or {}).get("scenario_overhead_pct", {})
+        for scen, pct in sorted(overheads.items()):
+            per_scenario.setdefault(scen, []).append(
+                (_xlabel(rec), float(pct))
+            )
+    if not per_scenario:
+        mean = [
+            (_xlabel(r), float(r.metrics.get("recovery_overhead_pct_mean", 0)))
+            for r in runs
+        ]
+        per_scenario = {"mean": mean}
+    series = [
+        (scen, pts)
+        for scen, pts in sorted(per_scenario.items())[: len(_SERIES)]
+    ]
+    return _card(
+        "Chaos recovery overhead",
+        _line_chart(series, "overhead %"),
+        "per scenario across campaigns, lower is better",
+    )
+
+
+def _table_section(records: list[LedgerRecord], last: int = 20) -> str:
+    recent = records[-last:]
+    if not recent:
+        return _card("Recent runs", '<p class="empty">ledger is empty</p>')
+    rows = []
+    for rec in reversed(recent):
+        teps = rec.metrics.get("teps")
+        secs = rec.metrics.get("simulated_seconds")
+        rows.append(
+            "<tr>"
+            + "".join(
+                f"<td>{_esc(c)}</td>"
+                for c in (
+                    (rec.ts or "")[:19],
+                    rec.kind,
+                    rec.name,
+                    rec.commit or "-",
+                    rec.fingerprint[:8],
+                    _fmt(teps) if teps else "-",
+                    f"{secs:.4f}" if secs else "-",
+                )
+            )
+            + "</tr>"
+        )
+    table = (
+        "<table><thead><tr>"
+        + "".join(
+            f"<th>{h}</th>"
+            for h in (
+                "when",
+                "kind",
+                "name",
+                "commit",
+                "config",
+                "teps",
+                "sim s",
+            )
+        )
+        + "</tr></thead><tbody>"
+        + "".join(rows)
+        + "</tbody></table>"
+    )
+    return _card("Recent runs", table, f"last {len(recent)} records")
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def render_dashboard(
+    records: list[LedgerRecord], title: str = "repro run ledger"
+) -> str:
+    """The full dashboard as one standalone HTML document."""
+    css = (
+        _CSS
+        + _CSS_LIGHT_SERIES
+        + _CSS_DARK
+        + _CSS_DARK_SERIES
+        + _CSS_TAIL
+    )
+    sections = [
+        _tiles(records),
+        _teps_section(records),
+        _attribution_section(records),
+        _codec_section(records),
+        _chaos_section(records),
+        _table_section(records),
+    ]
+    span = ""
+    if records:
+        first = (records[0].ts or "")[:10]
+        last = (records[-1].ts or "")[:10]
+        span = f"{len(records)} records, {first} → {last}"
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{_esc(title)}</title>\n"
+        '<meta name="viewport" content="width=device-width, '
+        'initial-scale=1">\n'
+        f"<style>{css}</style>\n"
+        '</head><body class="viz-root">\n'
+        f"<h1>{_esc(title)}</h1>\n"
+        f'<p class="sub">{_esc(span)}</p>\n'
+        + "\n".join(sections)
+        + "\n</body></html>\n"
+    )
+
+
+def write_dashboard(
+    path: str | Path,
+    records: list[LedgerRecord],
+    title: str = "repro run ledger",
+) -> Path:
+    """Render and write the dashboard; returns the written path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render_dashboard(records, title=title))
+    return out

@@ -1,0 +1,391 @@
+"""Host-side phase profiling: wall clock, cProfile, tracemalloc peaks.
+
+The tracer and the cost model account for *simulated* time — what the
+modelled NUMA cluster would spend.  This module accounts for what the
+reproduction's own Python process spends, per engine phase, so
+"simulated fast but host slow" regressions (the exact trap for compiled
+kernel backends that win on priced counts while thrashing host memory)
+are visible:
+
+* **wall clock** — every :meth:`HostProfiler.phase` block records
+  inclusive and *exclusive* (self) nanoseconds.  Phases nest (the
+  engine wraps the whole traversal in a ``run`` phase around the
+  per-level phases), and self-time attribution is exact: the sum of all
+  phases' ``self_ns`` equals the profiled region's total wall time by
+  construction;
+* **tracemalloc** — per-phase peak traced bytes, with child peaks
+  propagated to parents, so the allocation high-water mark of e.g. the
+  bottom-up scan is separable from the allgather's;
+* **cProfile** — one deterministic profile of the whole region,
+  exportable as flamegraph-compatible collapsed stacks
+  (``frame;frame;frame count`` — feed to ``flamegraph.pl`` or paste
+  into https://www.speedscope.app, microsecond-weighted).
+
+Profiling is **opt-in and off by default**: call sites hold
+:data:`NULL_HOSTPROF`, whose ``phase`` returns a shared inert context
+manager — the same zero-overhead pattern as
+:data:`repro.obs.tracer.NULL_TRACER`.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "HostPhase",
+    "HostProfile",
+    "HostProfiler",
+    "NullHostProfiler",
+    "NULL_HOSTPROF",
+    "collapsed_stacks",
+]
+
+SCHEMA = "repro.hostprof/v1"
+
+
+class _NullPhase:
+    """Inert context manager returned by :class:`NullHostProfiler`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class NullHostProfiler:
+    """The disabled profiler: records nothing, allocates nothing."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def phase(self, name: str) -> _NullPhase:
+        """Return the shared no-op phase."""
+        return _NULL_PHASE
+
+
+NULL_HOSTPROF = NullHostProfiler()
+
+
+@dataclass
+class HostPhase:
+    """Aggregated host cost of one named phase across its calls."""
+
+    name: str
+    calls: int = 0
+    #: Wall nanoseconds inside the phase, children included.
+    total_ns: int = 0
+    #: Wall nanoseconds exclusively in this phase (children subtracted).
+    self_ns: int = 0
+    #: Highest tracemalloc traced-memory peak seen during any call.
+    peak_bytes: int = 0
+
+    def as_dict(self) -> dict:
+        """The phase as a plain JSON-ready dict."""
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "total_s": self.total_ns / 1e9,
+            "self_s": self.self_ns / 1e9,
+            "peak_bytes": self.peak_bytes,
+        }
+
+
+@dataclass
+class HostProfile:
+    """One profiling session's report."""
+
+    phases: list[HostPhase] = field(default_factory=list)
+    #: Wall nanoseconds between profile start and stop.
+    wall_ns: int = 0
+    traced_memory: bool = False
+
+    @property
+    def covered_ns(self) -> int:
+        """Self-time sum over all phases — what the phase hooks saw."""
+        return sum(p.self_ns for p in self.phases)
+
+    @property
+    def coverage(self) -> float:
+        """Covered share of the session wall time (1.0 = everything the
+        profiled region did happened inside some phase)."""
+        return self.covered_ns / self.wall_ns if self.wall_ns else 0.0
+
+    def as_dict(self) -> dict:
+        """The report as a plain JSON-ready dict."""
+        return {
+            "schema": SCHEMA,
+            "wall_s": self.wall_ns / 1e9,
+            "covered_s": self.covered_ns / 1e9,
+            "coverage": self.coverage,
+            "traced_memory": self.traced_memory,
+            "phases": [p.as_dict() for p in self.phases],
+        }
+
+    def to_text(self) -> str:
+        """Terminal table, slowest self-time first."""
+        from repro.util.formatting import format_bytes, format_table
+
+        rows = []
+        for p in sorted(self.phases, key=lambda p: -p.self_ns):
+            rows.append(
+                [
+                    p.name,
+                    p.calls,
+                    f"{p.total_ns / 1e9:.4f}",
+                    f"{p.self_ns / 1e9:.4f}",
+                    (
+                        f"{100.0 * p.self_ns / self.wall_ns:.1f}"
+                        if self.wall_ns
+                        else "-"
+                    ),
+                    format_bytes(p.peak_bytes) if self.traced_memory else "-",
+                ]
+            )
+        title = (
+            f"host profile: wall {self.wall_ns / 1e9:.3f}s, "
+            f"phase coverage {self.coverage * 100:.1f}%"
+        )
+        return format_table(
+            ["phase", "calls", "total_s", "self_s", "self%", "peak_mem"],
+            rows,
+            title=title,
+        )
+
+
+class _ActivePhase:
+    """Open phase frame handed out by :meth:`HostProfiler.phase`."""
+
+    __slots__ = ("_profiler", "_name", "_start_ns", "_child_ns", "_child_peak")
+
+    def __init__(self, profiler: "HostProfiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_ActivePhase":
+        self._child_ns = 0
+        self._child_peak = 0
+        self._profiler._enter(self)
+        self._start_ns = self._profiler._clock()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        end_ns = self._profiler._clock()
+        self._profiler._exit(self, end_ns - self._start_ns)
+        return False
+
+
+class HostProfiler:
+    """Opt-in host profiler with exact self-time phase attribution.
+
+    Use as a context manager around the region to profile (one run or
+    many), handing the same instance to the engine::
+
+        hp = HostProfiler()
+        with hp.profile():
+            engine = BFSEngine(graph, cluster, config, hostprof=hp)
+            result = engine.run(root)
+        print(hp.report().to_text())
+        hp.write_collapsed("stacks.collapsed")
+
+    ``trace_memory=False`` skips tracemalloc (which slows allocation
+    paths noticeably); ``profile_calls=False`` skips cProfile (then
+    :meth:`collapsed` returns no stacks).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        trace_memory: bool = True,
+        profile_calls: bool = True,
+        clock=time.perf_counter_ns,
+    ) -> None:
+        self._clock = clock
+        self._trace_memory = trace_memory
+        self._profile_calls = profile_calls
+        self._stats: dict[str, HostPhase] = {}
+        self._stack: list[_ActivePhase] = []
+        self._cprofile: cProfile.Profile | None = None
+        self._started_tracemalloc = False
+        self._start_ns = 0
+        self._wall_ns = 0
+        self._running = False
+
+    # ---- session ---------------------------------------------------------
+
+    def profile(self) -> "HostProfiler":
+        """The profiler is its own session context manager."""
+        return self
+
+    def __enter__(self) -> "HostProfiler":
+        if self._running:
+            raise RuntimeError("HostProfiler session already running")
+        self._running = True
+        if self._trace_memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+        if self._profile_calls:
+            self._cprofile = cProfile.Profile()
+            self._cprofile.enable()
+        self._start_ns = self._clock()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._wall_ns += self._clock() - self._start_ns
+        if self._cprofile is not None:
+            self._cprofile.disable()
+        if self._started_tracemalloc:
+            tracemalloc.stop()
+            self._started_tracemalloc = False
+        self._running = False
+        return False
+
+    # ---- phases ----------------------------------------------------------
+
+    def phase(self, name: str) -> _ActivePhase:
+        """Open a named phase; use as a context manager.  Phases nest;
+        time inside a child is excluded from the parent's self time."""
+        return _ActivePhase(self, name)
+
+    def _enter(self, frame: _ActivePhase) -> None:
+        if self._trace_memory and tracemalloc.is_tracing():
+            # The parent keeps its peak-so-far; the child starts fresh.
+            if self._stack:
+                parent = self._stack[-1]
+                parent._child_peak = max(
+                    parent._child_peak, tracemalloc.get_traced_memory()[1]
+                )
+            tracemalloc.reset_peak()
+        self._stack.append(frame)
+
+    def _exit(self, frame: _ActivePhase, duration_ns: int) -> None:
+        self._stack.pop()
+        peak = frame._child_peak
+        if self._trace_memory and tracemalloc.is_tracing():
+            peak = max(peak, tracemalloc.get_traced_memory()[1])
+            tracemalloc.reset_peak()
+        stat = self._stats.get(frame._name)
+        if stat is None:
+            stat = self._stats[frame._name] = HostPhase(frame._name)
+        stat.calls += 1
+        stat.total_ns += duration_ns
+        stat.self_ns += duration_ns - frame._child_ns
+        stat.peak_bytes = max(stat.peak_bytes, peak)
+        if self._stack:
+            parent = self._stack[-1]
+            parent._child_ns += duration_ns
+            parent._child_peak = max(parent._child_peak, peak)
+
+    # ---- reports ---------------------------------------------------------
+
+    def report(self) -> HostProfile:
+        """Snapshot of the per-phase host accounting so far."""
+        wall = self._wall_ns
+        if self._running:
+            wall += self._clock() - self._start_ns
+        return HostProfile(
+            phases=[
+                HostPhase(p.name, p.calls, p.total_ns, p.self_ns, p.peak_bytes)
+                for _, p in sorted(self._stats.items())
+            ],
+            wall_ns=wall,
+            traced_memory=self._trace_memory,
+        )
+
+    def collapsed(self, min_us: int = 1) -> str:
+        """The cProfile call tree as flamegraph collapsed stacks.
+
+        One line per root-to-frame path, ``frame;frame;... weight``,
+        weighted in microseconds of self time attributed down the call
+        graph (flameprof-style proportional attribution).  Empty when
+        ``profile_calls=False`` or nothing ran yet.
+        """
+        if self._cprofile is None:
+            return ""
+        was_enabled = self._running and self._profile_calls
+        if was_enabled:
+            self._cprofile.disable()
+        try:
+            stats = self._cprofile.getstats()
+        finally:
+            if was_enabled:
+                self._cprofile.enable()
+        return collapsed_stacks(stats, min_us=min_us)
+
+    def write_collapsed(self, path: str | Path, min_us: int = 1) -> None:
+        """Write :meth:`collapsed` output to a file."""
+        Path(path).write_text(self.collapsed(min_us=min_us))
+
+
+# ---------------------------------------------------------------------------
+# Collapsed-stack export from cProfile data
+# ---------------------------------------------------------------------------
+
+
+def _frame_name(code) -> str:
+    """Render one cProfile code object as a flamegraph frame name."""
+    if isinstance(code, str):  # built-in, e.g. "<built-in method ...>"
+        label = code
+    else:
+        fn = Path(code.co_filename).name
+        label = f"{fn}:{code.co_firstlineno}:{code.co_name}"
+    # The collapsed format reserves ';' (stack separator) and ' ' (the
+    # weight separator at end of line).
+    return label.replace(";", ",").replace(" ", "_")
+
+
+def collapsed_stacks(stats, min_us: int = 1, max_depth: int = 64) -> str:
+    """Fold raw ``cProfile.Profile.getstats()`` entries into collapsed
+    stacks.
+
+    cProfile records a call *graph* (per-edge cumulative times), not
+    stacks, so paths are reconstructed by walking the graph from the
+    roots and attributing each function's inline time proportionally to
+    the share of its cumulative time that flowed through the edge being
+    walked — the standard flameprof approximation.  Cycles are cut at
+    the first repeated frame; weights are microseconds.
+    """
+    # entry: code, callcount, reccallcount, inlinetime, totaltime, calls
+    entries = {id(e.code): e for e in stats}
+    # Which functions appear as someone's callee (they are not roots).
+    callees: set[int] = set()
+    # caller id -> list of (callee entry, edge total time).
+    edges: dict[int, list[tuple[object, float]]] = {}
+    for e in stats:
+        for sub in e.calls or ():
+            callees.add(id(sub.code))
+            edges.setdefault(id(e.code), []).append(
+                (entries.get(id(sub.code)), sub.totaltime)
+            )
+
+    lines: list[str] = []
+
+    def walk(entry, prefix: str, budget: float, path: frozenset, depth: int):
+        if entry is None or id(entry.code) in path or depth > max_depth:
+            return
+        total = entry.totaltime or 0.0
+        share = min(budget / total, 1.0) if total > 0 else 0.0
+        name = _frame_name(entry.code)
+        stack = f"{prefix};{name}" if prefix else name
+        self_us = int(entry.inlinetime * share * 1e6)
+        if self_us >= min_us:
+            lines.append(f"{stack} {self_us}")
+        sub_path = path | {id(entry.code)}
+        for sub_entry, edge_total in edges.get(id(entry.code), ()):
+            walk(sub_entry, stack, edge_total * share, sub_path, depth + 1)
+
+    for e in stats:
+        if id(e.code) not in callees:
+            walk(e, "", e.totaltime, frozenset(), 0)
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,308 @@
+"""``repro-ledger``: inspect and extend the persistent run ledger.
+
+Five subcommands on top of :mod:`repro.obs.ledger`,
+:mod:`repro.obs.trend` and :mod:`repro.obs.dash`:
+
+* ``repro-ledger log --from-bench BENCH.json [--from-chaos R.json]
+  [--from-perfdiff V.json] [--label k=v]`` — fold existing artifacts
+  (pytest-benchmark JSON, chaos campaign reports, perf-diff verdicts)
+  into ledger records; live runs append directly via
+  ``repro-experiment ... --ledger`` / ``repro-chaos run --ledger``.
+* ``repro-ledger list [--kind experiment] [--name fig09] [--last N]`` —
+  table of records, oldest first.
+* ``repro-ledger show [INDEX]`` — one record as JSON (default: newest;
+  negative indices count from the end).
+* ``repro-ledger check [--window N] [--threshold S] [--rel-floor PCT]
+  [--fail-on-break]`` — rolling-median + MAD trend check of each
+  series' latest run against its own history.
+* ``repro-ledger dash --out dashboard.html`` — self-contained static
+  HTML dashboard (inline SVG, no external assets).
+
+``--dir`` (or ``$REPRO_LEDGER_DIR``) selects the ledger location;
+default ``.repro/ledger/``.  Exit codes: 0 clean, 1 trend break with
+``--fail-on-break``, 2 usage / missing input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.log import get_logger
+
+__all__ = ["main", "build_parser"]
+
+log = get_logger("ledger")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-ledger`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ledger",
+        description="persistent run ledger: record, inspect, trend-check",
+    )
+    parser.add_argument(
+        "--dir",
+        default=None,
+        help="ledger directory (default .repro/ledger or $REPRO_LEDGER_DIR)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_log = sub.add_parser(
+        "log", help="append records built from existing artifacts"
+    )
+    p_log.add_argument(
+        "--from-bench",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="pytest-benchmark JSON file (repeatable)",
+    )
+    p_log.add_argument(
+        "--from-chaos",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="repro.chaos/v1 campaign report (repeatable)",
+    )
+    p_log.add_argument(
+        "--from-perfdiff",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="repro.perfdiff/v1 verdict (repeatable)",
+    )
+    p_log.add_argument(
+        "--label",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="label to stamp on every appended record (repeatable)",
+    )
+
+    p_list = sub.add_parser("list", help="table of ledger records")
+    p_list.add_argument("--kind", default=None)
+    p_list.add_argument("--name", default=None)
+    p_list.add_argument(
+        "--last", type=int, default=None, metavar="N", help="newest N only"
+    )
+
+    p_show = sub.add_parser("show", help="one record as JSON")
+    p_show.add_argument(
+        "index",
+        nargs="?",
+        type=int,
+        default=-1,
+        help="record index in append order (default -1: newest)",
+    )
+
+    p_check = sub.add_parser(
+        "check", help="trend-check each series' latest run vs its history"
+    )
+    p_check.add_argument(
+        "--window", type=int, default=8, help="history window (default 8)"
+    )
+    p_check.add_argument(
+        "--threshold",
+        type=float,
+        default=4.0,
+        help="robust-sigma outlier bar (default 4)",
+    )
+    p_check.add_argument(
+        "--rel-floor",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="minimum relative move to flag, %% (default 10)",
+    )
+    p_check.add_argument(
+        "--min-history",
+        type=int,
+        default=3,
+        help="runs required before a series is judged (default 3)",
+    )
+    p_check.add_argument(
+        "--last",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only consider the newest N records",
+    )
+    p_check.add_argument(
+        "--all", action="store_true", help="show every verdict, not just breaks"
+    )
+    p_check.add_argument(
+        "--fail-on-break",
+        action="store_true",
+        help="exit 1 when any series broke from its history",
+    )
+    p_check.add_argument(
+        "--json", metavar="PATH", help="write the repro.trend/v1 report here"
+    )
+
+    p_dash = sub.add_parser(
+        "dash", help="render the static HTML dashboard"
+    )
+    p_dash.add_argument(
+        "--out",
+        default="dashboard.html",
+        metavar="PATH",
+        help="output HTML file (default dashboard.html)",
+    )
+    p_dash.add_argument(
+        "--title", default="repro run ledger", help="dashboard title"
+    )
+    return parser
+
+
+def _parse_labels(pairs: list[str]) -> dict:
+    labels = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"repro-ledger: bad --label {pair!r} (want k=v)")
+        labels[key] = value
+    return labels
+
+
+def _cmd_log(ledger, args) -> int:
+    from repro.obs.ledger import (
+        record_from_chaos_report,
+        record_from_perfdiff,
+        records_from_benchmark_json,
+    )
+
+    if not (args.from_bench or args.from_chaos or args.from_perfdiff):
+        print(
+            "repro-ledger log: nothing to log "
+            "(use --from-bench / --from-chaos / --from-perfdiff)",
+            file=sys.stderr,
+        )
+        return 2
+    labels = _parse_labels(args.label)
+    appended = 0
+    for path in args.from_bench:
+        for rec in records_from_benchmark_json(path):
+            rec.labels.update(labels)
+            ledger.append(rec)
+            appended += 1
+    for path in args.from_chaos:
+        report = json.loads(Path(path).read_text())
+        rec = record_from_chaos_report(report, source=str(path))
+        rec.labels.update(labels)
+        ledger.append(rec)
+        appended += 1
+    for path in args.from_perfdiff:
+        verdict = json.loads(Path(path).read_text())
+        rec = record_from_perfdiff(verdict, source=str(path))
+        rec.labels.update(labels)
+        ledger.append(rec)
+        appended += 1
+    log.info("appended %d record(s) to %s", appended, ledger.path)
+    print(f"{appended} record(s) appended to {ledger.path}")
+    return 0
+
+
+def _cmd_list(ledger, args) -> int:
+    from repro.util.formatting import format_table
+
+    records = ledger.records(kind=args.kind, name=args.name, last=args.last)
+    if not records:
+        print(f"ledger at {ledger.path}: no records")
+        return 0
+    rows = []
+    for idx, rec in enumerate(records):
+        teps = rec.metrics.get("teps")
+        rows.append(
+            [
+                str(idx),
+                (rec.ts or "")[:19],
+                rec.kind,
+                rec.name,
+                rec.commit or "-",
+                rec.fingerprint[:8],
+                f"{teps:.3e}" if teps else "-",
+            ]
+        )
+    print(
+        format_table(
+            ["#", "when", "kind", "name", "commit", "config", "teps"],
+            rows,
+            title=f"ledger: {len(records)} record(s) at {ledger.path}",
+        )
+    )
+    return 0
+
+
+def _cmd_show(ledger, args) -> int:
+    records = ledger.records()
+    if not records:
+        print(f"ledger at {ledger.path}: no records", file=sys.stderr)
+        return 2
+    try:
+        rec = records[args.index]
+    except IndexError:
+        print(
+            f"repro-ledger show: index {args.index} out of range "
+            f"(ledger has {len(records)} records)",
+            file=sys.stderr,
+        )
+        return 2
+    print(json.dumps(rec.as_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_check(ledger, args) -> int:
+    from repro.obs.trend import check_records
+
+    records = ledger.records(last=args.last)
+    report = check_records(
+        records,
+        window=args.window,
+        threshold=args.threshold,
+        rel_floor=args.rel_floor / 100.0,
+        min_history=args.min_history,
+    )
+    print(report.to_text(all_points=args.all))
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report.as_dict(), indent=2, sort_keys=True)
+        )
+        log.info("trend report written to %s", args.json)
+    if args.fail_on_break and not report.ok:
+        return 1
+    return 0
+
+
+def _cmd_dash(ledger, args) -> int:
+    from repro.obs.dash import write_dashboard
+
+    records = ledger.records()
+    out = write_dashboard(args.out, records, title=args.title)
+    print(f"dashboard with {len(records)} record(s) written to {out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    from repro.obs.ledger import RunLedger
+
+    args = build_parser().parse_args(argv)
+    ledger = RunLedger(args.dir)
+    if args.command == "log":
+        return _cmd_log(ledger, args)
+    if args.command == "list":
+        return _cmd_list(ledger, args)
+    if args.command == "show":
+        return _cmd_show(ledger, args)
+    if args.command == "check":
+        return _cmd_check(ledger, args)
+    if args.command == "dash":
+        return _cmd_dash(ledger, args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Structured stdlib logging for the reproduction's CLIs and harnesses.
+
+One ``repro`` logger hierarchy, configured once from the environment:
+
+* ``REPRO_LOG`` — ``debug`` / ``info`` (default) / ``warning`` /
+  ``error`` / ``off``;
+* ``REPRO_LOG_FORMAT`` — ``human`` (default, ``[repro.x] message``) or
+  ``json`` (one JSON object per line: ``ts``, ``level``, ``logger``,
+  ``message`` plus any ``extra`` fields).
+
+Diagnostics that are *about* a command's execution (progress notes,
+"wrote file X", setup failures) go through here; a command's primary
+output — the reproduced tables, the campaign report — stays on stdout
+via ``print``, so piping a CLI into a file or ``jq`` never mixes the
+two.  Everything lands on stderr.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import time
+
+__all__ = ["get_logger", "setup_logging", "JsonFormatter", "HumanFormatter"]
+
+#: Attributes of a LogRecord that are plumbing, not user-supplied extras.
+_RESERVED = frozenset(
+    logging.LogRecord(
+        "", 0, "", 0, "", None, None
+    ).__dict__
+) | {"message", "asctime", "taskName"}
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    # 'off' disables the handler entirely (see setup_logging).
+    "off": logging.CRITICAL + 10,
+}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record; ``extra=`` kwargs become fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Render one record as a single JSON line."""
+        doc = {
+            "ts": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+            ),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                doc[key] = value
+        return json.dumps(doc, sort_keys=True, default=str)
+
+
+class HumanFormatter(logging.Formatter):
+    """Terminal-friendly ``[logger] message (k=v, ...)`` rendering."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Render one record as a terminal line."""
+        extras = ", ".join(
+            f"{k}={v}"
+            for k, v in sorted(record.__dict__.items())
+            if k not in _RESERVED and not k.startswith("_")
+        )
+        line = f"[{record.name}] {record.getMessage()}"
+        if record.levelno >= logging.WARNING:
+            line = f"[{record.name}] {record.levelname}: {record.getMessage()}"
+        return f"{line} ({extras})" if extras else line
+
+
+def setup_logging(
+    level: str | None = None,
+    fmt: str | None = None,
+    stream=None,
+) -> logging.Logger:
+    """Configure (or reconfigure) the ``repro`` root logger.
+
+    Reads ``REPRO_LOG`` / ``REPRO_LOG_FORMAT`` when the arguments are
+    None; safe to call repeatedly (the single stderr handler is
+    replaced, never stacked).  ``level='off'`` leaves the logger mounted
+    but raises its threshold above CRITICAL, so call sites never need an
+    enabled-check.
+    """
+    level = (level or os.environ.get("REPRO_LOG") or "info").lower()
+    fmt = (fmt or os.environ.get("REPRO_LOG_FORMAT") or "human").lower()
+    if level not in _LEVELS:
+        raise ValueError(
+            f"unknown REPRO_LOG level {level!r}; "
+            f"expected one of {', '.join(_LEVELS)}"
+        )
+    if fmt not in ("human", "json"):
+        raise ValueError(
+            f"unknown REPRO_LOG_FORMAT {fmt!r}; expected 'human' or 'json'"
+        )
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        JsonFormatter() if fmt == "json" else HumanFormatter()
+    )
+    logger.addHandler(handler)
+    logger.setLevel(_LEVELS[level])
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child of the ``repro`` logger (``get_logger('chaos')`` →
+    ``repro.chaos``), configuring the hierarchy on first use."""
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        setup_logging()
+    return root.getChild(name) if name else root

@@ -12,9 +12,13 @@ Three subcommands on top of :mod:`repro.obs.analyze` and
   actuals; ``--fail-on-drift`` turns flags into a non-zero exit.
 * ``repro-perf diff OLD.json NEW.json --fail-on-regress PCT`` — compare
   two pytest-benchmark files under the direction policy and exit
-  non-zero on any gated regression (the CI perf-gate).
+  non-zero on any gated regression (the CI perf-gate).  ``--json -``
+  writes the verdict to stdout instead of a file.
 
-Exit codes: 0 clean, 1 gate failure (regression / drift), 2 usage.
+Exit codes: 0 clean; 1 gate failure (regression / drift); 2 usage, or
+— for ``diff --fail-on-incomparable`` — context-incomparable benchmark
+pairs with no regression (so CI can tell "slower" from "not the same
+measurement").  A regression always wins: 1 beats 2.
 """
 
 from __future__ import annotations
@@ -104,7 +108,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore wall-clock stats (baselines from another machine)",
     )
     p_diff.add_argument(
-        "--json", metavar="PATH", help="write the JSON verdict here"
+        "--json",
+        metavar="PATH",
+        help="write the JSON verdict here ('-' for stdout)",
+    )
+    p_diff.add_argument(
+        "--fail-on-incomparable",
+        action="store_true",
+        help="exit 2 when any benchmark pair is context-incomparable "
+        "(a regression still exits 1)",
     )
     return parser
 
@@ -187,11 +199,20 @@ def _cmd_diff(args) -> int:
         wall_tolerance_pct=args.wall_tolerance,
         include_wall=not args.no_wall,
     )
-    print(verdict.to_text())
-    if args.json:
-        Path(args.json).write_text(verdict.to_json())
-        print(f"verdict JSON written to {args.json}", file=sys.stderr)
-    return 0 if verdict.ok else 1
+    if args.json == "-":
+        # Verdict JSON owns stdout; the human table moves to stderr.
+        print(verdict.to_text(), file=sys.stderr)
+        print(verdict.to_json())
+    else:
+        print(verdict.to_text())
+        if args.json:
+            Path(args.json).write_text(verdict.to_json())
+            print(f"verdict JSON written to {args.json}", file=sys.stderr)
+    if not verdict.ok:
+        return 1
+    if args.fail_on_incomparable and verdict.incomparable:
+        return 2
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:

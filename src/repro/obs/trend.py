@@ -1,0 +1,270 @@
+"""N-run trend checks over the run ledger.
+
+The PR-4 perf gate (:mod:`repro.obs.baseline`) compares exactly two
+snapshots; with the ledger holding every run, a better question becomes
+answerable: *did the latest run break from its own history?*  For each
+ledger series — one (kind, name, config fingerprint) triple — and each
+headline metric, the latest value is compared against the rolling
+median of the preceding window:
+
+* centre = median of the previous ``window`` values;
+* spread = 1.4826 × MAD (the robust sigma; immune to one past outlier);
+* a **break** needs the move to be in the *bad* direction for that
+  metric (per :func:`repro.obs.baseline.metric_direction`), at least
+  ``rel_floor`` relative to the centre (default 10%), *and* larger than
+  ``threshold`` robust sigmas (so a metric that has always wobbled 15%
+  does not page anyone).
+
+Series with fewer than ``min_history`` prior runs report
+``insufficient`` and never fail the check.  ``repro-ledger check
+--fail-on-break`` turns a break into a non-zero exit for CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.baseline import metric_direction
+from repro.obs.ledger import LedgerRecord
+
+__all__ = [
+    "TrendPoint",
+    "TrendReport",
+    "check_records",
+    "check_series",
+    "robust_center",
+]
+
+SCHEMA = "repro.trend/v1"
+
+#: Metrics that identify a configuration rather than measure it; a
+#: change here means the fingerprint should have changed, so they are
+#: skipped rather than judged.
+_SKIP_METRICS = frozenset({"levels"})
+
+
+def _median(values: list[float]) -> float:
+    s = sorted(values)
+    n = len(s)
+    mid = n // 2
+    return s[mid] if n % 2 else (s[mid - 1] + s[mid]) / 2.0
+
+
+def robust_center(values: list[float]) -> tuple[float, float]:
+    """(median, robust sigma) of ``values``; sigma is 1.4826 × MAD."""
+    med = _median(values)
+    mad = _median([abs(v - med) for v in values])
+    return med, 1.4826 * mad
+
+
+@dataclass
+class TrendPoint:
+    """Verdict for one metric of one series."""
+
+    kind: str
+    name: str
+    fingerprint: str
+    metric: str
+    #: ``ok`` | ``break`` | ``insufficient``
+    status: str
+    latest: float
+    center: float = 0.0
+    sigma: float = 0.0
+    #: Relative change of latest vs center, signed (+ = larger).
+    rel_change: float = 0.0
+    history: int = 0
+
+    @property
+    def series(self) -> tuple[str, str, str]:
+        """The (kind, name, fingerprint) triple this verdict belongs to."""
+        return (self.kind, self.name, self.fingerprint)
+
+    def as_dict(self) -> dict:
+        """The verdict as a plain JSON-ready dict."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "metric": self.metric,
+            "status": self.status,
+            "latest": self.latest,
+            "center": self.center,
+            "sigma": self.sigma,
+            "rel_change": self.rel_change,
+            "history": self.history,
+        }
+
+
+@dataclass
+class TrendReport:
+    """All trend verdicts for one ledger sweep."""
+
+    points: list[TrendPoint] = field(default_factory=list)
+    window: int = 8
+    threshold: float = 4.0
+    rel_floor: float = 0.10
+
+    @property
+    def breaks(self) -> list[TrendPoint]:
+        """The verdicts that broke from their series' history."""
+        return [p for p in self.points if p.status == "break"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no series broke."""
+        return not self.breaks
+
+    def as_dict(self) -> dict:
+        """The report as a plain JSON-ready dict (``repro.trend/v1``)."""
+        return {
+            "schema": SCHEMA,
+            "ok": self.ok,
+            "window": self.window,
+            "threshold": self.threshold,
+            "rel_floor": self.rel_floor,
+            "points": [p.as_dict() for p in self.points],
+        }
+
+    def to_text(self, all_points: bool = False) -> str:
+        """Terminal table; breaks only unless ``all_points``."""
+        from repro.util.formatting import format_table
+
+        shown = self.points if all_points else self.breaks
+        rows = []
+        for p in sorted(
+            shown, key=lambda p: (p.status != "break", p.series, p.metric)
+        ):
+            rows.append(
+                [
+                    p.kind,
+                    p.name,
+                    p.fingerprint,
+                    p.metric,
+                    p.status,
+                    f"{p.latest:.4g}",
+                    f"{p.center:.4g}" if p.history else "-",
+                    f"{p.rel_change * 100:+.1f}%" if p.history else "-",
+                    str(p.history),
+                ]
+            )
+        checked = len({p.series for p in self.points})
+        title = (
+            f"trend check: {checked} series, {len(self.points)} metrics, "
+            f"{len(self.breaks)} break(s)"
+        )
+        if not rows:
+            return title + "\n(nothing to show)"
+        return format_table(
+            [
+                "kind",
+                "name",
+                "fingerprint",
+                "metric",
+                "status",
+                "latest",
+                "median",
+                "change",
+                "n",
+            ],
+            rows,
+            title=title,
+        )
+
+
+def check_series(
+    records: list[LedgerRecord],
+    window: int = 8,
+    threshold: float = 4.0,
+    rel_floor: float = 0.10,
+    min_history: int = 3,
+) -> list[TrendPoint]:
+    """Judge the last record of one chronological series against the
+    rolling history of the records before it."""
+    if not records:
+        return []
+    latest = records[-1]
+    history = records[:-1][-window:]
+    points: list[TrendPoint] = []
+    for metric, value in sorted(latest.metrics.items()):
+        if metric in _SKIP_METRICS or not isinstance(value, (int, float)):
+            continue
+        direction = metric_direction(metric)
+        if direction == "info":
+            continue
+        past = [
+            r.metrics[metric]
+            for r in history
+            if isinstance(r.metrics.get(metric), (int, float))
+        ]
+        point = TrendPoint(
+            kind=latest.kind,
+            name=latest.name,
+            fingerprint=latest.fingerprint,
+            metric=metric,
+            status="insufficient",
+            latest=float(value),
+            history=len(past),
+        )
+        if len(past) >= min_history:
+            center, sigma = robust_center(past)
+            point.center = center
+            point.sigma = sigma
+            point.rel_change = (
+                (value - center) / abs(center) if center else 0.0
+            )
+            if direction == "equal":
+                # Determinism invariant: any real move from the historic
+                # median is a break, regardless of sign or size.
+                drifted = abs(point.rel_change) > 1e-4 or (
+                    center == 0 and value != 0
+                )
+                point.status = "break" if drifted else "ok"
+            else:
+                worse = (
+                    point.rel_change < 0
+                    if direction == "higher"
+                    else point.rel_change > 0
+                )
+                big_enough = abs(point.rel_change) >= rel_floor
+                # With a dead-flat history (sigma 0) the relative floor
+                # alone decides; otherwise the move must also clear the
+                # robust-sigma bar.
+                outlier = (
+                    abs(value - center) > threshold * sigma if sigma else True
+                )
+                point.status = (
+                    "break" if (worse and big_enough and outlier) else "ok"
+                )
+        points.append(point)
+    return points
+
+
+def check_records(
+    records: list[LedgerRecord],
+    window: int = 8,
+    threshold: float = 4.0,
+    rel_floor: float = 0.10,
+    min_history: int = 3,
+) -> TrendReport:
+    """Group ledger records into series and judge each one's latest run.
+
+    ``records`` must be in append (chronological) order, as
+    :meth:`repro.obs.ledger.RunLedger.records` returns them.
+    """
+    series: dict[tuple[str, str, str], list[LedgerRecord]] = {}
+    for rec in records:
+        series.setdefault(rec.series, []).append(rec)
+    report = TrendReport(
+        window=window, threshold=threshold, rel_floor=rel_floor
+    )
+    for key in sorted(series):
+        report.points.extend(
+            check_series(
+                series[key],
+                window=window,
+                threshold=threshold,
+                rel_floor=rel_floor,
+                min_history=min_history,
+            )
+        )
+    return report

@@ -1,0 +1,193 @@
+"""Tests for the ``repro-ledger`` CLI (log / list / show / check / dash)."""
+
+import json
+
+import pytest
+
+from repro.obs.ledger import LedgerRecord, RunLedger
+from repro.obs.ledgercli import main
+
+
+def _append_runs(tmp_path, teps_values, name="fig09", fingerprint="abc"):
+    ledger = RunLedger(tmp_path)
+    for teps in teps_values:
+        ledger.append(
+            LedgerRecord(
+                kind="experiment",
+                name=name,
+                ts="2026-08-06T00:00:00+00:00",
+                commit="deadbee",
+                fingerprint=fingerprint,
+                metrics={"teps": float(teps)},
+            )
+        )
+    return ledger
+
+
+def _chaos_report(tmp_path):
+    report = {
+        "schema": "repro.chaos/v1",
+        "ok": True,
+        "scale": 12,
+        "nodes": 2,
+        "ppn": 8,
+        "seed": 0,
+        "checkpoint_every": 1,
+        "baseline": {"teps": 2.5e6, "seconds": 0.004},
+        "scenarios": [
+            {"name": "crash_early", "outcome": "recovered",
+             "overhead_pct": 12.0},
+        ],
+    }
+    path = tmp_path / "chaos.json"
+    path.write_text(json.dumps(report))
+    return path
+
+
+class TestLog:
+    def test_nothing_to_log_exits_2(self, tmp_path, capsys):
+        rc = main(["--dir", str(tmp_path), "log"])
+        assert rc == 2
+        assert "nothing to log" in capsys.readouterr().err
+
+    def test_from_chaos_appends(self, tmp_path, capsys):
+        rc = main(
+            ["--dir", str(tmp_path), "log",
+             "--from-chaos", str(_chaos_report(tmp_path))]
+        )
+        assert rc == 0
+        assert "1 record(s) appended" in capsys.readouterr().out
+        (rec,) = RunLedger(tmp_path).records()
+        assert rec.kind == "chaos"
+        assert rec.metrics["recovery_overhead_pct_max"] == 12.0
+
+    def test_labels_with_commas_and_quotes(self, tmp_path):
+        rc = main(
+            ["--dir", str(tmp_path), "log",
+             "--from-chaos", str(_chaos_report(tmp_path)),
+             "--label", 'note=has,commas and "quotes"',
+             "--label", "expr=a=b"]
+        )
+        assert rc == 0
+        (rec,) = RunLedger(tmp_path).records()
+        assert rec.labels["note"] == 'has,commas and "quotes"'
+        # partition on the first '=' keeps the rest of the value intact.
+        assert rec.labels["expr"] == "a=b"
+
+    def test_bad_label_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["--dir", str(tmp_path), "log",
+                 "--from-chaos", str(_chaos_report(tmp_path)),
+                 "--label", "novalue"]
+            )
+
+
+class TestListAndShow:
+    def test_list_empty(self, tmp_path, capsys):
+        rc = main(["--dir", str(tmp_path), "list"])
+        assert rc == 0
+        assert "no records" in capsys.readouterr().out
+
+    def test_list_table(self, tmp_path, capsys):
+        _append_runs(tmp_path, [1e6, 2e6])
+        rc = main(["--dir", str(tmp_path), "list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 record(s)" in out
+        assert "fig09" in out
+        assert "deadbee" in out
+
+    def test_show_newest_by_default(self, tmp_path, capsys):
+        _append_runs(tmp_path, [1e6, 2e6])
+        rc = main(["--dir", str(tmp_path), "show"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.run/v1"
+        assert doc["metrics"]["teps"] == 2e6
+
+    def test_show_by_index(self, tmp_path, capsys):
+        _append_runs(tmp_path, [1e6, 2e6])
+        rc = main(["--dir", str(tmp_path), "show", "0"])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["metrics"]["teps"] == 1e6
+
+    def test_show_empty_ledger_exits_2(self, tmp_path, capsys):
+        rc = main(["--dir", str(tmp_path), "show"])
+        assert rc == 2
+        assert "no records" in capsys.readouterr().err
+
+    def test_show_out_of_range_exits_2(self, tmp_path, capsys):
+        _append_runs(tmp_path, [1e6])
+        rc = main(["--dir", str(tmp_path), "show", "7"])
+        assert rc == 2
+        assert "out of range" in capsys.readouterr().err
+
+
+class TestCheck:
+    def test_break_fails_with_flag(self, tmp_path, capsys):
+        """Acceptance: a >= 20 % TEPS drop against a synthetic 10-run
+        history makes ``repro-ledger check --fail-on-break`` exit 1."""
+        _append_runs(tmp_path, [1e6] * 9 + [0.75e6])
+        rc = main(["--dir", str(tmp_path), "check", "--fail-on-break"])
+        assert rc == 1
+        assert "break" in capsys.readouterr().out
+
+    def test_break_without_flag_still_exits_0(self, tmp_path, capsys):
+        _append_runs(tmp_path, [1e6] * 9 + [0.75e6])
+        rc = main(["--dir", str(tmp_path), "check"])
+        assert rc == 0
+        assert "1 break(s)" in capsys.readouterr().out
+
+    def test_clean_history_passes(self, tmp_path, capsys):
+        _append_runs(tmp_path, [1e6] * 10)
+        rc = main(["--dir", str(tmp_path), "check", "--fail-on-break"])
+        assert rc == 0
+        assert "0 break(s)" in capsys.readouterr().out
+
+    def test_json_report(self, tmp_path, capsys):
+        _append_runs(tmp_path, [1e6] * 9 + [0.75e6])
+        out = tmp_path / "trend.json"
+        rc = main(
+            ["--dir", str(tmp_path), "check", "--json", str(out), "--all"]
+        )
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro.trend/v1"
+        assert doc["ok"] is False
+        assert any(p["status"] == "break" for p in doc["points"])
+
+    def test_rel_floor_is_percent(self, tmp_path):
+        # A 25 % drop passes under a 30 % floor...
+        _append_runs(tmp_path, [1e6] * 9 + [0.75e6])
+        assert main(
+            ["--dir", str(tmp_path), "check", "--fail-on-break",
+             "--rel-floor", "30"]
+        ) == 0
+        # ...and fails under a 20 % floor.
+        assert main(
+            ["--dir", str(tmp_path), "check", "--fail-on-break",
+             "--rel-floor", "20"]
+        ) == 1
+
+
+class TestDash:
+    def test_writes_standalone_html(self, tmp_path, capsys):
+        """Acceptance: the dashboard is a valid standalone HTML file."""
+        _append_runs(tmp_path, [1e6 + 1e4 * i for i in range(6)])
+        out = tmp_path / "dash.html"
+        rc = main(["--dir", str(tmp_path), "dash", "--out", str(out)])
+        assert rc == 0
+        html = out.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "</html>" in html
+        assert "<svg" in html  # inline charts, no external assets
+        assert "<script src" not in html and "<link" not in html
+        assert "fig09" in html
+        assert "6 record(s)" in capsys.readouterr().out
+
+    def test_empty_ledger_still_renders(self, tmp_path):
+        out = tmp_path / "dash.html"
+        rc = main(["--dir", str(tmp_path), "dash", "--out", str(out)])
+        assert rc == 0
+        assert out.read_text().startswith("<!DOCTYPE html>")

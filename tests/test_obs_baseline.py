@@ -283,3 +283,94 @@ class TestDiff:
         )
         text = diff_baselines(base, base).to_text()
         assert "perf diff OK" in text
+
+
+class TestProvenanceWarnings:
+    """Environment mismatches warn but never gate (satellite: baselines
+    carry the host provenance stamped by ``benchmarks/conftest.py``)."""
+
+    @staticmethod
+    def _with_provenance(doc, provenance):
+        out = copy.deepcopy(doc)
+        for bench in out["benchmarks"]:
+            bench["extra_info"]["provenance"] = dict(provenance)
+        return out
+
+    def test_provenance_routed_to_record(self, tmp_path, comm_doc):
+        doc = self._with_provenance(
+            comm_doc, {"python": "3.12.0", "hostname": "a", "cpu_count": 8}
+        )
+        base = Baseline.from_benchmark_json(_write(tmp_path, "a.json", doc))
+        rec = base.records["test_comm_bytes[auto]"]
+        assert rec.provenance == {
+            "python": "3.12.0", "hostname": "a", "cpu_count": "8",
+        }
+        # The block is neither a context axis nor a gated metric.
+        assert "provenance" not in rec.context
+        assert "provenance" not in rec.metrics
+
+    def test_mismatch_warns_without_gating(self, tmp_path, comm_doc):
+        old = Baseline.from_benchmark_json(
+            _write(
+                tmp_path,
+                "old.json",
+                self._with_provenance(
+                    comm_doc, {"python": "3.10.0", "hostname": "a"}
+                ),
+            )
+        )
+        new = Baseline.from_benchmark_json(
+            _write(
+                tmp_path,
+                "new.json",
+                self._with_provenance(
+                    comm_doc, {"python": "3.12.0", "hostname": "a"}
+                ),
+            )
+        )
+        verdict = diff_baselines(old, new)
+        assert verdict.ok  # warnings never gate
+        assert not verdict.regressions
+        (row,) = verdict.warnings
+        assert row.status == "warning"
+        assert row.metric == "provenance.python"
+        assert row.old == "3.10.0" and row.new == "3.12.0"
+        text = verdict.to_text()
+        assert "1 warning(s)" in text
+        assert "provenance.python" in text
+
+    def test_mismatch_deduped_across_benchmarks(self, tmp_path, comm_doc):
+        # comm_doc carries two benchmarks; the identical file-wide
+        # mismatch must produce one warning row, not one per benchmark.
+        old = Baseline.from_benchmark_json(
+            _write(
+                tmp_path,
+                "old.json",
+                self._with_provenance(comm_doc, {"hostname": "a"}),
+            )
+        )
+        new = Baseline.from_benchmark_json(
+            _write(
+                tmp_path,
+                "new.json",
+                self._with_provenance(comm_doc, {"hostname": "b"}),
+            )
+        )
+        verdict = diff_baselines(old, new)
+        assert len(verdict.warnings) == 1
+        assert verdict.warnings[0].benchmark == "*"
+
+    def test_matching_or_absent_provenance_is_silent(self, tmp_path, comm_doc):
+        stamped = self._with_provenance(comm_doc, {"hostname": "a"})
+        old = Baseline.from_benchmark_json(
+            _write(tmp_path, "old.json", stamped)
+        )
+        same = Baseline.from_benchmark_json(
+            _write(tmp_path, "same.json", stamped)
+        )
+        assert not diff_baselines(old, same).warnings
+        # A side with no provenance at all cannot be compared -> silent.
+        bare = Baseline.from_benchmark_json(
+            _write(tmp_path, "bare.json", comm_doc)
+        )
+        assert not diff_baselines(old, bare).warnings

@@ -1,0 +1,216 @@
+"""Tests for the opt-in host-side phase profiler (``repro.obs.hostprof``)."""
+
+import re
+
+import pytest
+
+from repro.core import BFSConfig, BFSEngine
+from repro.graph import rmat_graph
+from repro.machine import paper_cluster
+from repro.obs.hostprof import (
+    NULL_HOSTPROF,
+    HostProfiler,
+    NullHostProfiler,
+    collapsed_stacks,
+)
+
+
+def _scripted_clock(ticks):
+    """A fake perf_counter_ns that returns the given values in order."""
+    it = iter(ticks)
+    return lambda: next(it)
+
+
+class TestNullProfiler:
+    def test_disabled_and_shared(self):
+        assert NULL_HOSTPROF.enabled is False
+        assert isinstance(NULL_HOSTPROF, NullHostProfiler)
+        # The null phase is a single shared object: no per-call garbage
+        # on the engine hot path.
+        assert NULL_HOSTPROF.phase("a") is NULL_HOSTPROF.phase("b")
+
+    def test_phase_is_inert_context_manager(self):
+        with NULL_HOSTPROF.phase("anything") as p:
+            assert p is NULL_HOSTPROF.phase("anything")
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(RuntimeError):
+            with NULL_HOSTPROF.phase("x"):
+                raise RuntimeError("boom")
+
+
+class TestPhaseAccounting:
+    def test_exact_self_time_attribution(self):
+        # Scripted clock: session start 0; outer starts at 10; inner runs
+        # 20 -> 50; outer ends at 100; session ends at 100.
+        clock = _scripted_clock([0, 10, 20, 50, 100, 100])
+        hp = HostProfiler(trace_memory=False, profile_calls=False, clock=clock)
+        with hp.profile():
+            with hp.phase("outer"):
+                with hp.phase("inner"):
+                    pass
+        report = hp.report()
+        phases = {p.name: p for p in report.phases}
+        assert phases["inner"].total_ns == 30
+        assert phases["inner"].self_ns == 30
+        assert phases["outer"].total_ns == 90
+        # Child time is subtracted exactly from the parent's self time.
+        assert phases["outer"].self_ns == 60
+        assert report.wall_ns == 100
+        assert report.covered_ns == 90
+        assert report.coverage == pytest.approx(0.9)
+
+    def test_repeated_phases_aggregate(self):
+        clock = _scripted_clock([0, 10, 20, 30, 45, 100, 100])
+        hp = HostProfiler(trace_memory=False, profile_calls=False, clock=clock)
+        with hp:
+            with hp.phase("step"):
+                pass
+            with hp.phase("step"):
+                pass
+        phase = hp.report().phases[0]
+        assert phase.name == "step"
+        assert phase.calls == 2
+        assert phase.total_ns == (20 - 10) + (45 - 30)
+        assert phase.self_ns == phase.total_ns
+
+    def test_session_cannot_nest(self):
+        hp = HostProfiler(trace_memory=False, profile_calls=False)
+        with hp:
+            with pytest.raises(RuntimeError):
+                hp.__enter__()
+
+    def test_report_while_running_includes_inflight_wall(self):
+        clock = _scripted_clock([0, 10, 20, 50, 80])
+        hp = HostProfiler(trace_memory=False, profile_calls=False, clock=clock)
+        hp.__enter__()
+        with hp.phase("p"):
+            pass
+        report = hp.report()  # consumes one tick (50)
+        assert report.wall_ns == 50
+        hp.__exit__(None, None, None)
+        assert hp.report().wall_ns == 80
+
+    def test_as_dict_schema(self):
+        hp = HostProfiler(trace_memory=False, profile_calls=False)
+        with hp:
+            with hp.phase("a"):
+                pass
+        doc = hp.report().as_dict()
+        assert doc["schema"] == "repro.hostprof/v1"
+        assert doc["traced_memory"] is False
+        assert doc["phases"][0]["name"] == "a"
+        assert set(doc["phases"][0]) == {
+            "name", "calls", "total_s", "self_s", "peak_bytes",
+        }
+
+    def test_to_text_mentions_coverage(self):
+        hp = HostProfiler(trace_memory=False, profile_calls=False)
+        with hp:
+            with hp.phase("a"):
+                pass
+        text = hp.report().to_text()
+        assert "host profile" in text
+        assert "coverage" in text
+
+
+class TestTracedMemory:
+    def test_phase_peak_sees_allocation(self):
+        hp = HostProfiler(trace_memory=True, profile_calls=False)
+        with hp:
+            with hp.phase("alloc"):
+                blob = bytearray(1 << 20)
+            del blob
+        phase = {p.name: p for p in hp.report().phases}["alloc"]
+        assert phase.peak_bytes >= 1 << 20
+
+    def test_child_peak_propagates_to_parent(self):
+        hp = HostProfiler(trace_memory=True, profile_calls=False)
+        with hp:
+            with hp.phase("outer"):
+                with hp.phase("inner"):
+                    blob = bytearray(1 << 20)
+                del blob
+        phases = {p.name: p for p in hp.report().phases}
+        assert phases["inner"].peak_bytes >= 1 << 20
+        # The parent's high-water mark includes its child's.
+        assert phases["outer"].peak_bytes >= phases["inner"].peak_bytes
+
+
+class TestCollapsedStacks:
+    def test_collapsed_format(self):
+        hp = HostProfiler(trace_memory=False, profile_calls=True)
+
+        def busy():
+            return sum(i * i for i in range(20000))
+
+        with hp:
+            with hp.phase("busy"):
+                busy()
+        out = hp.collapsed(min_us=0)
+        assert out, "expected at least one collapsed stack line"
+        for line in out.strip().splitlines():
+            # "frame;frame;frame weight" with integer microsecond weight.
+            assert re.fullmatch(r"\S+ \d+", line), line
+        assert "busy" in out
+
+    def test_write_collapsed(self, tmp_path):
+        hp = HostProfiler(trace_memory=False, profile_calls=True)
+        with hp:
+            sum(range(10000))
+        out = tmp_path / "stacks.collapsed"
+        hp.write_collapsed(out, min_us=0)
+        assert out.read_text() == hp.collapsed(min_us=0)
+
+    def test_disabled_cprofile_yields_empty(self):
+        hp = HostProfiler(trace_memory=False, profile_calls=False)
+        with hp:
+            pass
+        assert hp.collapsed() == ""
+
+    def test_collapsed_stacks_cuts_cycles(self):
+        import cProfile
+
+        def rec(n):
+            return 1 if n <= 0 else 1 + rec(n - 1)
+
+        prof = cProfile.Profile()
+        prof.enable()
+        rec(100)
+        prof.disable()
+        out = collapsed_stacks(prof.getstats(), min_us=0)
+        # The recursive frame appears at most once per stack line.
+        for line in out.strip().splitlines():
+            frames = line.rsplit(" ", 1)[0].split(";")
+            rec_frames = [f for f in frames if ":rec" in f]
+            assert len(rec_frames) <= 1, line
+
+
+class TestEngineIntegration:
+    def test_engine_phases_cover_wall_time(self):
+        """Acceptance: per-phase self seconds sum to within 10 % of the
+        profiled wall time when profiling a whole engine run."""
+        g = rmat_graph(scale=10, seed=3)
+        cluster = paper_cluster(nodes=2)
+        hp = HostProfiler(trace_memory=True, profile_calls=False)
+        engine = BFSEngine(g, cluster, BFSConfig(), hostprof=hp)
+        with hp.profile():
+            engine.run(0)
+        report = hp.report()
+        names = {p.name for p in report.phases}
+        assert "run" in names
+        assert "frontier_stats" in names
+        # The engine wraps the whole traversal in a "run" phase, so
+        # phase self-times must sum to within 10 % of the session wall.
+        assert report.coverage > 0.9
+        covered = sum(p.self_ns for p in report.phases)
+        run_total = next(
+            p.total_ns for p in report.phases if p.name == "run"
+        )
+        assert covered >= run_total  # run plus the pricing slice
+
+    def test_engine_default_is_null_profiler(self):
+        g = rmat_graph(scale=10, seed=1)
+        engine = BFSEngine(g, paper_cluster(nodes=1), BFSConfig())
+        assert engine.hostprof is NULL_HOSTPROF
+        assert engine.hostprof.enabled is False

@@ -122,6 +122,65 @@ class TestHistogramPercentile:
         assert h.percentile(100.0) == -1.0
 
 
+class TestHistogramSignedStreams:
+    """Merge edge cases: mixed-sign streams and the single bucket that
+    spans zero (the ``(0, 0)`` bucket holds exact zeros)."""
+
+    def test_mixed_sign_median_is_zero(self):
+        h = Histogram()
+        for v in (-1.0, 0.0, 1.0):
+            h.observe(v)
+        # Buckets sort by representative (-, 0, +); rank 2 lands on the
+        # zero bucket.
+        assert h.percentile(50.0) == 0.0
+        assert h.percentile(0.0) == -1.0
+        assert h.percentile(100.0) == 1.0
+
+    def test_mixed_sign_summary(self):
+        h = Histogram()
+        for v in (-4.0, -2.0, 0.0, 2.0, 4.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 5
+        assert s["sum"] == 0.0
+        assert s["mean"] == 0.0
+        assert s["min"] == -4.0 and s["max"] == 4.0
+        assert s["p50"] == 0.0
+        assert s["p99"] == 4.0  # top rank is tracked exactly
+
+    def test_zero_bucket_dominates_percentiles(self):
+        # One bucket spanning zero plus a single positive outlier: every
+        # interior rank resolves to 0.0, the extremes stay exact.
+        h = Histogram()
+        for _ in range(99):
+            h.observe(0.0)
+        h.observe(5.0)
+        assert h.percentile(50.0) == 0.0
+        assert h.percentile(99.0) == 0.0
+        assert h.percentile(100.0) == 5.0
+        s = h.summary()
+        assert s["p50"] == 0.0 and s["p90"] == 0.0 and s["p99"] == 0.0
+        assert s["max"] == 5.0
+
+    def test_negative_summary_percentiles_clamp(self):
+        h = Histogram()
+        for v in (-8.0, -4.0, -2.0, -1.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["min"] == -8.0 and s["max"] == -1.0
+        assert -8.0 <= s["p50"] <= -1.0
+        assert -8.0 <= s["p99"] <= -1.0
+        assert s["mean"] == pytest.approx(-3.75)
+
+    def test_signed_quantiles_are_monotone(self):
+        h = Histogram()
+        for v in (-100.0, -10.0, -1.0, 0.0, 1.0, 10.0, 100.0):
+            h.observe(v)
+        qs = [h.percentile(q) for q in (0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0)]
+        assert qs == sorted(qs)
+        assert qs[0] == -100.0 and qs[-1] == 100.0
+
+
 class TestMetricsRegistry:
     def test_get_or_create_is_stable(self):
         reg = MetricsRegistry()

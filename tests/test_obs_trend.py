@@ -1,0 +1,169 @@
+"""Tests for the rolling-median trend checker (``repro.obs.trend``)."""
+
+import pytest
+
+from repro.obs.ledger import LedgerRecord
+from repro.obs.trend import (
+    TrendReport,
+    check_records,
+    check_series,
+    robust_center,
+)
+
+
+def _run(teps, seconds=None, name="fig09", fingerprint="abc", **metrics):
+    merged = {"teps": float(teps)}
+    if seconds is not None:
+        merged["simulated_seconds"] = float(seconds)
+    merged.update(metrics)
+    return LedgerRecord(
+        kind="experiment",
+        name=name,
+        ts="2026-08-06T00:00:00+00:00",
+        fingerprint=fingerprint,
+        metrics=merged,
+    )
+
+
+class TestRobustCenter:
+    def test_median_and_mad(self):
+        center, sigma = robust_center([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert center == 3.0
+        # MAD of deviations [2,1,0,1,97] is 1 -> sigma = 1.4826.
+        assert sigma == pytest.approx(1.4826)
+
+    def test_even_count_interpolates(self):
+        center, sigma = robust_center([1.0, 3.0])
+        assert center == 2.0
+        assert sigma == pytest.approx(1.4826)
+
+    def test_constant_history_has_zero_spread(self):
+        center, sigma = robust_center([5.0] * 6)
+        assert center == 5.0
+        assert sigma == 0.0
+
+
+class TestCheckSeries:
+    def test_detects_teps_break_in_ten_run_history(self):
+        """Acceptance: an injected >= 20 % TEPS drop against a stable
+        10-run history is flagged as a break."""
+        runs = [_run(1e6 * (1 + 0.01 * (i % 3))) for i in range(9)]
+        runs.append(_run(0.75e6))  # 25 % below the rolling median
+        points = {p.metric: p for p in check_series(runs)}
+        assert points["teps"].status == "break"
+        assert points["teps"].rel_change == pytest.approx(-0.25, abs=0.02)
+        assert points["teps"].history == 8  # window default
+
+    def test_stable_history_is_ok(self):
+        runs = [_run(1e6 * (1 + 0.01 * (i % 3))) for i in range(10)]
+        points = check_series(runs)
+        assert all(p.status == "ok" for p in points)
+
+    def test_insufficient_history_never_breaks(self):
+        runs = [_run(1e6), _run(0.5e6)]
+        (point,) = check_series(runs)
+        assert point.status == "insufficient"
+        assert point.history == 1
+
+    def test_improvement_is_not_a_break(self):
+        runs = [_run(1e6) for _ in range(6)]
+        runs.append(_run(1.5e6))  # TEPS is higher-is-better
+        (point,) = check_series(runs)
+        assert point.status == "ok"
+        assert point.rel_change == pytest.approx(0.5)
+
+    def test_lower_is_better_metric_breaks_on_increase(self):
+        runs = [_run(1e6, seconds=0.004) for _ in range(6)]
+        runs.append(_run(1e6, seconds=0.006))  # sim time up 50 %
+        points = {p.metric: p for p in check_series(runs)}
+        assert points["simulated_seconds"].status == "break"
+        assert points["teps"].status == "ok"
+
+    def test_small_move_under_rel_floor_is_ok(self):
+        runs = [_run(1e6) for _ in range(6)]
+        runs.append(_run(0.95e6))  # only 5 % down, floor is 10 %
+        (point,) = check_series(runs)
+        assert point.status == "ok"
+
+    def test_noisy_history_absorbs_move_within_sigma(self):
+        # History wobbles +-20 %: sigma is large, so a 15 % drop clears
+        # the relative floor but not the 4-sigma outlier bar.
+        history = [100.0, 90.0, 110.0, 80.0, 120.0, 95.0, 105.0]
+        runs = [_run(v) for v in history]
+        runs.append(_run(85.0))
+        (point,) = check_series(runs)
+        assert point.status == "ok"
+        assert abs(point.rel_change) >= 0.10
+
+    def test_equal_direction_breaks_on_any_drift(self):
+        # allgather_raw_bytes is a determinism invariant: a 0.1 % move
+        # is already a break, in either direction.
+        runs = [_run(1e6, allgather_raw_bytes=20800.0) for _ in range(6)]
+        runs.append(_run(1e6, allgather_raw_bytes=20822.0))
+        points = {p.metric: p for p in check_series(runs)}
+        assert points["allgather_raw_bytes"].status == "break"
+
+    def test_equal_direction_exact_match_is_ok(self):
+        runs = [_run(1e6, allgather_raw_bytes=20800.0) for _ in range(6)]
+        points = {p.metric: p for p in check_series(runs)}
+        assert points["allgather_raw_bytes"].status == "ok"
+
+    def test_levels_metric_is_skipped(self):
+        runs = [_run(1e6, levels=7.0) for _ in range(6)]
+        assert "levels" not in {p.metric for p in check_series(runs)}
+
+    def test_window_limits_history(self):
+        # Ancient slow runs fall outside the window: only the recent
+        # fast history is compared against.
+        runs = [_run(0.1e6) for _ in range(5)]
+        runs += [_run(1e6) for _ in range(8)]
+        runs.append(_run(1e6))
+        (point,) = check_series(runs, window=8)
+        assert point.status == "ok"
+        assert point.center == pytest.approx(1e6)
+
+    def test_empty_series(self):
+        assert check_series([]) == []
+
+
+class TestCheckRecords:
+    def test_series_are_judged_independently(self):
+        records = []
+        # Config "aaa": stable. Config "bbb": broken in its latest run.
+        for _ in range(6):
+            records.append(_run(1e6, fingerprint="aaa"))
+            records.append(_run(2e6, fingerprint="bbb"))
+        records.append(_run(1e6, fingerprint="aaa"))
+        records.append(_run(1.2e6, fingerprint="bbb"))  # 40 % down
+        report = check_records(records)
+        assert not report.ok
+        broken = {p.series for p in report.breaks}
+        assert broken == {("experiment", "fig09", "bbb")}
+
+    def test_report_as_dict_schema(self):
+        report = check_records([_run(1e6) for _ in range(5)])
+        doc = report.as_dict()
+        assert doc["schema"] == "repro.trend/v1"
+        assert doc["ok"] is True
+        assert doc["window"] == 8
+        assert all(p["status"] == "ok" for p in doc["points"])
+
+    def test_to_text_counts_breaks(self):
+        runs = [_run(1e6) for _ in range(6)] + [_run(0.5e6)]
+        report = check_records(runs)
+        text = report.to_text()
+        assert "1 break(s)" in text
+        assert "teps" in text
+        ok_report = TrendReport(points=[])
+        assert "nothing to show" in ok_report.to_text()
+
+    def test_mixed_kinds_do_not_cross_contaminate(self):
+        records = [_run(1e6) for _ in range(6)]
+        chaos = LedgerRecord(
+            kind="chaos", name="campaign", fingerprint="abc",
+            metrics={"recovery_overhead_pct_max": 12.0},
+        )
+        report = check_records(records + [chaos])
+        series = {p.series for p in report.points}
+        assert ("experiment", "fig09", "abc") in series
+        assert all(p.status != "break" for p in report.points)

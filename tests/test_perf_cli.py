@@ -72,6 +72,64 @@ class TestDiffExitCodes:
         assert main(["diff", str(old), str(new)]) == 1
         assert main(["diff", str(old), str(new), "--no-wall"]) == 0
 
+    def test_json_dash_keeps_stdout_pure(self, tmp_path, capsys):
+        """Satellite: ``--json -`` streams the verdict JSON to stdout
+        (pipeable into jq) and moves the human table to stderr."""
+        p = tmp_path / "base.json"
+        p.write_text(json.dumps(_comm_doc()))
+        rc = main(["diff", str(p), str(p), "--json", "-"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        verdict = json.loads(captured.out)  # whole stdout is one JSON doc
+        assert verdict["schema"] == "repro.perfdiff/v1"
+        assert verdict["ok"] is True
+        assert "perf diff OK" in captured.err
+
+    def test_fail_on_incomparable_is_opt_in(self, tmp_path):
+        old = tmp_path / "old.json"
+        old.write_text(json.dumps(_comm_doc()))
+        moved = _comm_doc()
+        # A context change (scale 15 -> 12) makes every metric row
+        # incomparable rather than gated.
+        moved["benchmarks"][0]["extra_info"]["scale"] = 12
+        new = tmp_path / "new.json"
+        new.write_text(json.dumps(moved))
+        assert main(["diff", str(old), str(new)]) == 0
+        assert main(
+            ["diff", str(old), str(new), "--fail-on-incomparable"]
+        ) == 2
+
+    def test_regression_beats_incomparable_exit_code(self, tmp_path):
+        doc = _comm_doc()
+        doc["benchmarks"].append(
+            {
+                "name": "test_other[raw]",
+                "group": None,
+                "params": None,
+                "extra_info": {
+                    "codec": "raw",
+                    "scale": 15,
+                    "simulated_seconds": 1.0e-3,
+                },
+                "stats": {"min": 0.1, "mean": 0.12},
+            }
+        )
+        old = tmp_path / "old.json"
+        old.write_text(json.dumps(doc))
+        bad = json.loads(json.dumps(doc))
+        bad["benchmarks"][0]["extra_info"]["scale"] = 12  # incomparable
+        bad["benchmarks"][1]["extra_info"]["simulated_seconds"] *= 2  # gated
+        new = tmp_path / "new.json"
+        new.write_text(json.dumps(bad))
+        rc = main(
+            [
+                "diff", str(old), str(new),
+                "--fail-on-regress", "20",
+                "--fail-on-incomparable",
+            ]
+        )
+        assert rc == 1  # the gate failure outranks the usage-ish exit 2
+
 
 class TestAttributeCommand:
     def test_fig11_attribution_matches_recorded_sums(self, tmp_path, capsys):
