@@ -12,18 +12,23 @@ bench:
 	pytest benchmarks/ --benchmark-only
 
 # Kernel-backend baseline: records wall-clock numbers for every
-# registered BFS kernel (reference vs activeset) on a real mid-BFS level
-# to BENCH_kernels.json, with backend/scale metadata in extra_info and
-# the commit hash in commit_info.  The comm baseline records the
-# frontier-codec byte table (raw vs wire allgather bytes per codec at
-# the paper configuration) to BENCH_comm.json and enforces the >=30 %
-# auto reduction.  Compare runs with `pytest-benchmark compare`.
+# registered BFS kernel (reference / activeset / cnative) on a real
+# mid-BFS level to BENCH_kernels.json, with backend/scale metadata in
+# extra_info and the commit hash in commit_info.  The comm baseline
+# records the frontier-codec byte table (raw vs wire allgather bytes per
+# codec at the paper configuration) to BENCH_comm.json and enforces the
+# >=30 % auto reduction.  Both JSONs are folded into the persistent run
+# ledger so baseline refreshes show up in the trend dashboard.  Compare
+# runs with `pytest-benchmark compare`.
 # See docs/PERFORMANCE.md and docs/COMMUNICATION.md.
 bench-baseline:
 	pytest benchmarks/bench_kernels.py --benchmark-only \
 		--benchmark-json=BENCH_kernels.json
 	pytest benchmarks/bench_comm.py --benchmark-only \
 		--benchmark-json=BENCH_comm.json
+	repro-ledger log \
+		--from-bench BENCH_kernels.json \
+		--from-bench BENCH_comm.json
 
 # Fresh benchmark JSONs for gating (not the committed baselines):
 # kernels at the CI smoke scale (12), comm at the baseline scale (15 —

@@ -12,8 +12,10 @@ the active-set backend's early exit pays: most candidates retire within
 their first couple of edges.  ``make bench-baseline`` records the suite
 to ``BENCH_kernels.json`` with backend/scale/commit metadata.
 
-Environment knobs: ``REPRO_BENCH_SCALE`` (default 15) sizes the R-MAT
-graph so CI can run a small smoke pass.
+Environment knobs: ``REPRO_BENCH_SCALE`` (default 16) sizes the R-MAT
+graph so CI can run a small smoke pass.  The default moved from 15 to
+16 when the ``cnative`` backend landed: at 15 its per-round scan is
+well under a millisecond, too close to timer noise to gate on.
 """
 
 from __future__ import annotations
@@ -31,7 +33,7 @@ from repro.graph.builder import build_graph
 from repro.machine import paper_cluster
 from repro.util import segments
 
-SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "15"))
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "16"))
 BACKENDS = available_backends()
 
 
@@ -109,10 +111,15 @@ def test_csr_build(benchmark):
 
 @pytest.mark.parametrize("backend_name", BACKENDS)
 def test_bottom_up_scan(benchmark, graph, mid_level, backend_name):
-    """One mid-BFS bottom-up scan per backend (the acceptance metric:
-    activeset must beat reference by >= 2x at scale 15)."""
+    """One mid-BFS bottom-up scan per backend (the acceptance metrics:
+    activeset must beat reference by >= 2x, cnative must beat activeset
+    by >= 10x at the default scale)."""
     frontier, visited = mid_level
     backend = get_backend(backend_name)
+    if backend.name != backend_name:
+        # Resolution degraded (e.g. cnative without a toolchain): skip
+        # rather than record another backend's numbers under this label.
+        pytest.skip(f"backend {backend_name!r} unavailable here")
     part = Partition1D(graph.num_vertices, 1)
     in_queue = Bitmap.from_indices(graph.num_vertices, frontier)
     summary = SummaryBitmap.build(in_queue, 64)
@@ -147,6 +154,8 @@ def test_full_engine_run(benchmark, graph, backend_name):
     engine = BFSEngine(
         graph, cluster, BFSConfig(kernel=backend_name, label="Original.ppn=8")
     )
+    if engine.kernel.name != backend_name:
+        pytest.skip(f"backend {backend_name!r} unavailable here")
     root = int(np.argmax(graph.degrees()))
     result = benchmark.pedantic(engine.run, args=(root,), rounds=1, iterations=1)
     assert result.visited > 0

@@ -20,8 +20,10 @@ Two accounting subtleties the cost model depends on:
 
 The actual scan implementation is pluggable (:mod:`repro.core.kernels`):
 the ``reference`` backend materializes every candidate's full adjacency,
-the default ``activeset`` backend peels it in early-exiting chunks.
-Both are bit-identical on the accounting above.
+the default ``activeset`` backend peels it in early-exiting chunks, and
+the ``cnative`` backend (when a C toolchain is available) runs the true
+per-vertex early-exit loop in compiled code.  All are bit-identical on
+the accounting above.
 """
 
 from __future__ import annotations

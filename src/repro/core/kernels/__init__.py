@@ -2,7 +2,7 @@
 
 The engine's per-rank compute kernels (top-down expand, bottom-up scan)
 live behind a small registry so alternative implementations can be
-swapped without touching the engine.  Two backends ship:
+swapped without touching the engine.  Three backends ship:
 
 ``reference``
     The original full-materialization kernels
@@ -12,6 +12,13 @@ swapped without touching the engine.  Two backends ship:
     Chunked early-exit scan
     (:class:`~repro.core.kernels.activeset.ActiveSetBackend`) — memory
     and bitmap probes scale with *examined* edges; the default.
+``cnative``
+    Native compiled kernels
+    (:class:`~repro.core.kernels.cnative.CNativeBackend`) — a small C
+    source compiled on first use and called through ctypes; the true
+    per-vertex early exit.  Requires a system C compiler: when none is
+    found (or the build fails) the backend reports itself unavailable
+    and resolution degrades to ``activeset`` with a structured warning.
 
 Selection precedence: ``BFSConfig.kernel`` (explicit) → the
 ``REPRO_KERNEL`` environment variable → :data:`DEFAULT_BACKEND`.  Every
@@ -25,25 +32,31 @@ import os
 
 from repro.core.kernels.activeset import ActiveSetBackend
 from repro.core.kernels.base import (
+    FALLBACK_BACKEND,
     BottomUpResult,
     KernelBackend,
     TopDownSend,
     available_backends,
+    bucket_by_owner,
     dedup_first_parent,
     get_backend,
     register_backend,
 )
+from repro.core.kernels.cnative import CNativeBackend
 from repro.core.kernels.reference import ReferenceBackend
 
 __all__ = [
     "ActiveSetBackend",
     "BottomUpResult",
+    "CNativeBackend",
     "DEFAULT_BACKEND",
     "ENV_VAR",
+    "FALLBACK_BACKEND",
     "KernelBackend",
     "ReferenceBackend",
     "TopDownSend",
     "available_backends",
+    "bucket_by_owner",
     "dedup_first_parent",
     "default_backend",
     "get_backend",

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, ClassVar
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.obs.log import get_logger
 from repro.util.segments import gather_adjacency
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -40,8 +41,10 @@ __all__ = [
     "register_backend",
     "available_backends",
     "get_backend",
+    "bucket_by_owner",
     "dedup_first_parent",
     "DENSE_DEDUP_FRACTION",
+    "FALLBACK_BACKEND",
 ]
 
 
@@ -150,6 +153,19 @@ class KernelBackend(abc.ABC):
         """Instance configured from a :class:`BFSConfig` (default: no knobs)."""
         return cls()
 
+    @classmethod
+    def availability(cls) -> tuple[bool, str | None]:
+        """Whether this backend can actually run in this process.
+
+        ``(True, None)`` when usable — the default, since pure-numpy
+        backends always are.  Backends with external requirements (a C
+        toolchain, say) return ``(False, reason)`` instead, and
+        :func:`get_backend` then falls back to
+        :data:`FALLBACK_BACKEND` with a structured warning rather than
+        failing the run.
+        """
+        return (True, None)
+
     @abc.abstractmethod
     def bottom_up_scan(
         self,
@@ -200,24 +216,42 @@ class KernelBackend(abc.ABC):
         children, parents = dedup_first_parent(
             children, parents, partition.num_vertices
         )
-
-        owners = partition.owner(children)
-        outbox: list[np.ndarray] = []
-        # children are sorted, so owners are sorted: split by owner boundary.
-        bounds = np.searchsorted(owners, np.arange(num_parts + 1))
-        for dest in range(num_parts):
-            lo, hi = bounds[dest], bounds[dest + 1]
-            pairs = np.stack([children[lo:hi], parents[lo:hi]], axis=1)
-            outbox.append(np.ascontiguousarray(pairs))
         return TopDownSend(
-            outbox=outbox,
+            outbox=bucket_by_owner(children, parents, partition),
             frontier_size=int(frontier_local.size),
             examined_edges=total,
         )
 
 
+def bucket_by_owner(
+    children: np.ndarray, parents: np.ndarray, partition: "Partition1D"
+) -> list[np.ndarray]:
+    """Split ascending (child, parent) pairs into per-owner ``(k, 2)``
+    arrays, one per destination rank.
+
+    ``children`` must be sorted ascending (the dedup helpers and the
+    cnative expand both guarantee it), so owners are non-decreasing and
+    a single ``searchsorted`` finds every destination's slice.
+    """
+    num_parts = partition.num_parts
+    owners = partition.owner(children)
+    outbox: list[np.ndarray] = []
+    bounds = np.searchsorted(owners, np.arange(num_parts + 1))
+    for dest in range(num_parts):
+        lo, hi = bounds[dest], bounds[dest + 1]
+        pairs = np.stack([children[lo:hi], parents[lo:hi]], axis=1)
+        outbox.append(np.ascontiguousarray(pairs))
+    return outbox
+
+
 _REGISTRY: dict[str, type[KernelBackend]] = {}
 _SHARED: dict[str, KernelBackend] = {}
+
+#: Where resolution lands when a selected backend is unavailable.
+FALLBACK_BACKEND = "activeset"
+
+#: Backends already warned about this process (warn once, not per call).
+_WARNED: set[str] = set()
 
 
 def register_backend(cls: type[KernelBackend]) -> type[KernelBackend]:
@@ -229,9 +263,22 @@ def register_backend(cls: type[KernelBackend]) -> type[KernelBackend]:
     return cls
 
 
-def available_backends() -> tuple[str, ...]:
-    """Names of all registered kernel backends, sorted."""
-    return tuple(sorted(_REGISTRY))
+def available_backends(detail: bool = False):
+    """Registered kernel backends, sorted by name.
+
+    By default a tuple of names — every *registered* backend, usable or
+    not, so benchmark matrices and CLI validation see the full set.
+    With ``detail=True`` a ``{name: (available, reason)}`` mapping
+    instead, where ``reason`` is None for usable backends and the
+    human-readable unavailability cause otherwise (probing may be as
+    expensive as one compiler run for the cnative backend, memoized per
+    process).
+    """
+    if not detail:
+        return tuple(sorted(_REGISTRY))
+    return {
+        name: cls.availability() for name, cls in sorted(_REGISTRY.items())
+    }
 
 
 def get_backend(name: str, config: "BFSConfig | None" = None) -> KernelBackend:
@@ -240,6 +287,13 @@ def get_backend(name: str, config: "BFSConfig | None" = None) -> KernelBackend:
     Without a ``config`` the default-configured instance is shared across
     callers (backends are stateless between calls); with one, a fresh
     instance is built via :meth:`KernelBackend.from_config`.
+
+    An *unknown* name raises :class:`ConfigError`; a registered backend
+    that reports itself unavailable (no toolchain, failed build) instead
+    degrades to :data:`FALLBACK_BACKEND` with a structured ``REPRO_LOG``
+    warning — once per process per backend — so pinning
+    ``REPRO_KERNEL=cnative`` never breaks a run on a machine without a
+    compiler.
     """
     cls = _REGISTRY.get(name)
     if cls is None:
@@ -248,6 +302,23 @@ def get_backend(name: str, config: "BFSConfig | None" = None) -> KernelBackend:
             f"{', '.join(available_backends())} "
             f"(set BFSConfig.kernel or $REPRO_KERNEL)"
         )
+    ok, reason = cls.availability()
+    if not ok:
+        if name == FALLBACK_BACKEND:  # pragma: no cover - always available
+            raise ConfigError(
+                f"fallback kernel backend {name!r} unavailable: {reason}"
+            )
+        if name not in _WARNED:
+            _WARNED.add(name)
+            get_logger("kernels").warning(
+                "kernel backend unavailable; falling back",
+                extra={
+                    "backend": name,
+                    "fallback": FALLBACK_BACKEND,
+                    "reason": reason,
+                },
+            )
+        return get_backend(FALLBACK_BACKEND, config=config)
     if config is not None:
         return cls.from_config(config)
     if name not in _SHARED:

@@ -9,9 +9,11 @@ vertex.  The pair exchange is the only communication of a top-down level
 only concerns the bottom-up phase.
 
 The expansion itself lives on the kernel backend layer
-(:meth:`repro.core.kernels.KernelBackend.top_down_expand`) — it is
-shared by all backends and dedups (child, parent) pairs on an adaptive
-linear scatter path instead of the historic ``O(E log E)`` argsort.
+(:meth:`repro.core.kernels.KernelBackend.top_down_expand`) — the shared
+numpy implementation dedups (child, parent) pairs on an adaptive linear
+scatter path instead of the historic ``O(E log E)`` argsort, and the
+``cnative`` backend overrides it with a compiled first-parent-wins
+scatter producing bit-identical pairs.
 """
 
 from __future__ import annotations

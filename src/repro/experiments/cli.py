@@ -50,7 +50,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e.g. fig09), 'all', or 'list'",
+        nargs="?",
+        default="list",
+        help="experiment id (e.g. fig09), 'all', or 'list' (the default "
+        "— so '--kernel list' works without naming an experiment)",
     )
     parser.add_argument(
         "--roots", type=int, default=3, help="BFS roots per evaluation"
@@ -135,7 +138,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="BFS kernel backend for every engine this process builds "
         "(exported as $REPRO_KERNEL; see 'repro-experiment list' docs "
         "and docs/PERFORMANCE.md). Backends are bit-identical on all "
-        "reproduced numbers — this only changes speed",
+        "reproduced numbers — this only changes speed. Use "
+        "'--kernel list' to print every registered backend with its "
+        "availability",
     )
     parser.add_argument(
         "--codec",
@@ -204,12 +209,22 @@ def main(argv: list[str] | None = None) -> int:
     if args.kernel:
         import os
 
-        from repro.core.kernels import available_backends
+        from repro.core.kernels import DEFAULT_BACKEND, available_backends
 
+        if args.kernel == "list":
+            detail = available_backends(detail=True)
+            width = max(len(name) for name in detail)
+            print(f"{'backend':<{width}}  available  note")
+            for name, (ok, reason) in detail.items():
+                note = "default" if name == DEFAULT_BACKEND else (reason or "")
+                row = f"{name:<{width}}  {'yes' if ok else 'no':<9}  {note}"
+                print(row.rstrip())
+            return 0
         if args.kernel not in available_backends():
             print(
                 f"unknown kernel backend {args.kernel!r}; available: "
-                f"{', '.join(available_backends())}",
+                f"{', '.join(available_backends())} "
+                f"(or '--kernel list' for availability)",
                 file=sys.stderr,
             )
             return 2

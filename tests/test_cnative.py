@@ -1,0 +1,173 @@
+"""The cnative backend's build machinery and graceful degradation.
+
+The equivalence suite (test_kernel_backends.py) already pins the
+*kernels* whenever this machine has a toolchain; this file pins the
+machinery around them: compiler discovery, the hashed on-disk cache,
+corrupted-cache recovery, and — most importantly — that a missing or
+broken toolchain degrades resolution to ``activeset`` with a structured
+warning instead of breaking any run (tier-1 must pass identically with
+and without a compiler).
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.core import BFSConfig, BFSEngine
+from repro.core.kernels import CNativeBackend, get_backend, resolve_backend
+from repro.core.kernels import base as kernels_base
+from repro.core.kernels.cnative import build
+from repro.graph import rmat_graph
+from repro.machine import paper_cluster
+from repro.obs.log import setup_logging
+
+
+@pytest.fixture
+def fresh_probe(monkeypatch, tmp_path):
+    """Isolated build state: private cache dir, forgotten probe memo,
+    re-armed fallback warning.  Restores the process-wide memo (and the
+    default logging setup) afterwards so later tests re-probe cleanly."""
+    monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path / "cache"))
+    monkeypatch.setattr(kernels_base, "_WARNED", set())
+    build.reset()
+    yield
+    build.reset()
+    setup_logging()
+
+
+def _toolchain_or_skip():
+    ok, reason = build.availability()
+    if not ok:
+        pytest.skip(f"no usable C toolchain here: {reason}")
+
+
+def _plant_corrupt_entry(monkeypatch, tmp_path):
+    """Plant a garbage cache entry *before* anything is loaded, the way a
+    truncated copy from a crashed earlier run would appear.  (Corrupting
+    after a successful load can't exercise the rebuild path: dlopen
+    memoizes by pathname and would hand back the cached handle.)
+
+    The toolchain check is a trial build in a scratch cache dir — a
+    compiler that merely *exists* isn't enough (``CC=/bin/false``), and
+    probing in the real cache dir would load the good library at the
+    very path the test needs to see corrupted first.
+    """
+    monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path / "probe"))
+    ok, reason = build.availability()
+    build.reset()
+    monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path / "cache"))
+    if not ok:
+        pytest.skip(f"no usable C toolchain here: {reason}")
+    path = build.library_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(b"this is not a shared library")
+    return path
+
+
+class TestCompilerProbe:
+    def test_cc_env_var_wins(self, fresh_probe, monkeypatch):
+        monkeypatch.setenv("CC", "/bin/false -extra -flags")
+        assert build.find_compiler() == ["/bin/false", "-extra", "-flags"]
+
+    def test_unresolvable_cc_means_no_compiler(self, fresh_probe, monkeypatch):
+        monkeypatch.setenv("CC", "/no/such/compiler-xyz")
+        assert build.find_compiler() is None
+
+    def test_empty_path_probe_finds_nothing(self, fresh_probe, monkeypatch):
+        monkeypatch.delenv("CC", raising=False)
+        monkeypatch.setenv("PATH", "")
+        assert build.find_compiler() is None
+        ok, reason = build.availability()
+        assert not ok
+        assert "no C compiler" in reason
+
+    def test_library_path_keyed_by_compiler(self, fresh_probe):
+        a = build.library_path(["gcc"])
+        b = build.library_path(["clang"])
+        assert a is not None and b is not None and a != b
+        assert a.parent == build.cache_dir()
+
+
+class TestGracefulDegradation:
+    def test_broken_cc_falls_back_with_structured_warning(
+        self, fresh_probe, monkeypatch
+    ):
+        monkeypatch.setenv("CC", "/bin/false")
+        stream = io.StringIO()
+        setup_logging(level="info", fmt="json", stream=stream)
+
+        backend = get_backend("cnative")
+        assert backend.name == "activeset"
+
+        lines = [ln for ln in stream.getvalue().splitlines() if ln.strip()]
+        assert len(lines) == 1
+        doc = json.loads(lines[0])
+        assert doc["level"] == "warning"
+        assert doc["logger"] == "repro.kernels"
+        assert doc["backend"] == "cnative"
+        assert doc["fallback"] == "activeset"
+        assert doc["reason"]
+
+        # The warning fires once per process, not once per resolution.
+        assert get_backend("cnative").name == "activeset"
+        assert stream.getvalue().splitlines() == lines
+
+    def test_engine_runs_on_fallback(self, fresh_probe, monkeypatch):
+        monkeypatch.setenv("CC", "/bin/false")
+        graph = rmat_graph(scale=10, edgefactor=8, seed=1)
+        engine = BFSEngine(
+            graph, paper_cluster(nodes=2), BFSConfig(kernel="cnative")
+        )
+        assert engine.kernel.name == "activeset"
+        result = engine.run(0)
+        assert result.visited > 0
+
+    def test_env_var_selection_falls_back(self, fresh_probe, monkeypatch):
+        monkeypatch.setenv("CC", "/bin/false")
+        monkeypatch.setenv("REPRO_KERNEL", "cnative")
+        assert resolve_backend(None).name == "activeset"
+
+    def test_config_knobs_survive_the_fallback(self, fresh_probe, monkeypatch):
+        monkeypatch.setenv("CC", "/bin/false")
+        backend = resolve_backend(BFSConfig(kernel="cnative", kernel_chunk=7))
+        assert backend.name == "activeset"
+        assert backend.chunk == 7
+
+    def test_direct_load_raises_typed_error(self, fresh_probe, monkeypatch):
+        monkeypatch.setenv("CC", "/bin/false")
+        with pytest.raises(build.NativeBuildError, match="exited|failed"):
+            build.load_library()
+        # The failure is memoized: availability() reports it without
+        # re-running the compiler.
+        ok, reason = build.availability()
+        assert not ok and reason
+
+
+class TestCacheLifecycle:
+    def test_corrupted_cache_entry_is_rebuilt(
+        self, fresh_probe, monkeypatch, tmp_path
+    ):
+        path = _plant_corrupt_entry(monkeypatch, tmp_path)
+        ok, reason = build.availability()
+        assert ok, reason
+        assert path.exists() and path.read_bytes()[:4] == b"\x7fELF"
+
+    def test_cache_hit_skips_recompilation(self, fresh_probe):
+        _toolchain_or_skip()
+        path = build.library_path()
+        stamp = path.stat().st_mtime_ns
+        build.reset()
+        ok, _ = build.availability()
+        assert ok
+        assert path.stat().st_mtime_ns == stamp
+
+    def test_scan_works_after_rebuild(self, fresh_probe, monkeypatch, tmp_path):
+        _plant_corrupt_entry(monkeypatch, tmp_path)
+        backend = get_backend("cnative")
+        assert isinstance(backend, CNativeBackend)
+        graph = rmat_graph(scale=10, edgefactor=8, seed=2)
+        result = BFSEngine(
+            graph, paper_cluster(nodes=1), BFSConfig(kernel="cnative")
+        ).run(0)
+        assert result.visited > 0

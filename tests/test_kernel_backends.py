@@ -15,6 +15,7 @@ import pytest
 from repro.core import BFSConfig, BFSEngine, Bitmap, CommConfig, SummaryBitmap, bottomup
 from repro.core.kernels import (
     ActiveSetBackend,
+    CNativeBackend,
     ReferenceBackend,
     available_backends,
     default_backend,
@@ -36,7 +37,10 @@ from repro.machine import paper_cluster
 # The backends under test: the oracle, the default active-set kernel,
 # and active-set variants with adversarial chunk widths (1 forces one
 # edge per candidate per round; 3 exercises ragged chunk tails; a huge
-# width degenerates to full materialization in one round).
+# width degenerates to full materialization in one round).  The native
+# compiled backend joins whenever this machine can build it; without a
+# toolchain it is exercised through the fallback tests instead
+# (tests/test_cnative.py).
 BACKENDS = {
     "reference": ReferenceBackend(),
     "activeset": ActiveSetBackend(),
@@ -44,6 +48,9 @@ BACKENDS = {
     "activeset.chunk=3": ActiveSetBackend(chunk=3),
     "activeset.chunk=big": ActiveSetBackend(chunk=1 << 20),
 }
+CNATIVE_AVAILABLE = CNativeBackend.availability()[0]
+if CNATIVE_AVAILABLE:
+    BACKENDS["cnative"] = CNativeBackend()
 
 VARIANTS = sorted(k for k in BACKENDS if k != "reference")
 
@@ -67,6 +74,9 @@ def scan_outcome(graph, backend, visited, frontier, granularity):
         "examined_edges": out.examined_edges,
         "inqueue_reads": out.inqueue_reads,
         "parent": state.parent.tolist(),
+        # The hybrid policy's m_u must stay in sync no matter how a
+        # backend applies discoveries (cnative updates state in C).
+        "unexplored_degree": state.unexplored_degree,
     }
 
 
@@ -177,23 +187,28 @@ class TestEngineEquivalence:
         graph = rmat_graph(scale=11, edgefactor=8, seed=3)
         cluster = paper_cluster(nodes=2)
         root = int(np.argmax(graph.degrees()))
+        kernels = ["reference", "activeset"]
+        if CNATIVE_AVAILABLE:
+            kernels.append("cnative")
         results = {}
-        for kernel in ("reference", "activeset"):
+        for kernel in kernels:
             cfg = BFSConfig(kernel=kernel, **config_kwargs)
             results[kernel] = BFSEngine(graph, cluster, cfg).run(root)
-        a, b = results["reference"], results["activeset"]
-        assert np.array_equal(a.parent, b.parent)
-        assert a.levels == b.levels
-        for la, lb in zip(a.counts.levels, b.counts.levels):
-            assert la.direction == lb.direction
-            assert np.array_equal(la.candidates, lb.candidates)
-            assert np.array_equal(la.examined_edges, lb.examined_edges)
-            assert np.array_equal(la.inqueue_reads, lb.inqueue_reads)
-            assert np.array_equal(la.discovered, lb.discovered)
-        # Identical counts must price identically: the backend can never
-        # change a simulated (paper) result.
-        assert a.seconds == b.seconds
-        assert a.teps == b.teps
+        a = results["reference"]
+        for kernel in kernels[1:]:
+            b = results[kernel]
+            assert np.array_equal(a.parent, b.parent), kernel
+            assert a.levels == b.levels, kernel
+            for la, lb in zip(a.counts.levels, b.counts.levels):
+                assert la.direction == lb.direction, kernel
+                assert np.array_equal(la.candidates, lb.candidates), kernel
+                assert np.array_equal(la.examined_edges, lb.examined_edges), kernel
+                assert np.array_equal(la.inqueue_reads, lb.inqueue_reads), kernel
+                assert np.array_equal(la.discovered, lb.discovered), kernel
+            # Identical counts must price identically: the backend can
+            # never change a simulated (paper) result.
+            assert a.seconds == b.seconds, kernel
+            assert a.teps == b.teps, kernel
 
 
 class TestTopDownDedup:
@@ -232,6 +247,17 @@ class TestRegistryAndResolution:
     def test_available_backends(self):
         names = available_backends()
         assert "reference" in names and "activeset" in names
+        # cnative is always *registered*, even when it cannot build here.
+        assert "cnative" in names
+
+    def test_available_backends_detail(self):
+        detail = available_backends(detail=True)
+        assert set(detail) == set(available_backends())
+        assert detail["reference"] == (True, None)
+        assert detail["activeset"] == (True, None)
+        ok, reason = detail["cnative"]
+        assert ok is CNATIVE_AVAILABLE
+        assert (reason is None) if ok else isinstance(reason, str)
 
     def test_unknown_backend_raises(self):
         with pytest.raises(ConfigError, match="unknown kernel backend"):
