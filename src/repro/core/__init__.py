@@ -6,7 +6,11 @@ Public surface:
 * :class:`BFSEngine` / :class:`BFSResult` — one BFS run;
 * :func:`run_graph500` — the Graph500 evaluation protocol;
 * :class:`Bitmap` / :class:`SummaryBitmap` — the frontier structures;
-* :func:`validate_parent_tree` — the five Graph500 checks.
+* :func:`validate_parent_tree` — the five Graph500 checks;
+* :class:`PreparedGraph` / :class:`PreparedGraphCache` — immutable
+  partition state shared across queries (the session API's substrate);
+* :class:`MultiSourceEngine` / :func:`run_bfs_batch` — batched
+  multi-source BFS (up to 64 sources per traversal pass).
 """
 
 from repro.core.api import ConfigComparison, compare_configs, optimization_stack, run_bfs
@@ -21,6 +25,14 @@ from repro.core.config import (
 from repro.core.counts import Direction, LevelCounts, RunCounts
 from repro.core.engine import BFSEngine, BFSResult
 from repro.core.hybrid import DirectionPolicy, FrontierStats
+from repro.core.multisource import MultiSourceEngine, run_bfs_batch
+from repro.core.prepared import (
+    PreparedGraph,
+    PreparedGraphCache,
+    default_prepared_cache,
+    graph_digest,
+    reset_default_prepared_cache,
+)
 from repro.core.kernels import (
     ActiveSetBackend,
     KernelBackend,
@@ -61,6 +73,13 @@ __all__ = [
     "RunCounts",
     "BFSEngine",
     "BFSResult",
+    "MultiSourceEngine",
+    "run_bfs_batch",
+    "PreparedGraph",
+    "PreparedGraphCache",
+    "graph_digest",
+    "default_prepared_cache",
+    "reset_default_prepared_cache",
     "DirectionPolicy",
     "FrontierStats",
     "ActiveSetBackend",

@@ -7,6 +7,12 @@ not have to assemble engines by hand:
 * :func:`compare_configs` — several configurations on the same workload,
   with an optional paper-scale target;
 * :func:`optimization_stack` — the full Fig. 9 chain on any cluster.
+
+All entry points accept (or build and share) a
+:class:`~repro.core.prepared.PreparedGraph`, the immutable partition/CSR
+product that :class:`~repro.core.engine.BFSEngine` construction is based
+on; the serving layer (:mod:`repro.serve`) reuses the same objects
+across concurrent queries.
 """
 
 from __future__ import annotations
@@ -17,13 +23,22 @@ import numpy as np
 
 from repro.core.config import BFSConfig, CommConfig, paper_variants
 from repro.core.engine import BFSEngine, BFSResult
+from repro.core.prepared import PreparedGraph, PreparedGraphCache
 from repro.core.validate import validate_parent_tree
 from repro.errors import GraphError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.recovery import ResilienceConfig
 from repro.graph.types import Graph
 from repro.machine.spec import ClusterSpec, paper_cluster
 from repro.model.extrapolate import extrapolate_result
 
-__all__ = ["run_bfs", "compare_configs", "optimization_stack", "ConfigComparison"]
+__all__ = [
+    "run_bfs",
+    "compare_configs",
+    "optimization_stack",
+    "ConfigComparison",
+]
 
 
 def run_bfs(
@@ -33,8 +48,9 @@ def run_bfs(
     config: BFSConfig | None = None,
     validate: bool = False,
     comm: CommConfig | None = None,
-    faults=None,
-    resilience=None,
+    faults: FaultPlan | FaultInjector | None = None,
+    resilience: ResilienceConfig | None = None,
+    prepared: PreparedGraph | None = None,
 ) -> BFSResult:
     """One BFS traversal, optionally validated.
 
@@ -45,14 +61,21 @@ def run_bfs(
     :class:`~repro.faults.plan.FaultPlan`) runs the traversal under
     deterministic fault injection; ``resilience`` (a
     :class:`~repro.faults.recovery.ResilienceConfig`) tunes the
-    checkpoint/retry policy — see :mod:`repro.faults`.
+    checkpoint/retry policy — see :mod:`repro.faults`.  ``prepared``
+    reuses an already-built :class:`PreparedGraph` (it must match the
+    graph/cluster/partition config) and skips the partition build.
     """
     cluster = cluster or paper_cluster(nodes=1)
     config = config or BFSConfig.original_ppn8()
     if comm is not None:
         config = replace(config, comm=comm)
     result = BFSEngine(
-        graph, cluster, config, faults=faults, resilience=resilience
+        graph,
+        cluster,
+        config,
+        faults=faults,
+        resilience=resilience,
+        prepared=prepared,
     ).run(root)
     if validate:
         validate_parent_tree(graph, root, result.parent)
@@ -91,6 +114,10 @@ def compare_configs(
     tiny functional graphs are latency-dominated and hide the NUMA
     story).  ``comm`` overrides every configuration's communication
     block — useful to sweep one codec/sharing setting across variants.
+
+    Variants that share a partition layout (same resolved ppn, binding
+    and degree balancing) share one :class:`PreparedGraph`, so the
+    expensive CSR extraction runs once per layout, not once per variant.
     """
     if not configs:
         raise GraphError("need at least one configuration")
@@ -104,10 +131,13 @@ def compare_configs(
         if degrees.max() == 0:
             raise GraphError("graph has no edges")
         root = int(np.argmax(degrees))
+    # One prepared graph per distinct partition layout across the sweep.
+    cache = PreparedGraphCache(maxsize=max(len(configs), 1))
     teps: dict[str, float] = {}
     seconds: dict[str, float] = {}
     for name, config in configs.items():
-        engine = BFSEngine(graph, cluster, config)
+        prepared = cache.get_or_prepare(graph, cluster, config)
+        engine = BFSEngine(graph, cluster, config, prepared=prepared)
         result = engine.run(root)
         if target_scale is not None:
             pred = extrapolate_result(result, engine, target_scale)

@@ -16,15 +16,15 @@ Communication settings live in one place: :class:`CommConfig`, held as
 subgroup schedule, an explicit allgather-algorithm override, the summary
 granularity and the frontier codec (see docs/COMMUNICATION.md).  The
 pre-PR-3 flat kwargs (``share_in_queue=…``, ``share_all=…``,
-``parallel_allgather=…``, ``granularity=…``, ``use_summary=…``) still
-construct the equivalent ``CommConfig`` but emit a
-:class:`DeprecationWarning`.
+``parallel_allgather=…``, ``granularity=…``, ``use_summary=…``) went
+through a deprecation cycle and are now rejected with a
+:class:`~repro.errors.ConfigError` that spells out the equivalent
+``comm=CommConfig(...)``.
 """
 
 from __future__ import annotations
 
 import enum
-import warnings
 from dataclasses import dataclass, replace
 
 from repro.errors import ConfigError
@@ -303,12 +303,15 @@ class BFSConfig:
         granularity: int | None = None,
         use_summary: bool | None = None,
     ) -> None:
-        """Build a config; flat comm kwargs are deprecated shims.
+        """Build a config; the old flat comm kwargs are rejected.
 
         ``comm`` is the single source of communication settings.  The
-        keyword-only tail accepts the pre-PR-3 flat kwargs, emits a
-        :class:`DeprecationWarning` and constructs the equivalent
-        :class:`CommConfig`; passing both is an error.
+        keyword-only tail still *names* the pre-PR-3 flat kwargs so
+        stale call sites fail with a :class:`ConfigError` carrying the
+        exact ``comm=CommConfig(...)`` migration hint, rather than an
+        opaque ``TypeError`` (they warned as deprecated for several
+        releases; the serving layer's config-keyed caches need one
+        canonical spelling per configuration).
         """
         legacy = {
             name: value
@@ -322,19 +325,17 @@ class BFSConfig:
             if value is not None
         }
         if legacy:
-            if comm is not None:
-                raise ConfigError(
-                    "pass either comm=CommConfig(...) or the legacy flat "
-                    f"kwargs ({', '.join(legacy)}), not both"
-                )
-            warnings.warn(
-                f"BFSConfig({', '.join(f'{k}=...' for k in legacy)}) is "
-                "deprecated; pass comm=CommConfig(...) instead "
-                "(see docs/COMMUNICATION.md for the mapping)",
-                DeprecationWarning,
-                stacklevel=2,
+            try:
+                hint = f"; the equivalent is comm={_comm_from_legacy(legacy)!r}"
+            except ConfigError:
+                # The legacy combination was itself invalid — no
+                # equivalent exists; the migration pointer suffices.
+                hint = ""
+            raise ConfigError(
+                f"BFSConfig({', '.join(f'{k}=...' for k in sorted(legacy))}) "
+                "is no longer supported; pass comm=CommConfig(...) instead "
+                f"(see docs/COMMUNICATION.md for the mapping){hint}"
             )
-            comm = _comm_from_legacy(legacy)
         if comm is None:
             comm = CommConfig()
         object.__setattr__(self, "ppn", ppn)

@@ -35,9 +35,10 @@ from repro.core.config import BFSConfig
 from repro.core.counts import Direction, LevelCounts, RunCounts
 from repro.core.hybrid import DirectionPolicy, FrontierStats
 from repro.core.kernels import resolve_backend
+from repro.core.prepared import PreparedGraph
 from repro.core.state import RankState
 from repro.core.timing import BfsTiming, CostConstants, StructureSizes, assemble
-from repro.errors import ConfigError, FaultError, GraphError
+from repro.errors import FaultError, GraphError
 from repro.faults.checkpoint import BFSCheckpoint
 from repro.faults.injector import (
     FaultInjector,
@@ -47,16 +48,10 @@ from repro.faults.injector import (
 )
 from repro.faults.plan import FaultPlan
 from repro.faults.recovery import RecoveryLog, RecoveryReport, ResilienceConfig
-from repro.graph.partition import (
-    Partition1D,
-    degree_balanced_bounds,
-    word_aligned_bounds,
-)
 from repro.graph.types import Graph
 from repro.machine.spec import ClusterSpec
 from repro.mpi.codecs import get_codec, resolve_codec
 from repro.mpi.collectives import allgather
-from repro.mpi.mapping import ProcessMapping
 from repro.mpi.sharedmem import NodeSharedBuffer
 from repro.mpi.simcomm import SimComm
 from repro.obs.hostprof import NULL_HOSTPROF
@@ -127,6 +122,7 @@ class BFSEngine:
         faults: FaultPlan | FaultInjector | None = None,
         resilience: ResilienceConfig | None = None,
         hostprof=None,
+        prepared: PreparedGraph | None = None,
     ) -> None:
         self.graph = graph
         self.cluster = cluster
@@ -165,39 +161,28 @@ class BFSEngine:
         # uninstrumented one.
         codec = resolve_codec(config)
         self.codec = None if codec.is_identity else codec
-        ppn = config.resolve_ppn(cluster)
-        self.mapping = ProcessMapping(cluster, ppn, config.binding)
+        # Partition/CSR build work lives on the immutable PreparedGraph so
+        # it can be shared across engines and queries (and cached by the
+        # serving layer).  A caller-supplied one is validated against the
+        # requested (graph, cluster, config); otherwise we build our own.
+        if prepared is None:
+            prepared = PreparedGraph.prepare(graph, cluster, config)
+        else:
+            prepared.check(graph, cluster, config)
+        self.prepared = prepared
+        self.mapping = prepared.mapping
         self.comm = SimComm(cluster, self.mapping, tracer=self.tracer)
         self.comm.injector = self.injector
         np_ranks = self.mapping.num_ranks
-
-        n = graph.num_vertices
-        if n % 64 != 0 or n < np_ranks * 64:
-            raise ConfigError(
-                f"num_vertices={n} must be a multiple of 64 and at least "
-                f"64 * num_ranks (= {np_ranks * 64}) so that bitmap parts "
-                f"stay word-aligned"
-            )
-        if config.degree_balanced:
-            bounds = degree_balanced_bounds(graph, np_ranks, alignment=64)
-        else:
-            bounds = word_aligned_bounds(n, np_ranks)
-        self.partition = Partition1D(n, np_ranks, bounds=bounds)
-        self._locals = [
-            self.partition.extract_local(graph, r) for r in range(np_ranks)
-        ]
-        self._part_words = [
-            bitops.words_for_bits(self.partition.size_of(r))
-            for r in range(np_ranks)
-        ]
+        self.partition = prepared.partition
+        self._locals = prepared.locals
+        self._part_words = prepared.part_words
         # Word offset of each rank's slice in the concatenated bitmap
         # (partition bounds are 64-aligned, so slices tile exactly); used
         # to hand the sieve codec per-rank views of the visited mask.
-        self._word_starts = np.concatenate(
-            ([0], np.cumsum(self._part_words))
-        ).astype(np.int64)
+        self._word_starts = prepared.word_starts
         self.sizes = StructureSizes(
-            num_vertices=n,
+            num_vertices=graph.num_vertices,
             num_arcs=graph.num_directed_edges,
             num_ranks=np_ranks,
             granularity=config.granularity,

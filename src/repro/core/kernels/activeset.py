@@ -184,3 +184,22 @@ class ActiveSetBackend(KernelBackend):
             gathered_edges=gathered,
             chunk_rounds=rounds,
         )
+
+    def bottom_up_scan_batch(
+        self, local, active_lanes, inq_lanes, summary_lanes, granularity,
+        groups=None, num_groups=1,
+    ):
+        """Batched scan with this backend's chunk-doubling schedule."""
+        from repro.core.kernels.batched import lane_scan
+
+        return lane_scan(
+            local,
+            active_lanes,
+            inq_lanes,
+            summary_lanes,
+            granularity,
+            initial_width=self.chunk,
+            max_width=self.MAX_CHUNK,
+            groups=groups,
+            num_groups=num_groups,
+        )

@@ -31,8 +31,9 @@ from repro.util.segments import gather_adjacency
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.core.bitmap import Bitmap, SummaryBitmap
     from repro.core.config import BFSConfig
+    from repro.core.kernels.batched import LaneScanResult
     from repro.core.state import RankState
-    from repro.graph.partition import Partition1D
+    from repro.graph.partition import LocalGraph, Partition1D
 
 __all__ = [
     "BottomUpResult",
@@ -180,6 +181,42 @@ class KernelBackend(abc.ABC):
         the Section II.B.2 counts bit-identically to the reference
         backend.
         """
+
+    def bottom_up_scan_batch(
+        self,
+        local: "LocalGraph",
+        active_lanes: np.ndarray,
+        inq_lanes: np.ndarray,
+        summary_lanes: np.ndarray | None,
+        granularity: int,
+        groups: np.ndarray | None = None,
+        num_groups: int = 1,
+    ) -> "LaneScanResult":
+        """Batched bottom-up scan: one pass serving up to 64 sources.
+
+        ``local`` may be a per-rank :class:`LocalGraph` or any CSR view
+        with ``offsets``/``targets`` (the engine passes the whole graph
+        and splits the counts per rank via ``groups``).  Lane semantics
+        and the bit-identity contract live in
+        :mod:`repro.core.kernels.batched`.  The default implementation
+        is the pure-numpy active-set lane scan, so backends without a
+        native batched kernel (e.g. the compiled ``cnative`` backend)
+        transparently fall back to it — accounting stays bit-identical
+        because the counts are chunk-schedule-independent.
+        """
+        from repro.core.kernels.batched import lane_scan
+
+        return lane_scan(
+            local,
+            active_lanes,
+            inq_lanes,
+            summary_lanes,
+            granularity,
+            initial_width=2,
+            max_width=1 << 16,
+            groups=groups,
+            num_groups=num_groups,
+        )
 
     def top_down_expand(
         self,

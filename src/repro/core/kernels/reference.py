@@ -77,3 +77,23 @@ class ReferenceBackend(KernelBackend):
             gathered_edges=total,
             chunk_rounds=1 if total else 0,
         )
+
+    def bottom_up_scan_batch(
+        self, local, active_lanes, inq_lanes, summary_lanes, granularity,
+        groups=None, num_groups=1,
+    ):
+        """Batched scan in the reference style: materialize every
+        candidate's full adjacency in a single round (the counts are
+        chunk-schedule-independent, so this only spends more memory)."""
+        from repro.core.kernels.batched import lane_scan
+
+        return lane_scan(
+            local,
+            active_lanes,
+            inq_lanes,
+            summary_lanes,
+            granularity,
+            initial_width=None,
+            groups=groups,
+            num_groups=num_groups,
+        )

@@ -1,0 +1,504 @@
+"""Batched multi-source BFS: one traversal pass serving up to 64 roots.
+
+The serving layer answers many concurrent ``(graph, source)`` queries
+against the same prepared graph.  Running them one engine pass per
+source repeats all the per-level machinery — the frontier exchange, the
+kernel dispatch, the scattered CSR loads — once per source.  This module
+instead advances **all sources of a batch one level per round**,
+amortizing the expensive shared work:
+
+* the bottom-up scan gathers each candidate's adjacency once and
+  answers every source from bit-packed *lane* words (one ``uint64`` lane
+  per source, :mod:`repro.core.kernels.batched`);
+* the top-down expansion is fused across sources and ranks into a
+  handful of vectorized passes (composite-key dedup reproduces the
+  per-sender coalescing buffers exactly);
+* the prepared partition, the communicator, and the shared-memory
+  buffers are built once per batch.
+
+**Bit-identity contract**: every :class:`~repro.core.engine.BFSResult`
+returned by :meth:`MultiSourceEngine.run_batch` is bit-identical —
+parent tree, per-level counts, byte accounting, and hence priced
+simulated seconds — to what ``BFSEngine.run`` produces for that root
+alone.  Each source keeps its own direction policy, level counts and
+(when a codec is active) allgather history, so batching changes only
+host-side wall-clock, never the simulation.  The per-source allgather is
+still executed for real (one per source per bottom-up level) because
+codec wire bytes depend on each source's frontier content.
+
+Batch mode intentionally rejects fault injection and resilience: replay
+and rollback are per-run concepts that do not compose with shared
+lanes.  Run faulty traversals through ``BFSEngine`` directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bitmap import Bitmap, SummaryBitmap, summary_words_for
+from repro.core.config import BFSConfig
+from repro.core.counts import Direction, LevelCounts, RunCounts
+from repro.core.engine import BFSEngine, BFSResult
+from repro.core.hybrid import DirectionPolicy, FrontierStats
+from repro.core.kernels.batched import MAX_LANES, pack_lanes
+from repro.core.prepared import PreparedGraph
+from repro.core.timing import CostConstants, assemble
+from repro.core.validate import validate_parent_tree
+from repro.errors import ConfigError, GraphError
+from repro.graph.types import Graph
+from repro.machine.spec import ClusterSpec
+from repro.mpi.codecs import get_codec
+from repro.mpi.collectives import allgather
+from repro.util import bitops
+from repro.util.segments import gather_adjacency
+
+__all__ = ["MultiSourceEngine", "run_bfs_batch"]
+
+
+class MultiSourceEngine:
+    """Reusable batched BFS executor for one (graph, cluster, config).
+
+    Wraps a fault-free :class:`BFSEngine` (reusing its resolved kernel,
+    codec, communicator and prepared partition) and adds
+    :meth:`run_batch`.  Like the engine, instances are reusable across
+    batches; they are not safe for concurrent use from multiple threads
+    (the serving scheduler serializes batches per session).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        cluster: ClusterSpec,
+        config: BFSConfig | None = None,
+        constants: CostConstants = CostConstants(),
+        prepared: PreparedGraph | None = None,
+        metrics=None,
+    ) -> None:
+        config = config or BFSConfig.original_ppn8()
+        self.engine = BFSEngine(
+            graph, cluster, config, constants=constants, prepared=prepared
+        )
+        bounds = self.engine.partition.bounds
+        # Owning rank of every vertex (partitions are contiguous ranges).
+        self._owner_of = np.repeat(
+            np.arange(self.engine.mapping.num_ranks, dtype=np.int64),
+            np.diff(bounds),
+        )
+        self.metrics = metrics
+
+    @property
+    def prepared(self) -> PreparedGraph:
+        """The shared immutable partition state."""
+        return self.engine.prepared
+
+    @property
+    def config(self) -> BFSConfig:
+        """The resolved configuration shared by every lane."""
+        return self.engine.config
+
+    # ---- the batch run ---------------------------------------------------
+
+    def run_batch(
+        self, roots, validate: bool = False
+    ) -> list[BFSResult]:
+        """Run one BFS per root, all advanced level-by-level together.
+
+        Returns one :class:`BFSResult` per root, in input order, each
+        bit-identical to a sequential ``BFSEngine.run(root)``.
+        """
+        eng = self.engine
+        graph = eng.graph
+        n = graph.num_vertices
+        roots = [int(r) for r in roots]
+        num = len(roots)
+        if num == 0:
+            raise GraphError("batch needs at least one root")
+        if num > MAX_LANES:
+            raise ConfigError(
+                f"batch of {num} sources exceeds the {MAX_LANES}-lane "
+                f"limit; split it (the serving scheduler does)"
+            )
+        for r in roots:
+            if not 0 <= r < n:
+                raise GraphError(f"root {r} out of range")
+
+        np_ranks = eng.mapping.num_ranks
+        partition = eng.partition
+        bounds = partition.bounds
+        degrees = eng.prepared.degrees
+        config = eng.config
+
+        parent = np.full((num, n), -1, dtype=np.int64)
+        deg_csum = np.concatenate(
+            [[0], np.cumsum(degrees, dtype=np.int64)]
+        )
+        rank_deg = deg_csum[bounds[1:]] - deg_csum[bounds[:-1]]
+        unexplored = np.tile(rank_deg, (num, 1))
+
+        frontiers: list[np.ndarray] = []
+        for s, root in enumerate(roots):
+            parent[s, root] = root
+            owner = int(partition.owner(root))
+            unexplored[s, owner] -= int(degrees[root])
+            frontiers.append(np.array([root], dtype=np.int64))
+
+        policies = [DirectionPolicy(config) for _ in range(num)]
+        counts_list = [
+            RunCounts(num_vertices=n, num_ranks=np_ranks)
+            for _ in range(num)
+        ]
+        prev_dir: list[str | None] = [None] * num
+        levels = [0] * num
+        finished = [False] * num
+
+        shared = eng._shared_buffers()
+        visited_words = (
+            np.zeros(
+                (num, bitops.words_for_bits(n)), dtype=bitops.WORD_DTYPE
+            )
+            if eng.codec is not None
+            else None
+        )
+
+        while not all(finished):
+            td_set: list[int] = []
+            bu_set: list[int] = []
+            lcs: dict[int, LevelCounts] = {}
+            for s in range(num):
+                if finished[s]:
+                    continue
+                f = frontiers[s]
+                if f.size == 0:
+                    finished[s] = True
+                    continue
+                stats = FrontierStats(
+                    frontier_vertices=int(f.size),
+                    frontier_edges=int(degrees[f].sum()),
+                    unexplored_edges=int(unexplored[s].sum()),
+                    num_vertices=n,
+                )
+                direction = policies[s].decide(stats)
+                lc = LevelCounts(level=levels[s], direction=direction)
+                lc.allreduces = 3
+                lc.switched = (
+                    prev_dir[s] is not None and prev_dir[s] != direction
+                )
+                lc.frontier_local = np.bincount(
+                    self._owner_of[f], minlength=np_ranks
+                ).astype(np.int64)
+                lcs[s] = lc
+                if direction == Direction.TOP_DOWN:
+                    td_set.append(s)
+                else:
+                    bu_set.append(s)
+
+            if td_set:
+                self._top_down_round(
+                    td_set, frontiers, parent, unexplored, lcs
+                )
+            if bu_set:
+                self._bottom_up_round(
+                    bu_set, frontiers, parent, unexplored, lcs, shared,
+                    visited_words, roots,
+                )
+            for s in (*td_set, *bu_set):
+                lc = lcs[s]
+                lc.discovered = np.bincount(
+                    self._owner_of[frontiers[s]], minlength=np_ranks
+                ).astype(np.int64)
+                counts_list[s].levels.append(lc)
+                prev_dir[s] = lc.direction
+                levels[s] += 1
+
+        results: list[BFSResult] = []
+        for s, root in enumerate(roots):
+            counts = counts_list[s]
+            row = parent[s]
+            counts.visited_vertices = int(np.count_nonzero(row >= 0))
+            counts.traversed_edges = int(degrees[row >= 0].sum()) // 2
+            timing = assemble(
+                counts, eng.comm, config, eng.sizes, eng.constants
+            )
+            if validate:
+                validate_parent_tree(graph, root, row)
+            results.append(
+                BFSResult(
+                    root=root,
+                    parent=row.copy(),
+                    levels=levels[s],
+                    counts=counts,
+                    timing=timing,
+                )
+            )
+        if self.metrics is not None:
+            self.metrics.counter("bfs.batch_runs_total").inc()
+            self.metrics.counter("bfs.batch_sources_total").inc(num)
+            self.metrics.histogram("bfs.batch_size").observe(num)
+        return results
+
+    # ---- fused top-down --------------------------------------------------
+
+    def _top_down_round(
+        self, td, frontiers, parent, unexplored, lcs
+    ) -> None:
+        """Expand all top-down sources in one vectorized pass.
+
+        Reproduces, per source, exactly what the per-rank sequential
+        path does: per-sender first-occurrence dedup over the flattened
+        adjacency (children ascending per message), per-destination
+        bucketing and byte accounting, receiver-side first-sender-wins
+        coalescing, and discovery order (destination, sender, child) —
+        the order matters because it feeds the next level's dedup.
+        """
+        eng = self.engine
+        graph = eng.graph
+        n = graph.num_vertices
+        np_ranks = eng.mapping.num_ranks
+        degrees = eng.prepared.degrees
+        td_arr = np.asarray(td, dtype=np.int64)
+        B = len(td)
+
+        sizes = [frontiers[s].size for s in td]
+        F = np.concatenate([frontiers[s] for s in td])
+        src = np.repeat(np.arange(B, dtype=np.int64), sizes)
+        owners_f = self._owner_of[F]
+        gather = gather_adjacency(graph.offsets, F)
+
+        # examined_edges per (source, sender): the full flattened
+        # adjacency size, as TopDownSend.examined_edges reports.
+        exam = (
+            np.bincount(
+                src * np_ranks + owners_f,
+                weights=gather.lens.astype(np.float64),
+                minlength=B * np_ranks,
+            )
+            .astype(np.int64)
+            .reshape(B, np_ranks)
+        )
+
+        children = graph.targets[gather.pos]
+        par_flat = np.repeat(F, gather.lens)
+        src_flat = np.repeat(src, gather.lens)
+        sender_flat = np.repeat(owners_f, gather.lens)
+
+        # Per-(source, sender) dedup, first occurrence's parent wins —
+        # np.unique returns first-occurrence indices, and its sorted
+        # order yields children ascending per (source, sender), which is
+        # exactly the sequential per-destination message content.
+        key = (src_flat * np_ranks + sender_flat) * n + children
+        _, idx = np.unique(key, return_index=True)
+        kc = children[idx]
+        kp = par_flat[idx]
+        ks = src_flat[idx]
+        ksend = sender_flat[idx]
+        kown = self._owner_of[kc]
+
+        send_bytes = (
+            np.bincount(
+                (ks * np_ranks + ksend) * np_ranks + kown,
+                minlength=B * np_ranks * np_ranks,
+            )
+            .reshape(B, np_ranks, np_ranks)
+            .astype(np.int64)
+            * 16  # one (child, parent) int64 pair per kept entry
+        )
+
+        # Receiver side: messages arrive sender-ascending, each sorted by
+        # child, and the first occurrence of a child wins (= the lowest
+        # sender).  Sorting kept pairs into (source, owner, sender,
+        # child) order makes "first occurrence in array order" exactly
+        # that winner.  One fused-key argsort replaces the four-key
+        # lexsort: each component is strictly below its radix.
+        order = np.argsort(
+            ((ks * np_ranks + kown) * np_ranks + ksend) * n + kc,
+            kind="stable",
+        )
+        kc, kp, ks, ksend, kown = (
+            kc[order], kp[order], ks[order], ksend[order], kown[order]
+        )
+        key2 = (ks * np_ranks + kown) * n + kc
+        _, idx2 = np.unique(key2, return_index=True)
+        win = np.sort(idx2)  # winners, back in discovery order
+        wc, wp, wsrc, wown = kc[win], kp[win], ks[win], kown[win]
+
+        fresh = parent[td_arr[wsrc], wc] < 0
+        wc, wp, wsrc, wown = wc[fresh], wp[fresh], wsrc[fresh], wown[fresh]
+        parent[td_arr[wsrc], wc] = wp
+        unexplored[td_arr] -= (
+            np.bincount(
+                wsrc * np_ranks + wown,
+                weights=degrees[wc].astype(np.float64),
+                minlength=B * np_ranks,
+            )
+            .astype(np.int64)
+            .reshape(B, np_ranks)
+        )
+
+        cuts = np.searchsorted(wsrc, np.arange(B + 1))
+        for b, s in enumerate(td):
+            frontiers[s] = wc[cuts[b]:cuts[b + 1]].copy()
+            lc = lcs[s]
+            lc.examined_edges = exam[b]
+            lc.candidates = np.zeros(np_ranks, dtype=np.int64)
+            lc.inqueue_reads = np.zeros(np_ranks, dtype=np.int64)
+            lc.td_send_bytes = send_bytes[b]
+
+    # ---- batched bottom-up -----------------------------------------------
+
+    def _bottom_up_round(
+        self, bu, frontiers, parent, unexplored, lcs, shared,
+        visited_words, roots,
+    ) -> None:
+        """One bottom-up level for all batched sources.
+
+        The allgather (and its codec byte accounting) runs per source —
+        wire bytes depend on each source's frontier content — but the
+        scan itself is a single lane pass per rank.
+        """
+        eng = self.engine
+        graph = eng.graph
+        n = graph.num_vertices
+        np_ranks = eng.mapping.num_ranks
+        degrees = eng.prepared.degrees
+        config = eng.config
+        word_starts = eng._word_starts
+        granularity = config.granularity
+        use_summary = config.use_summary
+        B = len(bu)
+
+        inq_bools = np.zeros((B, n), dtype=bool)
+        if use_summary:
+            summary_words = summary_words_for(n, granularity)
+            nblocks = -(-n // granularity)
+            sum_bools = np.zeros((B, nblocks), dtype=bool)
+        max_part_words = int(np.diff(word_starts).max(initial=0))
+
+        for b, s in enumerate(bu):
+            lc = lcs[s]
+            f = frontiers[s]
+            # Rank partitions are word-aligned (PreparedGraph enforces
+            # it), so the per-rank bitmap parts are exactly slices of
+            # the full-graph bitmap: one set_bits covers all ranks.
+            fwords = np.zeros(
+                bitops.words_for_bits(n), dtype=bitops.WORD_DTYPE
+            )
+            bitops.set_bits(fwords, f)
+            lc.inq_part_words = max_part_words
+            if use_summary:
+                lc.summary_part_words = summary_words / np_ranks
+
+            if eng.codec is None:
+                # Without a frontier codec the wire accounting is
+                # count-determined (raw parts) and the gathered payload
+                # is exactly the full-graph frontier bitmap just built —
+                # the functional collective would only re-concatenate
+                # the slices, so skip it.
+                lc.codec = None
+                total_bytes = float(fwords.nbytes)
+                lc.inq_raw_total_bytes = total_bytes
+                lc.inq_wire_total_bytes = total_bytes
+                lc.inq_wire_part_bytes = lc.inq_part_words * 8.0
+                full_words = fwords
+            else:
+                parts = [
+                    fwords[word_starts[r]:word_starts[r + 1]]
+                    for r in range(np_ranks)
+                ]
+                visited_parts = None
+                if visited_words is not None:
+                    row = visited_words[s]
+                    visited_parts = [
+                        row[word_starts[r]:word_starts[r + 1]]
+                        for r in range(np_ranks)
+                    ]
+                res = allgather(
+                    eng.comm, parts, config.in_queue_algorithm(), shared,
+                    codec=eng.codec,
+                    visited_parts=visited_parts,
+                    subgroups=config.comm.subgroups,
+                )
+                lc.codec = res.codec
+                lc.inq_raw_total_bytes = res.raw_bytes
+                lc.inq_wire_total_bytes = res.wire_bytes
+                lc.inq_wire_part_bytes = res.wire_part_bytes
+                full_words = (
+                    shared[0].data if shared is not None else res.data
+                ).copy()
+                if visited_words is not None:
+                    np.bitwise_or(
+                        visited_words[s], full_words, out=visited_words[s]
+                    )
+            inq_bools[b] = bitops.bits_to_bool(full_words, n)
+            if use_summary:
+                summary = SummaryBitmap.build(
+                    Bitmap(n, words=full_words), granularity
+                )
+                sum_bools[b] = bitops.bits_to_bool(summary.words, nblocks)
+                raw_bytes = summary_words * 8.0
+                lc.summary_raw_total_bytes = raw_bytes
+                if lc.codec not in (None, "raw"):
+                    enc = get_codec(lc.codec).encode(summary.words)
+                    lc.summary_wire_total_bytes = float(enc.wire_nbytes)
+                    lc.summary_wire_part_bytes = (
+                        float(enc.wire_nbytes) / np_ranks
+                    )
+                else:
+                    lc.summary_wire_total_bytes = raw_bytes
+                    lc.summary_wire_part_bytes = (
+                        lc.summary_part_words * 8.0
+                    )
+
+        inq_lanes = pack_lanes(inq_bools)
+        summary_lanes = pack_lanes(sum_bools) if use_summary else None
+        bu_arr = np.asarray(bu, dtype=np.int64)
+        act_lanes = pack_lanes((parent[bu_arr] < 0) & (degrees > 0))
+
+        # One scan over the whole graph: the counts come back split per
+        # rank via the owner groups, and — partitions being contiguous
+        # ascending ranges — the (lane, vertex) discovery order is
+        # already the sequential rank-major order.
+        res = eng.kernel.bottom_up_scan_batch(
+            graph,
+            act_lanes,
+            inq_lanes,
+            summary_lanes,
+            granularity,
+            groups=self._owner_of,
+            num_groups=np_ranks,
+        )
+        cuts = np.searchsorted(res.disc_lane, np.arange(B + 1))
+        for b, s in enumerate(bu):
+            lc = lcs[s]
+            lc.candidates = res.candidates[:, b].copy()
+            lc.examined_edges = res.examined_edges[:, b].copy()
+            lc.inqueue_reads = res.inqueue_reads[:, b].copy()
+            discovered = res.disc_local[cuts[b]:cuts[b + 1]]
+            if discovered.size:
+                parent[s, discovered] = res.disc_parent[
+                    cuts[b]:cuts[b + 1]
+                ]
+                unexplored[s] -= (
+                    np.bincount(
+                        self._owner_of[discovered],
+                        weights=degrees[discovered].astype(np.float64),
+                        minlength=np_ranks,
+                    ).astype(np.int64)
+                )
+            frontiers[s] = discovered.copy()
+
+
+def run_bfs_batch(
+    graph: Graph,
+    roots,
+    cluster: ClusterSpec | None = None,
+    config: BFSConfig | None = None,
+    validate: bool = False,
+    prepared: PreparedGraph | None = None,
+) -> list[BFSResult]:
+    """One-call batched traversal (the multi-source ``run_bfs``)."""
+    from repro.machine.spec import paper_cluster
+
+    cluster = cluster or paper_cluster(nodes=1)
+    return MultiSourceEngine(
+        graph, cluster, config, prepared=prepared
+    ).run_batch(roots, validate=validate)

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.config import BFSConfig, CommConfig
 from repro.core.engine import BFSEngine, BFSResult
+from repro.core.prepared import PreparedGraph
 from repro.core.timing import CostConstants, PhaseBreakdown
 from repro.core.validate import validate_parent_tree
 from repro.graph.degree import sample_roots
@@ -130,17 +131,22 @@ def run_graph500(
     validate: bool = False,
     constants: CostConstants = CostConstants(),
     comm: CommConfig | None = None,
+    prepared: PreparedGraph | None = None,
 ) -> Graph500Result:
     """Run the Graph500 protocol and aggregate the results.
 
     ``validate=True`` runs the full five-check Graph500 validator on every
     parent tree (slow for large graphs; the test suite exercises it).
     ``comm`` overrides the configuration's communication block.
+    ``prepared`` reuses an already-built partition
+    (:class:`~repro.core.prepared.PreparedGraph`) for all roots.
     """
     if comm is not None:
         config = replace(config, comm=comm)
     roots = sample_roots(graph, num_roots, seed=seed)
-    engine = BFSEngine(graph, cluster, config, constants=constants)
+    engine = BFSEngine(
+        graph, cluster, config, constants=constants, prepared=prepared
+    )
     out = Graph500Result(config=config, roots=roots)
     for root in roots:
         res = engine.run(int(root))

@@ -115,6 +115,26 @@ class SimComm:
             return 0.0
         return self.network.transfer_time(nbytes, flows=flows, node_index=node_index)
 
+    def _rank_topology(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Memoized per-rank topology arrays for the pricing hot path:
+        owning node per rank, the rank×rank same-node mask, and each
+        rank's *static* network derating (the injector's dynamic link
+        derating is applied by the caller — it can change run to run)."""
+        cached = getattr(self, "_rank_topo", None)
+        if cached is None:
+            nodes = np.array(
+                [self.mapping.node_of(r) for r in range(self.num_ranks)],
+                dtype=np.int64,
+            )
+            same = nodes[:, None] == nodes[None, :]
+            base = np.array(
+                [self.cluster.network_derating(int(n)) for n in nodes],
+                dtype=np.float64,
+            )
+            cached = (nodes, same, base)
+            self._rank_topo = cached
+        return cached
+
     def node_derating(self, node_index: int) -> float:
         """Combined network derating of one node: the cluster's own weak
         link times any injected degradation."""
@@ -242,13 +262,13 @@ class SimComm:
         inter_bw = self.network.flow_bandwidth(max(1, ppn))
         intra_bw = self.memory.copy_bandwidth(max(1, ppn))
 
-        nodes = np.array(
-            [self.mapping.node_of(r) for r in range(np_ranks)], dtype=np.int64
-        )
-        same_node = nodes[:, None] == nodes[None, :]
+        nodes, same_node, derate = self._rank_topology()
         nonzero = send_bytes > 0
         np.fill_diagonal(nonzero, False)
-        derate = np.array([self.node_derating(int(n)) for n in nodes])
+        if self.injector is not None:
+            derate = derate * np.array(
+                [self.injector.link_derating(int(n)) for n in nodes]
+            )
 
         intra_mask = nonzero & same_node
         inter_mask = nonzero & ~same_node

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 
 __all__ = [
     "Counter",
@@ -34,18 +35,25 @@ def _format_key(name: str, labels: dict) -> str:
 
 
 class Counter:
-    """Monotonically increasing value."""
+    """Monotonically increasing value.
 
-    __slots__ = ("value",)
+    Safe under concurrent recording: ``+=`` on a Python float is a
+    read-modify-write, so increments hold a per-metric lock (the serving
+    scheduler records from many tasks and threads at once).
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be non-negative)."""
         if amount < 0:
             raise ValueError("counters only go up")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
@@ -57,7 +65,8 @@ class Gauge:
         self.value = 0.0
 
     def set(self, value: float) -> None:
-        """Overwrite the gauge."""
+        """Overwrite the gauge (a single reference store — atomic under
+        the GIL, so no lock is needed)."""
         self.value = float(value)
 
 
@@ -72,9 +81,14 @@ class Histogram:
     geometric midpoint, clamped to the observed ``[min, max]``, giving a
     worst-case relative error of about 9 % and exact answers for empty
     and single-valued streams.
+
+    ``observe`` updates several aggregates that must stay mutually
+    consistent, so it (and the quantile reads) hold a per-histogram lock
+    — concurrent recorders (the serving scheduler's worker threads)
+    cannot tear the count/sum/bucket triple.
     """
 
-    __slots__ = ("count", "total", "min", "max", "_buckets")
+    __slots__ = ("count", "total", "min", "max", "_buckets", "_lock")
 
     #: Bucket boundary ratio: value v > 0 lands in bucket
     #: ``ceil(log(v) / log(base))``, i.e. (base**(i-1), base**i].
@@ -88,6 +102,7 @@ class Histogram:
         self.max = -math.inf
         # (sign, index) -> count; sign in {-1, 0, 1}, index 0 for sign 0.
         self._buckets: dict[tuple[int, int], int] = {}
+        self._lock = threading.Lock()
 
     @classmethod
     def _bucket(cls, value: float) -> tuple[int, int]:
@@ -106,14 +121,15 @@ class Histogram:
     def observe(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
         key = self._bucket(value)
-        self._buckets[key] = self._buckets.get(key, 0) + 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            self._buckets[key] = self._buckets.get(key, 0) + 1
 
     @property
     def mean(self) -> float:
@@ -128,22 +144,23 @@ class Histogram:
         """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile {q} outside [0, 100]")
-        if self.count == 0:
-            return 0.0
-        rank = max(1, math.ceil(q / 100.0 * self.count))
-        # The extreme ranks are tracked exactly.
-        if rank <= 1:
-            return self.min
-        if rank >= self.count:
-            return self.max
-        cumulative = 0
-        value = self.max
-        for key in sorted(self._buckets, key=self._representative):
-            cumulative += self._buckets[key]
-            if cumulative >= rank:
-                value = self._representative(key)
-                break
-        return min(max(value, self.min), self.max)
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = max(1, math.ceil(q / 100.0 * self.count))
+            # The extreme ranks are tracked exactly.
+            if rank <= 1:
+                return self.min
+            if rank >= self.count:
+                return self.max
+            cumulative = 0
+            value = self.max
+            for key in sorted(self._buckets, key=self._representative):
+                cumulative += self._buckets[key]
+                if cumulative >= rank:
+                    value = self._representative(key)
+                    break
+            return min(max(value, self.min), self.max)
 
     def summary(self) -> dict:
         """The aggregates (plus p50/p90/p99 estimates) as a plain dict."""
@@ -160,12 +177,19 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Get-or-create store of labelled counters, gauges and histograms."""
+    """Get-or-create store of labelled counters, gauges and histograms.
+
+    Get-or-create races under concurrent first touch would hand two
+    recorders distinct metric objects (one silently dropped), so the
+    lookup/insert runs under a registry lock; the returned objects are
+    themselves safe to record into from any thread.
+    """
 
     def __init__(self) -> None:
         self._counters: dict[tuple, Counter] = {}
         self._gauges: dict[tuple, Gauge] = {}
         self._histograms: dict[tuple, Histogram] = {}
+        self._lock = threading.Lock()
 
     @staticmethod
     def _key(name: str, labels: dict) -> tuple:
@@ -177,25 +201,28 @@ class MetricsRegistry:
     def counter(self, name: str, **labels) -> Counter:
         """The counter for ``name`` + labels, created on first use."""
         key = self._key(name, labels)
-        c = self._counters.get(key)
-        if c is None:
-            c = self._counters[key] = Counter()
+        with self._lock:
+            c = self._counters.get(key)
+            if c is None:
+                c = self._counters[key] = Counter()
         return c
 
     def gauge(self, name: str, **labels) -> Gauge:
         """The gauge for ``name`` + labels, created on first use."""
         key = self._key(name, labels)
-        g = self._gauges.get(key)
-        if g is None:
-            g = self._gauges[key] = Gauge()
+        with self._lock:
+            g = self._gauges.get(key)
+            if g is None:
+                g = self._gauges[key] = Gauge()
         return g
 
     def histogram(self, name: str, **labels) -> Histogram:
         """The histogram for ``name`` + labels, created on first use."""
         key = self._key(name, labels)
-        h = self._histograms.get(key)
-        if h is None:
-            h = self._histograms[key] = Histogram()
+        with self._lock:
+            h = self._histograms.get(key)
+            if h is None:
+                h = self._histograms[key] = Histogram()
         return h
 
     def items(self):

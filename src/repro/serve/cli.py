@@ -1,0 +1,306 @@
+"""``repro-serve`` console entry point: the serving-layer campaign.
+
+Usage::
+
+    repro-serve --scale 13 --nodes 2 --queries 128 --qps 400
+    repro-serve --scale 14 --max-batch 32 --compare-sequential --ledger
+    repro-serve --scale 12 --root-pool 4 --json serve-report.json
+
+One invocation builds an R-MAT workload, opens a prepared-graph
+session, drives the asyncio batch scheduler with the open-loop load
+generator, and prints/records the ``repro.serve/v1`` latency report
+(p50/p90/p99, throughput, cache hit rates).  ``--compare-sequential``
+additionally replays a burst of distinct roots both through the
+batched serving path and through a sequential ``run_bfs`` loop (one
+fresh engine per query — the pre-serving architecture) and reports the
+queries/sec speedup.
+
+``--ledger`` appends the headline metrics to the run ledger at
+``.repro/ledger`` (or ``$REPRO_LEDGER_DIR``); ``--json`` writes the
+full report artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.core.config import BFSConfig
+from repro.graph.rmat import rmat_graph
+from repro.machine.spec import paper_cluster
+from repro.obs.log import get_logger
+from repro.serve.loadgen import run_load
+from repro.serve.report import SCHEMA, build_report, record_for_serve_report
+from repro.serve.session import BFSService
+from repro.util.formatting import format_table
+
+__all__ = ["main", "run_serving_campaign"]
+
+log = get_logger("serve")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Concurrent BFS serving campaign over the simulated NUMA "
+            "cluster: batched multi-source traversals behind an asyncio "
+            "admission queue, measured with an open-loop load generator"
+        ),
+    )
+    parser.add_argument(
+        "--scale", type=int, default=13,
+        help="R-MAT graph scale (2^scale vertices)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=2, help="simulated node count"
+    )
+    parser.add_argument(
+        "--ppn", type=int, default=None,
+        help="processes per node (default: one per socket)",
+    )
+    parser.add_argument(
+        "--kernel", choices=("reference", "activeset", "cnative"),
+        help="bottom-up kernel backend (sets REPRO_KERNEL)",
+    )
+    parser.add_argument(
+        "--codec",
+        choices=("auto", "raw", "rle-bitmap", "sieve", "sparse-index"),
+        help="frontier codec (sets REPRO_CODEC)",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=128,
+        help="queries the load generator offers",
+    )
+    parser.add_argument(
+        "--qps", type=float, default=0.0,
+        help="open-loop offered rate in queries/sec (0 = unbounded burst)",
+    )
+    parser.add_argument(
+        "--root-pool", type=int, default=16,
+        help="distinct hot roots the generator samples from",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=32,
+        help="scheduler batch cap (lanes per scan, <= 64)",
+    )
+    parser.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="scheduler wait for stragglers once a batch opens",
+    )
+    parser.add_argument(
+        "--result-cache", type=int, default=256,
+        help="result LRU capacity (0 disables result caching)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="load-generator seed"
+    )
+    parser.add_argument(
+        "--graph-seed", type=int, default=2, help="R-MAT generator seed"
+    )
+    parser.add_argument(
+        "--compare-sequential",
+        action="store_true",
+        help="also replay a burst of --max-batch distinct roots through "
+        "a sequential run_bfs loop and report the queries/sec speedup",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help=f"write the {SCHEMA} report as JSON to PATH",
+    )
+    parser.add_argument(
+        "--ledger",
+        action="store_true",
+        help="append the headline metrics to the run ledger at "
+        ".repro/ledger (or $REPRO_LEDGER_DIR)",
+    )
+    return parser
+
+
+def _distinct_roots(graph, count: int, seed: int) -> np.ndarray:
+    """``count`` distinct positive-degree roots (comparison workload)."""
+    degrees = graph.degrees()
+    candidates = np.flatnonzero(degrees > 0)
+    rng = np.random.default_rng(seed)
+    count = min(int(count), int(candidates.size))
+    return rng.choice(candidates, size=count, replace=False).astype(np.int64)
+
+
+def _compare_sequential(service, graph, cluster, config, args) -> dict:
+    """Replay one burst batched and sequentially; return the block."""
+    from repro.core.api import run_bfs
+
+    roots = _distinct_roots(graph, args.max_batch, seed=args.seed + 9973)
+    # Batched side first: the serving path with a cold result cache so
+    # the speedup measures batching, not memoization.
+    session = service.session(graph, cluster, config)
+    batched = run_load(
+        session,
+        qps=float("inf"),
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        result_cache=None,
+        roots=roots,
+    )
+    t0 = time.perf_counter()
+    for root in roots:
+        run_bfs(graph, int(root), cluster=cluster, config=config)
+    seq_wall = time.perf_counter() - t0
+    seq_qps = roots.size / seq_wall if seq_wall else 0.0
+    return {
+        "roots": int(roots.size),
+        "sequential_wall_seconds": seq_wall,
+        "batched_wall_seconds": batched.wall_seconds,
+        "sequential_qps": seq_qps,
+        "batched_qps": batched.qps_achieved,
+        "speedup": (
+            batched.qps_achieved / seq_qps if seq_qps else 0.0
+        ),
+        "batched_latency_ms": dict(batched.latency_ms),
+    }
+
+
+def run_serving_campaign(args) -> dict:
+    """Execute one campaign from parsed CLI args; returns the report."""
+    graph = rmat_graph(scale=args.scale, seed=args.graph_seed)
+    cluster = paper_cluster(nodes=args.nodes)
+    config = BFSConfig.original_ppn8()
+    if args.ppn is not None:
+        from dataclasses import replace
+
+        config = replace(config, ppn=args.ppn)
+    service = BFSService(cluster=cluster)
+
+    # Warm-up: a separate session (first prepared-cache miss) runs one
+    # query so kernel dispatch and numpy paths are hot before timing.
+    warm = service.session(graph, cluster, config)
+    warm.run(int(_distinct_roots(graph, 1, seed=args.seed)[0]))
+
+    session = service.session(graph, cluster, config)
+    loadgen_result = run_load(
+        session,
+        queries=args.queries,
+        qps=args.qps if args.qps > 0 else float("inf"),
+        root_pool=args.root_pool,
+        seed=args.seed,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        result_cache=args.result_cache if args.result_cache > 0 else None,
+    )
+
+    comparison = None
+    if args.compare_sequential:
+        comparison = _compare_sequential(
+            service, graph, cluster, config, args
+        )
+
+    workload = {
+        "scale": args.scale,
+        "graph_seed": args.graph_seed,
+        "graph_digest": session.digest,
+        "num_vertices": graph.num_vertices,
+        "nodes": args.nodes,
+        "ppn": session.prepared.ppn,
+        "num_ranks": session.prepared.num_ranks,
+        "config": config.label,
+        "kernel": args.kernel or os.environ.get("REPRO_KERNEL") or "default",
+        "codec": args.codec or os.environ.get("REPRO_CODEC") or "default",
+    }
+    load = {
+        "queries": args.queries,
+        "qps": args.qps if args.qps > 0 else None,
+        "root_pool": args.root_pool,
+        "max_batch": args.max_batch,
+        "max_wait_ms": args.max_wait_ms,
+        "result_cache": args.result_cache,
+        "seed": args.seed,
+    }
+    return build_report(
+        workload,
+        load,
+        loadgen_result,
+        service.prepared_stats(),
+        comparison=comparison,
+    )
+
+
+def _report_table(report: dict) -> str:
+    """Render the headline numbers as an aligned text table."""
+    latency = report["latency_ms"]
+    throughput = report["throughput"]
+    sched = report["scheduler"]
+    caches = report["caches"]
+    rows = [
+        ("queries", f"{throughput['queries']}"),
+        ("throughput (q/s)", f"{throughput['qps_achieved']:.1f}"),
+        ("latency p50 (ms)", f"{latency['p50']:.2f}"),
+        ("latency p90 (ms)", f"{latency['p90']:.2f}"),
+        ("latency p99 (ms)", f"{latency['p99']:.2f}"),
+        ("batches", f"{sched['batches']}"),
+        ("mean batch size", f"{sched['mean_batch_size']:.1f}"),
+        (
+            "prepared cache hit rate",
+            f"{caches['prepared']['hit_rate']:.2f}",
+        ),
+        (
+            "result cache hit rate",
+            f"{caches['results']['hit_rate']:.2f}"
+            if caches["results"]
+            else "off",
+        ),
+    ]
+    comparison = report.get("comparison")
+    if comparison:
+        rows.append(
+            ("sequential (q/s)", f"{comparison['sequential_qps']:.1f}")
+        )
+        rows.append(("batched (q/s)", f"{comparison['batched_qps']:.1f}"))
+        rows.append(("speedup", f"{comparison['speedup']:.2f}x"))
+    workload = report["workload"]
+    title = (
+        f"repro-serve: scale {workload['scale']}, "
+        f"{workload['nodes']} nodes, {workload['num_ranks']} ranks"
+    )
+    return format_table(("metric", "value"), rows, title=title)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.kernel:
+        os.environ["REPRO_KERNEL"] = args.kernel
+    if args.codec:
+        os.environ["REPRO_CODEC"] = args.codec
+    if args.max_batch < 1:
+        print("--max-batch must be >= 1", file=sys.stderr)
+        return 2
+    report = run_serving_campaign(args)
+    print(_report_table(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        log.info("report written to %s", args.json)
+    if args.ledger:
+        from repro.obs.ledger import default_ledger
+
+        ledger = default_ledger()
+        record = ledger.append(
+            record_for_serve_report(report, source="repro-serve")
+        )
+        log.info(
+            "ledger: appended %s/%s @%s",
+            record.kind,
+            record.name,
+            record.fingerprint,
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    sys.exit(main())

@@ -1,0 +1,153 @@
+"""Deterministic open-loop load generator for the serving layer.
+
+*Open loop* means arrivals are scheduled on a clock (query ``i``
+arrives at ``i / qps`` seconds), not gated on completions — the
+generator keeps offering load even when the scheduler falls behind, so
+queueing delay shows up in the measured latencies instead of silently
+throttling the experiment (the classic closed-loop coordinated-omission
+trap).
+
+Sources are drawn from a seeded *root pool*: a small pool re-queries
+hot roots (exercising the result cache), a pool as large as the query
+count makes every query cold.  Everything is deterministic given
+``seed``; only wall-clock timings vary run to run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError, GraphError
+from repro.serve.scheduler import BatchScheduler
+
+__all__ = ["LoadGenResult", "pick_root_pool", "run_load"]
+
+
+def pick_root_pool(graph, size: int, seed: int = 0) -> np.ndarray:
+    """Choose ``size`` query roots among vertices with outgoing edges.
+
+    Zero-degree vertices make degenerate single-vertex traversals, so
+    they are excluded (matching the Graph500 sampling convention used
+    by :func:`~repro.core.teps.run_graph500`).
+    """
+    if size < 1:
+        raise ConfigError("root pool needs size >= 1")
+    degrees = graph.degrees()
+    candidates = np.flatnonzero(degrees > 0)
+    if candidates.size == 0:
+        raise GraphError("graph has no edges to traverse")
+    rng = np.random.default_rng(seed)
+    return candidates[
+        rng.integers(0, candidates.size, size=int(size), dtype=np.int64)
+    ]
+
+
+@dataclass
+class LoadGenResult:
+    """Everything one load-generation run measured."""
+
+    queries: int
+    qps_offered: float
+    wall_seconds: float
+    latency_ms: dict = field(default_factory=dict)
+    scheduler: dict = field(default_factory=dict)
+    #: Distinct roots actually queried (diagnostic, not replayed).
+    distinct_roots: int = 0
+
+    @property
+    def qps_achieved(self) -> float:
+        """Completed queries per wall-clock second."""
+        return self.queries / self.wall_seconds if self.wall_seconds else 0.0
+
+    def as_dict(self) -> dict:
+        """The measurements as a plain JSON-ready dict (an unbounded
+        burst's offered rate serializes as ``None``, not ``inf``)."""
+        offered = self.qps_offered
+        return {
+            "queries": self.queries,
+            "qps_offered": offered if math.isfinite(offered) else None,
+            "qps_achieved": self.qps_achieved,
+            "wall_seconds": self.wall_seconds,
+            "latency_ms": dict(self.latency_ms),
+            "scheduler": dict(self.scheduler),
+            "distinct_roots": self.distinct_roots,
+        }
+
+
+async def _drive(scheduler: BatchScheduler, roots, qps: float) -> float:
+    """Submit every query at its open-loop arrival time; returns the
+    wall-clock seconds from first arrival to last completion."""
+
+    async def one(delay: float, root: int):
+        if delay > 0:
+            await asyncio.sleep(delay)
+        return await scheduler.submit(root)
+
+    start = time.perf_counter()
+    async with scheduler:
+        results = await asyncio.gather(
+            *(
+                one(i / qps if qps != float("inf") else 0.0, int(r))
+                for i, r in enumerate(roots)
+            )
+        )
+    elapsed = time.perf_counter() - start
+    if any(r is None for r in results):  # pragma: no cover - invariant
+        raise AssertionError("load generator lost a query result")
+    return elapsed
+
+
+def run_load(
+    session,
+    queries: int = 100,
+    qps: float = float("inf"),
+    root_pool: int = 16,
+    seed: int = 0,
+    max_batch: int = 32,
+    max_wait_ms: float = 2.0,
+    result_cache: int | None = 256,
+    metrics=None,
+    roots=None,
+) -> LoadGenResult:
+    """Run one synthetic open-loop campaign against ``session``.
+
+    Builds a :class:`BatchScheduler` with the given knobs, offers
+    ``queries`` arrivals at ``qps`` (``inf`` = all at once), and
+    returns the measured :class:`LoadGenResult` — latency percentiles
+    come from the scheduler's ``serve.latency_ms`` histogram.  An
+    explicit ``roots`` sequence replaces the pool sampling (the
+    sequential-comparison mode replays an exact root list).
+    """
+    if qps <= 0:
+        raise ConfigError("qps must be positive (use inf for a burst)")
+    if roots is not None:
+        roots = np.asarray(roots, dtype=np.int64)
+        queries = int(roots.size)
+    if queries < 1:
+        raise ConfigError("need at least one query")
+    if roots is None:
+        pool = pick_root_pool(session.graph, root_pool, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        roots = pool[rng.integers(0, pool.size, size=int(queries))]
+    scheduler = BatchScheduler(
+        session,
+        max_batch=max_batch,
+        max_wait_ms=max_wait_ms,
+        result_cache=result_cache,
+        metrics=metrics,
+    )
+    wall = asyncio.run(_drive(scheduler, roots, qps))
+    latency = scheduler.metrics.histogram("serve.latency_ms").summary()
+    return LoadGenResult(
+        queries=int(queries),
+        qps_offered=float(qps),
+        wall_seconds=wall,
+        latency_ms=latency,
+        scheduler=scheduler.stats(),
+        distinct_roots=int(np.unique(roots).size),
+    )

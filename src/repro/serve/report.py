@@ -1,0 +1,120 @@
+"""The ``repro.serve/v1`` latency report and its run-ledger record.
+
+One serving campaign produces one report document: the workload axes
+(graph, cluster, partition config), the load-generator knobs, the
+measured latency distribution (p50/p90/p99 from the scheduler's
+histogram), achieved throughput, cache effectiveness (prepared-graph
+LRU and result LRU), and — when the campaign ran the sequential
+comparison — the batched-vs-sequential queries/sec speedup.
+
+The JSON artifact carries ``schema: repro.serve/v1``;
+:func:`record_for_serve_report` folds the headline numbers into a
+``repro.run/v1`` ledger record (kind ``serve``) so the trend dashboard
+tracks serving latency alongside kernel and communication runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.obs.ledger import LedgerRecord
+
+__all__ = ["SCHEMA", "build_report", "record_for_serve_report"]
+
+SCHEMA = "repro.serve/v1"
+
+
+def build_report(
+    workload: dict,
+    load: dict,
+    loadgen_result,
+    prepared_stats: dict,
+    comparison: dict | None = None,
+) -> dict:
+    """Assemble the ``repro.serve/v1`` report document.
+
+    ``workload`` describes the graph/cluster/config axes, ``load`` the
+    generator knobs, ``loadgen_result`` is the measured
+    :class:`~repro.serve.loadgen.LoadGenResult`, ``prepared_stats`` the
+    prepared-graph cache counters, and ``comparison`` the optional
+    sequential-baseline block.
+    """
+    measured = loadgen_result.as_dict()
+    return {
+        "schema": SCHEMA,
+        "workload": dict(workload),
+        "load": dict(load),
+        "latency_ms": measured["latency_ms"],
+        "throughput": {
+            "qps_offered": measured["qps_offered"],
+            "qps_achieved": measured["qps_achieved"],
+            "wall_seconds": measured["wall_seconds"],
+            "queries": measured["queries"],
+            "distinct_roots": measured["distinct_roots"],
+        },
+        "scheduler": measured["scheduler"],
+        "caches": {
+            "prepared": dict(prepared_stats),
+            "results": measured["scheduler"].get("result_cache"),
+        },
+        "comparison": dict(comparison) if comparison is not None else None,
+    }
+
+
+def _fingerprint(report: dict) -> str:
+    """Stable identity of the comparable axes of a serving campaign."""
+    axes = dict(report.get("workload") or {})
+    axes.update(report.get("load") or {})
+    blob = repr(sorted(axes.items())).encode()
+    return hashlib.sha256(blob).hexdigest()[:12]
+
+
+def record_for_serve_report(
+    report: dict, source: str = ""
+) -> LedgerRecord:
+    """A ledger record with the headline serving metrics.
+
+    The full ``repro.serve/v1`` document rides along in ``extra`` so a
+    dashboard can drill in; trend analysis sees only the flat metrics.
+    """
+    if report.get("schema") != SCHEMA:
+        raise ValueError(
+            f"not a serve report: schema {report.get('schema')!r}"
+        )
+    latency = report.get("latency_ms") or {}
+    throughput = report.get("throughput") or {}
+    caches = report.get("caches") or {}
+    prepared = caches.get("prepared") or {}
+    results = caches.get("results") or {}
+    comparison = report.get("comparison") or {}
+    metrics = {
+        "latency_p50_ms": float(latency.get("p50", 0.0)),
+        "latency_p90_ms": float(latency.get("p90", 0.0)),
+        "latency_p99_ms": float(latency.get("p99", 0.0)),
+        "latency_mean_ms": float(latency.get("mean", 0.0)),
+        "qps_achieved": float(throughput.get("qps_achieved", 0.0)),
+        "queries": float(throughput.get("queries", 0)),
+        "prepared_cache_hit_rate": float(prepared.get("hit_rate", 0.0)),
+        "result_cache_hit_rate": float(results.get("hit_rate", 0.0)),
+    }
+    if comparison:
+        metrics["sequential_qps"] = float(
+            comparison.get("sequential_qps", 0.0)
+        )
+        metrics["batched_qps"] = float(comparison.get("batched_qps", 0.0))
+        metrics["speedup"] = float(comparison.get("speedup", 0.0))
+    labels = {"schema": SCHEMA}
+    if source:
+        labels["source"] = source
+    return LedgerRecord(
+        kind="serve",
+        name="loadgen",
+        fingerprint=_fingerprint(report),
+        config={
+            "workload": dict(report.get("workload") or {}),
+            "load": dict(report.get("load") or {}),
+        },
+        metrics=metrics,
+        labels=labels,
+        extra={"report": report},
+    )

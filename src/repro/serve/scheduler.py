@@ -1,0 +1,273 @@
+"""Admission scheduler: coalesce concurrent queries into batched scans.
+
+Queries arrive one ``(source)`` at a time; the batched kernel answers up
+to 64 of them with one adjacency scan per level
+(:mod:`repro.core.multisource`).  The scheduler bridges the two with a
+classic admission queue:
+
+* ``submit`` enqueues the query and parks the caller on a future;
+* a dispatcher task collects up to ``max_batch`` queued queries,
+  waiting at most ``max_wait`` for stragglers once the first arrives
+  (the latency/throughput trade-off knobs);
+* duplicate sources inside a window are *coalesced* — one lane serves
+  every waiter — and completed answers land in a shared
+  :class:`ResultCache` LRU so hot ``(graph, source)`` pairs skip the
+  traversal entirely.
+
+The batch itself runs in a worker thread (``run_in_executor``) so the
+event loop keeps admitting queries while numpy crunches.  Correctness
+is inherited, not re-argued: every result is the bit-identical
+per-source product of :meth:`MultiSourceEngine.run_batch`, so batching
+changes *when* a query is answered, never *what* the answer is.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import OrderedDict
+
+from repro.core.kernels.batched import MAX_LANES
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["BatchScheduler", "ResultCache"]
+
+
+class ResultCache:
+    """Thread-safe LRU of completed BFS answers.
+
+    Keyed by ``(graph digest, source, config identity)`` so one cache
+    can safely back several sessions; results are immutable
+    :class:`~repro.core.engine.BFSResult` objects and are shared, not
+    copied.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ConfigError("result cache needs maxsize >= 1")
+        self.maxsize = int(maxsize)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple):
+        """The cached result for ``key``, or ``None`` (counts a miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: tuple, result) -> None:
+        """Insert ``result``, evicting the least recently used entry."""
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def stats(self) -> dict:
+        """Hit/miss counters and occupancy as a plain dict."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+                "entries": len(self._entries),
+                "maxsize": self.maxsize,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class BatchScheduler:
+    """Asyncio admission queue in front of one :class:`GraphSession`.
+
+    Use as an async context manager (or call :meth:`start` /
+    :meth:`stop`); ``submit`` may then be awaited from any number of
+    concurrent tasks.  The scheduler serializes batches — the session's
+    engine is not thread-safe — but admission, coalescing and the result
+    cache keep concurrency cheap.
+    """
+
+    def __init__(
+        self,
+        session,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        result_cache: ResultCache | int | None = 256,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if not 1 <= max_batch <= MAX_LANES:
+            raise ConfigError(
+                f"max_batch must be in [1, {MAX_LANES}], got {max_batch}"
+            )
+        if max_wait_ms < 0:
+            raise ConfigError("max_wait_ms must be >= 0")
+        self.session = session
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait_ms) / 1e3
+        if isinstance(result_cache, ResultCache):
+            self.results = result_cache
+        elif result_cache is None:
+            self.results = None
+        else:
+            self.results = ResultCache(maxsize=int(result_cache))
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.queries = 0
+        self.batches = 0
+        self.batched_queries = 0
+        self.coalesced = 0
+        self._queue: asyncio.Queue | None = None
+        self._task: asyncio.Task | None = None
+        # Config identity for result-cache keys shared across sessions.
+        self._config_key = repr(session.config)
+
+    # ---- lifecycle -------------------------------------------------------
+
+    async def start(self) -> "BatchScheduler":
+        """Start the dispatcher task (idempotent)."""
+        if self._task is None:
+            self._queue = asyncio.Queue()
+            self._task = asyncio.get_running_loop().create_task(
+                self._dispatch()
+            )
+        return self
+
+    async def stop(self) -> None:
+        """Drain the admission queue, then cancel the dispatcher."""
+        if self._task is None:
+            return
+        await self._queue.join()
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+        self._task = None
+        self._queue = None
+
+    async def __aenter__(self) -> "BatchScheduler":
+        """``async with`` support: start on entry."""
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        """``async with`` support: drain and stop on exit."""
+        await self.stop()
+
+    # ---- the query path --------------------------------------------------
+
+    def _key(self, source: int) -> tuple:
+        return (self.session.digest, int(source), self._config_key)
+
+    async def submit(self, source: int):
+        """Answer one query; parks until its batch completes.
+
+        Returns the :class:`~repro.core.engine.BFSResult` for
+        ``source`` — bit-identical to a sequential single-source run.
+        """
+        if self._task is None:
+            raise ConfigError(
+                "scheduler is not running; use 'async with scheduler:' "
+                "or await scheduler.start() first"
+            )
+        self.queries += 1
+        t0 = time.perf_counter()
+        if self.results is not None:
+            cached = self.results.get(self._key(source))
+            if cached is not None:
+                self.metrics.counter("serve.result_cache.hits").inc()
+                self.metrics.histogram("serve.latency_ms").observe(
+                    (time.perf_counter() - t0) * 1e3
+                )
+                return cached
+            self.metrics.counter("serve.result_cache.misses").inc()
+        future = asyncio.get_running_loop().create_future()
+        await self._queue.put((int(source), future))
+        result = await future
+        self.metrics.histogram("serve.latency_ms").observe(
+            (time.perf_counter() - t0) * 1e3
+        )
+        return result
+
+    async def _dispatch(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            batch = [first]
+            deadline = loop.time() + self.max_wait
+            while len(batch) < self.max_batch:
+                try:
+                    # Already-queued work joins the batch without waiting.
+                    batch.append(self._queue.get_nowait())
+                    continue
+                except asyncio.QueueEmpty:
+                    pass
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(
+                        self._queue.get(), remaining
+                    )
+                except asyncio.TimeoutError:
+                    break
+                batch.append(item)
+            await self._run_batch(loop, batch)
+            for _ in batch:
+                self._queue.task_done()
+
+    async def _run_batch(self, loop, batch) -> None:
+        # Coalesce duplicate sources: one lane answers every waiter.
+        waiters: OrderedDict[int, list] = OrderedDict()
+        for source, future in batch:
+            waiters.setdefault(source, []).append(future)
+        sources = list(waiters)
+        self.batches += 1
+        self.batched_queries += len(batch)
+        self.coalesced += len(batch) - len(sources)
+        self.metrics.histogram("serve.batch_size").observe(len(sources))
+        try:
+            results = await loop.run_in_executor(
+                None, self.session.run_batch, sources
+            )
+        except Exception as exc:  # propagate to every waiter
+            for futures in waiters.values():
+                for future in futures:
+                    if not future.done():
+                        future.set_exception(exc)
+            return
+        for source, result in zip(sources, results):
+            if self.results is not None:
+                self.results.put(self._key(source), result)
+            for future in waiters[source]:
+                if not future.done():
+                    future.set_result(result)
+
+    # ---- reporting -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Admission/batching counters (plus result-cache stats)."""
+        return {
+            "queries": self.queries,
+            "batches": self.batches,
+            "batched_queries": self.batched_queries,
+            "coalesced": self.coalesced,
+            "mean_batch_size": (
+                self.batched_queries / self.batches if self.batches else 0.0
+            ),
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait * 1e3,
+            "result_cache": (
+                self.results.stats() if self.results is not None else None
+            ),
+        }

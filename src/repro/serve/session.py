@@ -1,0 +1,139 @@
+"""The session API: prepared graphs shared across concurrent queries.
+
+A *session* is the unit a client holds while querying one graph under
+one configuration.  It splits the old ``BFSEngine`` lifecycle in two:
+
+* the **prepared graph** (partition bounds, per-rank CSR extractions,
+  bitmap word layout — :class:`~repro.core.prepared.PreparedGraph`) is
+  immutable, expensive, and shared: the service keeps it in a
+  thread-safe LRU keyed by ``(graph digest, partition config)``;
+* the **session** is lightweight per-client state: a
+  :class:`~repro.core.multisource.MultiSourceEngine` bound to the shared
+  prepared graph, answering single- and multi-source queries.
+
+Two sessions that differ only in per-query knobs (codec, kernel,
+sharing variant, alpha/beta ...) still share one prepared graph — the
+cache key deliberately ignores everything but the partition axes.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import BFSConfig
+from repro.core.engine import BFSResult
+from repro.core.multisource import MultiSourceEngine
+from repro.core.prepared import PreparedGraph, PreparedGraphCache
+from repro.core.timing import CostConstants
+from repro.graph.types import Graph
+from repro.machine.spec import ClusterSpec, paper_cluster
+
+__all__ = ["BFSService", "GraphSession"]
+
+
+class GraphSession:
+    """One client's handle onto a prepared graph.
+
+    Construction is cheap — the expensive partition state arrives as an
+    already-built :class:`PreparedGraph` — and the underlying batched
+    engine is built lazily on the first query.  A session is *not* safe
+    for concurrent queries from multiple threads; the serving scheduler
+    serializes batches per session (see
+    :class:`~repro.serve.scheduler.BatchScheduler`).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        cluster: ClusterSpec,
+        config: BFSConfig,
+        prepared: PreparedGraph,
+        constants: CostConstants = CostConstants(),
+        metrics=None,
+    ) -> None:
+        prepared.check(graph, cluster, config)
+        self.graph = graph
+        self.cluster = cluster
+        self.config = config
+        self.prepared = prepared
+        self.constants = constants
+        self.metrics = metrics
+        self._engine: MultiSourceEngine | None = None
+
+    @property
+    def digest(self) -> str:
+        """Content digest identifying the session's graph."""
+        return self.prepared.digest
+
+    @property
+    def engine(self) -> MultiSourceEngine:
+        """The batched engine, built on first use and then reused."""
+        if self._engine is None:
+            self._engine = MultiSourceEngine(
+                self.graph,
+                self.cluster,
+                self.config,
+                constants=self.constants,
+                prepared=self.prepared,
+                metrics=self.metrics,
+            )
+        return self._engine
+
+    def run(self, source: int, validate: bool = False) -> BFSResult:
+        """Answer one query (a batch of one lane)."""
+        return self.run_batch([source], validate=validate)[0]
+
+    def run_batch(self, sources, validate: bool = False) -> list[BFSResult]:
+        """Answer up to 64 queries in one batched traversal.
+
+        Results are returned in input order and are bit-identical to
+        sequential single-source runs (the
+        :mod:`repro.core.multisource` contract).
+        """
+        return self.engine.run_batch(sources, validate=validate)
+
+
+class BFSService:
+    """Multi-tenant entry point: hands out sessions over cached
+    prepared graphs.
+
+    The service owns (or borrows) a
+    :class:`~repro.core.prepared.PreparedGraphCache`; every
+    :meth:`session` call routes through it, so concurrent clients
+    querying the same graph under the same partition configuration share
+    one immutable :class:`PreparedGraph`.  The cache's hit/miss counters
+    feed the serving report.
+    """
+
+    def __init__(
+        self,
+        cache: PreparedGraphCache | None = None,
+        cluster: ClusterSpec | None = None,
+        constants: CostConstants = CostConstants(),
+    ) -> None:
+        self.cache = cache if cache is not None else PreparedGraphCache()
+        self.default_cluster = cluster or paper_cluster(nodes=1)
+        self.constants = constants
+
+    def session(
+        self,
+        graph: Graph,
+        cluster: ClusterSpec | None = None,
+        config: BFSConfig | None = None,
+        metrics=None,
+    ) -> GraphSession:
+        """Open a session for ``graph``; prepares (or reuses) the
+        partition state through the service's LRU."""
+        cluster = cluster or self.default_cluster
+        config = config or BFSConfig.original_ppn8()
+        prepared = self.cache.get_or_prepare(graph, cluster, config)
+        return GraphSession(
+            graph,
+            cluster,
+            config,
+            prepared,
+            constants=self.constants,
+            metrics=metrics,
+        )
+
+    def prepared_stats(self) -> dict:
+        """The prepared-graph cache's hit/miss/occupancy counters."""
+        return self.cache.stats()

@@ -3,11 +3,12 @@
 PR 3's API redesign moves every communication knob onto
 ``BFSConfig.comm`` (a frozen :class:`CommConfig`).  This suite pins the
 three contracts of that migration: (1) ``CommConfig`` validates and
-derives algorithms exactly as the flat kwargs did, (2) the deprecated
-flat kwargs still work but warn and build the equivalent ``CommConfig``,
-and (3) the forwarding properties keep the paper's vocabulary
-(``share_in_queue`` and friends) readable without a second source of
-truth.
+derives algorithms exactly as the flat kwargs did, (2) the flat kwargs
+— deprecated in PR 3, removed by the serving-layer redesign — now fail
+with a :class:`ConfigError` that names the offending kwargs and spells
+out the equivalent ``comm=CommConfig(...)``, and (3) the forwarding
+properties keep the paper's vocabulary (``share_in_queue`` and
+friends) readable without a second source of truth.
 """
 
 import dataclasses
@@ -43,34 +44,30 @@ LEGACY_SHIMS = [
 
 
 class TestLegacyShims:
-    """The deprecated flat kwargs: warn, map, stay equivalent."""
+    """The removed flat kwargs: raise with the exact migration hint."""
 
     @pytest.mark.parametrize("legacy, expected", LEGACY_SHIMS)
-    def test_legacy_kwargs_warn_and_map(self, legacy, expected):
-        with pytest.warns(DeprecationWarning, match="comm=CommConfig"):
-            cfg = BFSConfig(**legacy)
-        assert cfg.comm == expected
+    def test_legacy_kwargs_raise_with_equivalent(self, legacy, expected):
+        with pytest.raises(ConfigError, match="no longer supported") as exc:
+            BFSConfig(**legacy)
+        # The error carries the exact replacement, ready to paste.
+        assert repr(expected) in str(exc.value)
+        assert "comm=CommConfig" in str(exc.value)
 
-    @pytest.mark.parametrize("legacy, expected", LEGACY_SHIMS)
-    def test_legacy_equals_modern(self, legacy, expected):
-        with pytest.warns(DeprecationWarning):
-            old = BFSConfig(**legacy)
-        new = BFSConfig(comm=expected)
-        assert old == new
-
-    def test_warning_names_the_offending_kwargs(self):
-        with pytest.warns(DeprecationWarning, match="share_all"):
+    def test_error_names_the_offending_kwargs(self):
+        with pytest.raises(ConfigError, match="share_all") as exc:
             BFSConfig(share_in_queue=True, share_all=True)
+        assert "share_in_queue" in str(exc.value)
 
-    def test_both_comm_and_legacy_rejected(self):
-        with pytest.raises(ConfigError, match="not both"):
+    def test_legacy_alongside_comm_also_rejected(self):
+        with pytest.raises(ConfigError, match="no longer supported"):
             BFSConfig(comm=CommConfig(), share_in_queue=True)
 
-    def test_share_all_implies_share_in_queue_preserved(self):
-        """The historical validation error survives the shim."""
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ConfigError, match="share_all implies"):
-                BFSConfig(share_all=True)
+    def test_invalid_legacy_combination_still_typed_error(self):
+        """share_all without share_in_queue has no equivalent; the
+        error still points at the CommConfig migration."""
+        with pytest.raises(ConfigError, match="comm=CommConfig"):
+            BFSConfig(share_all=True)
 
     def test_modern_path_does_not_warn(self):
         import warnings

@@ -232,3 +232,92 @@ class TestDefaultRegistry:
         assert fresh is not reg
         assert default_registry() is fresh
         assert len(fresh) == 0
+
+
+class TestThreadSafety:
+    """Concurrent recording must lose no updates and tear no aggregates.
+
+    The serving scheduler records latencies and cache counters from the
+    event loop and from executor worker threads at once; these tests
+    hammer one metric family from many threads and assert the exact
+    totals (a lost += or a torn count/sum pair fails deterministically
+    with enough iterations).
+    """
+
+    THREADS = 8
+    ITERS = 2_000
+
+    def _hammer(self, fn):
+        import threading
+
+        barrier = threading.Barrier(self.THREADS)
+
+        def worker(tid):
+            barrier.wait()
+            for i in range(self.ITERS):
+                fn(tid, i)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_counter_concurrent_increments_exact(self):
+        c = Counter()
+        self._hammer(lambda tid, i: c.inc(1.0))
+        assert c.value == float(self.THREADS * self.ITERS)
+
+    def test_histogram_concurrent_observations_exact(self):
+        h = Histogram()
+        self._hammer(lambda tid, i: h.observe(float(i % 100) + 1.0))
+        expected = self.THREADS * self.ITERS
+        assert h.count == expected
+        per_thread = sum(float(i % 100) + 1.0 for i in range(self.ITERS))
+        assert h.total == pytest.approx(self.THREADS * per_thread)
+        assert h.min == 1.0
+        assert h.max == 100.0
+        # Quantile reads are consistent while nothing records.
+        assert 1.0 <= h.percentile(50.0) <= 100.0
+
+    def test_histogram_reads_during_writes_do_not_crash(self):
+        h = Histogram()
+
+        def fn(tid, i):
+            if tid == 0:
+                h.percentile(99.0)
+                h.summary()
+            else:
+                h.observe(float(i + 1))
+
+        self._hammer(fn)
+        assert h.count == (self.THREADS - 1) * self.ITERS
+
+    def test_registry_first_touch_race_returns_one_object(self):
+        import threading
+
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(self.THREADS)
+        seen = []
+        lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            c = registry.counter("serve.queries", node=0)
+            c.inc()
+            with lock:
+                seen.append(c)
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(c is seen[0] for c in seen)
+        assert seen[0].value == float(self.THREADS)
+        assert len(registry) == 1

@@ -1,0 +1,131 @@
+"""The ``repro-serve`` CLI: report shape, artifacts, ledger append."""
+
+import json
+
+import pytest
+
+from repro.serve.cli import main
+from repro.serve.report import (
+    SCHEMA,
+    build_report,
+    record_for_serve_report,
+)
+
+ARGS = [
+    "--scale", "10",
+    "--nodes", "1",
+    "--queries", "24",
+    "--root-pool", "4",
+    "--max-batch", "8",
+    "--graph-seed", "5",
+]
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    """One small campaign, reused by every assertion below."""
+    out = tmp_path_factory.mktemp("serve") / "report.json"
+    exit_code = main(ARGS + ["--json", str(out)])
+    assert exit_code == 0
+    with open(out, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+class TestReportDocument:
+    def test_schema_and_sections(self, report):
+        assert report["schema"] == SCHEMA
+        for section in (
+            "workload",
+            "load",
+            "latency_ms",
+            "throughput",
+            "scheduler",
+            "caches",
+        ):
+            assert section in report, section
+
+    def test_latency_percentiles_present(self, report):
+        latency = report["latency_ms"]
+        assert latency["count"] == 24
+        for q in ("p50", "p90", "p99"):
+            assert latency[q] >= 0.0
+        assert latency["p99"] >= latency["p50"]
+
+    def test_throughput_block(self, report):
+        throughput = report["throughput"]
+        assert throughput["queries"] == 24
+        assert throughput["qps_achieved"] > 0
+        assert throughput["wall_seconds"] > 0
+
+    def test_prepared_cache_hit_rate_nonzero(self, report):
+        # The warm-up session misses, the serving session hits.
+        assert report["caches"]["prepared"]["hit_rate"] > 0
+
+    def test_workload_axes(self, report):
+        workload = report["workload"]
+        assert workload["scale"] == 10
+        assert workload["num_vertices"] == 1024
+        assert workload["graph_digest"]
+
+
+class TestLedgerRecord:
+    def test_record_carries_headline_metrics(self, report):
+        record = record_for_serve_report(report, source="test")
+        assert record.kind == "serve"
+        assert record.name == "loadgen"
+        assert record.labels["schema"] == SCHEMA
+        assert "latency_p50_ms" in record.metrics
+        assert "latency_p99_ms" in record.metrics
+        assert record.metrics["queries"] == 24.0
+        assert record.extra["report"]["schema"] == SCHEMA
+        assert record.fingerprint
+
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="serve report"):
+            record_for_serve_report({"schema": "repro.run/v1"})
+
+    def test_cli_ledger_append(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path))
+        assert main(ARGS + ["--ledger"]) == 0
+        lines = (tmp_path / "runs.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+        doc = json.loads(lines[0])
+        assert doc["kind"] == "serve"
+        assert doc["metrics"]["latency_p99_ms"] >= 0.0
+        assert doc["labels"]["schema"] == SCHEMA
+
+
+class TestCompareSequential:
+    def test_comparison_block(self, tmp_path):
+        out = tmp_path / "cmp.json"
+        code = main(ARGS + ["--compare-sequential", "--json", str(out)])
+        assert code == 0
+        with open(out, encoding="utf-8") as fh:
+            report = json.load(fh)
+        comparison = report["comparison"]
+        assert comparison["roots"] == 8
+        assert comparison["sequential_qps"] > 0
+        assert comparison["batched_qps"] > 0
+        assert comparison["speedup"] > 0
+
+
+class TestBuildReport:
+    def test_none_comparison_is_preserved(self):
+        class _Fake:
+            """Minimal stand-in for a LoadGenResult."""
+
+            def as_dict(self):
+                """The fields build_report consumes."""
+                return {
+                    "queries": 1,
+                    "qps_offered": None,
+                    "qps_achieved": 1.0,
+                    "wall_seconds": 1.0,
+                    "latency_ms": {},
+                    "scheduler": {},
+                    "distinct_roots": 1,
+                }
+
+        report = build_report({}, {}, _Fake(), {"hit_rate": 0.0})
+        assert report["comparison"] is None
+        assert report["schema"] == SCHEMA
