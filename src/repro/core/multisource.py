@@ -43,6 +43,7 @@ from repro.core.hybrid import DirectionPolicy, FrontierStats
 from repro.core.kernels.batched import MAX_LANES, pack_lanes
 from repro.core.prepared import PreparedGraph
 from repro.core.timing import CostConstants, assemble
+from repro.obs.tracer import NULL_TRACER
 from repro.core.validate import validate_parent_tree
 from repro.errors import ConfigError, GraphError
 from repro.graph.types import Graph
@@ -53,6 +54,9 @@ from repro.util import bitops
 from repro.util.segments import gather_adjacency
 
 __all__ = ["MultiSourceEngine", "run_bfs_batch"]
+
+#: Shared inert context manager for untraced batch rounds.
+_NO_SPAN = NULL_TRACER.span("")
 
 
 class MultiSourceEngine:
@@ -73,11 +77,16 @@ class MultiSourceEngine:
         constants: CostConstants = CostConstants(),
         prepared: PreparedGraph | None = None,
         metrics=None,
+        tracer=None,
     ) -> None:
         config = config or BFSConfig.original_ppn8()
         self.engine = BFSEngine(
-            graph, cluster, config, constants=constants, prepared=prepared
+            graph, cluster, config, constants=constants, prepared=prepared,
+            tracer=tracer,
         )
+        # The engine resolved None to NULL_TRACER; share its choice so
+        # batch spans and comm events land in the same recording.
+        self.tracer = self.engine.tracer
         bounds = self.engine.partition.bounds
         # Owning rank of every vertex (partitions are contiguous ranges).
         self._owner_of = np.repeat(
@@ -99,13 +108,60 @@ class MultiSourceEngine:
     # ---- the batch run ---------------------------------------------------
 
     def run_batch(
-        self, roots, validate: bool = False
+        self,
+        roots,
+        validate: bool = False,
+        trace_ids=None,
+        batch_id: str | None = None,
     ) -> list[BFSResult]:
         """Run one BFS per root, all advanced level-by-level together.
 
         Returns one :class:`BFSResult` per root, in input order, each
         bit-identical to a sequential ``BFSEngine.run(root)``.
+
+        When the engine carries a recording tracer, the whole batch is
+        wrapped in a ``batch.run`` span, each lane is marked with a
+        ``batch.lane`` instant (lane index, source vertex, and — when
+        the serving scheduler passed them — the request ``trace_ids``
+        riding that lane), and every level-synchronous round gets a
+        ``batch.level`` span.  ``batch_id`` stamps all of them so the
+        serving layer's queue-wait spans link into the same chain.
         """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._run_batch(roots, validate)
+        with tracer.span(
+            "batch.run",
+            cat="batch",
+            batch_id=batch_id,
+            lanes=len(list(roots)),
+            sources=[int(r) for r in roots],
+        ):
+            for lane, root in enumerate(roots):
+                ids = (
+                    list(trace_ids[lane])
+                    if trace_ids is not None and lane < len(trace_ids)
+                    else []
+                )
+                tracer.instant(
+                    "batch.lane",
+                    cat="batch",
+                    lane=lane,
+                    source=int(root),
+                    batch_id=batch_id,
+                    trace_ids=ids,
+                )
+            return self._run_batch(
+                roots, validate, tracer=tracer, batch_id=batch_id
+            )
+
+    def _run_batch(
+        self,
+        roots,
+        validate: bool = False,
+        tracer=NULL_TRACER,
+        batch_id: str | None = None,
+    ) -> list[BFSResult]:
         eng = self.engine
         graph = eng.graph
         n = graph.num_vertices
@@ -160,55 +216,70 @@ class MultiSourceEngine:
             else None
         )
 
+        rounds = 0
         while not all(finished):
-            td_set: list[int] = []
-            bu_set: list[int] = []
-            lcs: dict[int, LevelCounts] = {}
-            for s in range(num):
-                if finished[s]:
-                    continue
-                f = frontiers[s]
-                if f.size == 0:
-                    finished[s] = True
-                    continue
-                stats = FrontierStats(
-                    frontier_vertices=int(f.size),
-                    frontier_edges=int(degrees[f].sum()),
-                    unexplored_edges=int(unexplored[s].sum()),
-                    num_vertices=n,
+            ctx = (
+                tracer.span(
+                    "batch.level",
+                    cat="batch",
+                    round=rounds,
+                    batch_id=batch_id,
                 )
-                direction = policies[s].decide(stats)
-                lc = LevelCounts(level=levels[s], direction=direction)
-                lc.allreduces = 3
-                lc.switched = (
-                    prev_dir[s] is not None and prev_dir[s] != direction
-                )
-                lc.frontier_local = np.bincount(
-                    self._owner_of[f], minlength=np_ranks
-                ).astype(np.int64)
-                lcs[s] = lc
-                if direction == Direction.TOP_DOWN:
-                    td_set.append(s)
-                else:
-                    bu_set.append(s)
+                if tracer.enabled
+                else _NO_SPAN
+            )
+            with ctx:
+                td_set: list[int] = []
+                bu_set: list[int] = []
+                lcs: dict[int, LevelCounts] = {}
+                for s in range(num):
+                    if finished[s]:
+                        continue
+                    f = frontiers[s]
+                    if f.size == 0:
+                        finished[s] = True
+                        continue
+                    stats = FrontierStats(
+                        frontier_vertices=int(f.size),
+                        frontier_edges=int(degrees[f].sum()),
+                        unexplored_edges=int(unexplored[s].sum()),
+                        num_vertices=n,
+                    )
+                    direction = policies[s].decide(stats)
+                    lc = LevelCounts(level=levels[s], direction=direction)
+                    lc.allreduces = 3
+                    lc.switched = (
+                        prev_dir[s] is not None and prev_dir[s] != direction
+                    )
+                    lc.frontier_local = np.bincount(
+                        self._owner_of[f], minlength=np_ranks
+                    ).astype(np.int64)
+                    lcs[s] = lc
+                    if direction == Direction.TOP_DOWN:
+                        td_set.append(s)
+                    else:
+                        bu_set.append(s)
 
-            if td_set:
-                self._top_down_round(
-                    td_set, frontiers, parent, unexplored, lcs
-                )
-            if bu_set:
-                self._bottom_up_round(
-                    bu_set, frontiers, parent, unexplored, lcs, shared,
-                    visited_words, roots,
-                )
-            for s in (*td_set, *bu_set):
-                lc = lcs[s]
-                lc.discovered = np.bincount(
-                    self._owner_of[frontiers[s]], minlength=np_ranks
-                ).astype(np.int64)
-                counts_list[s].levels.append(lc)
-                prev_dir[s] = lc.direction
-                levels[s] += 1
+                if td_set:
+                    self._top_down_round(
+                        td_set, frontiers, parent, unexplored, lcs
+                    )
+                if bu_set:
+                    self._bottom_up_round(
+                        bu_set, frontiers, parent, unexplored, lcs, shared,
+                        visited_words, roots,
+                    )
+                for s in (*td_set, *bu_set):
+                    lc = lcs[s]
+                    lc.discovered = np.bincount(
+                        self._owner_of[frontiers[s]], minlength=np_ranks
+                    ).astype(np.int64)
+                    counts_list[s].levels.append(lc)
+                    prev_dir[s] = lc.direction
+                    levels[s] += 1
+                if tracer.enabled:
+                    ctx.set(top_down=len(td_set), bottom_up=len(bu_set))
+            rounds += 1
 
         results: list[BFSResult] = []
         for s, root in enumerate(roots):

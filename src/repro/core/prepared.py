@@ -249,12 +249,18 @@ class PreparedGraphCache:
         return prepared
 
     def stats(self) -> dict:
-        """Hit/miss counters and occupancy as a plain dict."""
+        """Hit/miss counters and occupancy as a plain dict.
+
+        ``hit_rate`` is 0.0 (not a division error) before the first
+        lookup; ``lookups`` carries the denominator so readers can tell
+        "no traffic yet" from "all misses".
+        """
         with self._lock:
             total = self.hits + self.misses
             return {
                 "hits": self.hits,
                 "misses": self.misses,
+                "lookups": total,
                 "hit_rate": self.hits / total if total else 0.0,
                 "entries": len(self._entries),
                 "maxsize": self.maxsize,

@@ -33,18 +33,34 @@ kernels and the simulated communicator.
   CLI diagnostics.
 * :mod:`repro.obs.ledgercli` — the ``repro-ledger`` command
   (log / list / show / check / dash).
+* :mod:`repro.obs.expo` — OpenMetrics/Prometheus text exposition of a
+  metrics registry (plus the strict parser used in round-trip tests).
+* :mod:`repro.obs.opsserver` — stdlib-only live ops HTTP server
+  (``/metrics``, ``/healthz``, ``/debug/state``) behind
+  ``repro-serve --ops-port``.
+* :mod:`repro.obs.slo` — SLO objectives, multiwindow burn-rate
+  evaluation, and the ``repro.slo/v1`` ledger record.
 
 See ``docs/OBSERVABILITY.md`` for the span model, event schema, and the
 attribution / drift / diff / ledger / trend walkthroughs.
 """
 
+from repro.obs.expo import (
+    CONTENT_TYPE,
+    ExpositionError,
+    parse_openmetrics,
+    render_openmetrics,
+)
 from repro.obs.export import (
     chrome_trace,
     events_jsonl,
     rank_timeline,
+    request_chain,
+    serve_chrome_trace,
     summary_table,
     write_chrome_trace,
     write_events_jsonl,
+    write_serve_trace,
 )
 from repro.obs.hostprof import (
     NULL_HOSTPROF,
@@ -54,6 +70,7 @@ from repro.obs.hostprof import (
     NullHostProfiler,
 )
 from repro.obs.log import get_logger, setup_logging
+from repro.obs.opsserver import NULL_OPS, NullOpsServer, OpsServer
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -87,9 +104,23 @@ __all__ = [
     "rank_timeline",
     "chrome_trace",
     "write_chrome_trace",
+    "serve_chrome_trace",
+    "write_serve_trace",
+    "request_chain",
     "events_jsonl",
     "write_events_jsonl",
     "summary_table",
+    "CONTENT_TYPE",
+    "ExpositionError",
+    "render_openmetrics",
+    "parse_openmetrics",
+    "OpsServer",
+    "NullOpsServer",
+    "NULL_OPS",
+    "SLOObjective",
+    "SLOSpec",
+    "SLOMonitor",
+    "record_for_slo_report",
     "LevelAttribution",
     "RunAttribution",
     "attribute_run",
@@ -145,6 +176,10 @@ _LAZY = {
     "record_for_result": "repro.obs.ledger",
     "TrendReport": "repro.obs.trend",
     "check_records": "repro.obs.trend",
+    "SLOObjective": "repro.obs.slo",
+    "SLOSpec": "repro.obs.slo",
+    "SLOMonitor": "repro.obs.slo",
+    "record_for_slo_report": "repro.obs.slo",
     "render_dashboard": "repro.obs.dash",
     "write_dashboard": "repro.obs.dash",
 }

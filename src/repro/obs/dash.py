@@ -449,6 +449,70 @@ def _chaos_section(records: list[LedgerRecord]) -> str:
     )
 
 
+def _slo_section(records: list[LedgerRecord], last: int = 12) -> str:
+    """Serving SLO verdicts (kind ``slo``), breaches highlighted red."""
+    runs = [r for r in records if r.kind == "slo"][-last:]
+    if not runs:
+        return _card(
+            "Serving SLO burn rate",
+            '<p class="empty">no SLO evaluations yet</p>',
+        )
+    rows = []
+    for rec in reversed(runs):
+        verdict = rec.labels.get("verdict", "?")
+        # Breach (and warning burns) get the palette's red slot so a
+        # failing SLO is visible without reading the table.
+        if verdict == "breach":
+            v_cell = (
+                '<td style="color:var(--s8);font-weight:600">breach</td>'
+            )
+        elif verdict in ("fast_burn", "slow_burn"):
+            v_cell = f'<td style="color:var(--s8)">{_esc(verdict)}</td>'
+        else:
+            v_cell = f"<td>{_esc(verdict)}</td>"
+        objectives = (rec.extra or {}).get("objective_verdicts", {})
+        obj_text = ", ".join(
+            f"{label}: {v}" for label, v in sorted(objectives.items())
+        )
+        burn_keys = [k for k in rec.metrics if k.endswith(".burn_rate")]
+        worst_burn = max(
+            (rec.metrics[k] for k in burn_keys), default=None
+        )
+        rows.append(
+            "<tr>"
+            + f"<td>{_esc((rec.ts or '')[:19])}</td>"
+            + f"<td>{_esc(rec.name)}</td>"
+            + v_cell
+            + f"<td>{_esc(obj_text or '-')}</td>"
+            + f"<td>{_fmt(worst_burn) if worst_burn is not None else '-'}"
+            + "</td>"
+            + f"<td>{_fmt(rec.metrics.get('requests', 0))}</td>"
+            + "</tr>"
+        )
+    table = (
+        "<table><thead><tr>"
+        + "".join(
+            f"<th>{h}</th>"
+            for h in (
+                "when",
+                "slo",
+                "verdict",
+                "objectives",
+                "worst burn",
+                "requests",
+            )
+        )
+        + "</tr></thead><tbody>"
+        + "".join(rows)
+        + "</tbody></table>"
+    )
+    return _card(
+        "Serving SLO burn rate",
+        table,
+        f"last {len(runs)} evaluations; burn rate 1.0 = exactly on budget",
+    )
+
+
 def _table_section(records: list[LedgerRecord], last: int = 20) -> str:
     recent = records[-last:]
     if not recent:
@@ -516,6 +580,7 @@ def render_dashboard(
         _attribution_section(records),
         _codec_section(records),
         _chaos_section(records),
+        _slo_section(records),
         _table_section(records),
     ]
     span = ""

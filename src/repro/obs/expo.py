@@ -1,0 +1,342 @@
+"""OpenMetrics text exposition for :class:`~repro.obs.metrics.MetricsRegistry`.
+
+The in-process registry is what the engine and the serving layer record
+into; this module renders it in the OpenMetrics/Prometheus text format
+so a scraper (or the ops server, :mod:`repro.obs.opsserver`) can watch a
+live ``repro-serve`` process instead of waiting for the post-hoc
+``repro.serve/v1`` report:
+
+* counters become ``counter`` families (sample name ``<family>_total``,
+  per the OpenMetrics suffix convention — dotted registry names are
+  sanitized and a trailing ``_total`` is folded into the family name);
+* gauges become ``gauge`` families;
+* histograms become ``histogram`` families with **cumulative** ``le``
+  buckets derived from the registry histogram's internal log buckets
+  (each occupied bucket's upper bound, ascending, plus the ``+Inf``
+  bucket), ``_count`` and ``_sum``.
+
+Rendering is deterministic — families sorted by name, label keys sorted,
+label values escaped — so two snapshots of the same registry state are
+byte-identical.  :func:`parse_openmetrics` is the matching strict parser
+(used by the round-trip tests and the CI scrape step); it validates the
+``# TYPE`` discipline, sample-name suffixes, bucket monotonicity and the
+terminating ``# EOF``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+__all__ = [
+    "CONTENT_TYPE",
+    "render_openmetrics",
+    "parse_openmetrics",
+    "ExpositionError",
+]
+
+#: The content type the ops server serves ``/metrics`` under.
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: ``<name>{<labels>} <value>`` — labels optional, value mandatory.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_ONE_LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+_LABELSET_RE = re.compile(f"^{_ONE_LABEL}(?:,{_ONE_LABEL})*$")
+
+
+class ExpositionError(ValueError):
+    """A document that is not valid OpenMetrics text."""
+
+
+def sanitize_name(name: str) -> str:
+    """A registry metric name as a legal OpenMetrics metric name."""
+    out = _SANITIZE.sub("_", name)
+    if not _NAME_OK.match(out):
+        out = "_" + out
+    return out
+
+
+def _escape(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labelset(labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    """``{k="v",...}`` with deterministic ordering (or "" when empty).
+
+    ``labels`` is the registry's sorted ``(key, value)`` tuple; ``extra``
+    pairs (the ``le`` of a bucket sample) are appended last.
+    """
+    pairs = [*labels, *extra]
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _num(value: float) -> str:
+    """A float rendered for exposition (integers without the dot)."""
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_openmetrics(registry) -> str:
+    """The registry snapshot as one OpenMetrics text document.
+
+    Families are emitted sorted by (exposition) family name; a counter
+    family named ``x_total`` in the registry and its exposition family
+    ``x`` refer to the same series.  Ends with ``# EOF`` as the format
+    requires.
+    """
+    counters, gauges, histograms = registry.snapshot()
+
+    # family name -> (type, help, [(labels, metric), ...])
+    families: dict[str, tuple[str, str, list]] = {}
+
+    def family(name: str, kind: str, help_suffix: str) -> list:
+        if name in families:
+            existing = families[name]
+            if existing[0] != kind:
+                raise ExpositionError(
+                    f"metric family {name!r} exposed as both "
+                    f"{existing[0]} and {kind}"
+                )
+            return existing[2]
+        samples: list = []
+        families[name] = (kind, help_suffix, samples)
+        return samples
+
+    for (name, labels), metric in counters.items():
+        fam = sanitize_name(name)
+        fam = fam[: -len("_total")] if fam.endswith("_total") else fam
+        family(fam, "counter", f"registry counter {name}").append(
+            (labels, metric.value)
+        )
+    for (name, labels), metric in gauges.items():
+        family(
+            sanitize_name(name), "gauge", f"registry gauge {name}"
+        ).append((labels, metric.value))
+    for (name, labels), metric in histograms.items():
+        family(
+            sanitize_name(name), "histogram", f"registry histogram {name}"
+        ).append((labels, metric.cumulative_buckets()))
+
+    lines: list[str] = []
+    for fam in sorted(families):
+        kind, help_text, samples = families[fam]
+        lines.append(f"# TYPE {fam} {kind}")
+        lines.append(f"# HELP {fam} {help_text}")
+        for labels, payload in sorted(samples, key=lambda s: s[0]):
+            if kind == "counter":
+                lines.append(
+                    f"{fam}_total{_labelset(labels)} {_num(payload)}"
+                )
+            elif kind == "gauge":
+                lines.append(f"{fam}{_labelset(labels)} {_num(payload)}")
+            else:
+                for le, cumulative in payload["buckets"]:
+                    lines.append(
+                        f"{fam}_bucket"
+                        f"{_labelset(labels, (('le', _num(le)),))}"
+                        f" {cumulative}"
+                    )
+                lines.append(
+                    f"{fam}_bucket"
+                    f"{_labelset(labels, (('le', '+Inf'),))}"
+                    f" {payload['count']}"
+                )
+                lines.append(
+                    f"{fam}_count{_labelset(labels)} {payload['count']}"
+                )
+                lines.append(
+                    f"{fam}_sum{_labelset(labels)} {_num(payload['sum'])}"
+                )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Parsing (round-trip validation, CI scrape checks)
+# ---------------------------------------------------------------------------
+
+
+def _parse_value(text: str, where: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError as exc:
+        raise ExpositionError(f"{where}: bad value {text!r}") from exc
+
+
+def _sample_family(name: str, kind: str, where: str) -> tuple[str, str]:
+    """Map a sample name back to (family, suffix) under ``kind``'s rules."""
+    if kind == "counter":
+        if not name.endswith("_total"):
+            raise ExpositionError(
+                f"{where}: counter sample {name!r} must end in _total"
+            )
+        return name[: -len("_total")], "_total"
+    if kind == "gauge":
+        return name, ""
+    for suffix in ("_bucket", "_count", "_sum"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)], suffix
+    raise ExpositionError(
+        f"{where}: histogram sample {name!r} has no bucket/count/sum suffix"
+    )
+
+
+def parse_openmetrics(text: str) -> dict:
+    """Parse an OpenMetrics text document, validating as it goes.
+
+    Returns ``{family: {"type", "help", "samples"}}`` where each sample
+    is ``(suffix, labels_dict, value)`` (suffix "" for gauges,
+    ``_total`` for counters, ``_bucket``/``_count``/``_sum`` for
+    histograms).  Raises :class:`ExpositionError` on: missing ``# EOF``,
+    samples before their ``# TYPE``, sample names that break the
+    suffix rules, non-monotone histogram buckets, or a ``_count`` that
+    disagrees with the ``+Inf`` bucket.
+    """
+    families: dict[str, dict] = {}
+    types: dict[str, str] = {}
+    saw_eof = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        where = f"line {lineno}"
+        line = raw.rstrip()
+        if saw_eof and line:
+            raise ExpositionError(f"{where}: content after # EOF")
+        if not line:
+            continue
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if kind not in ("counter", "gauge", "histogram"):
+                raise ExpositionError(f"{where}: unknown type {kind!r}")
+            if name in types:
+                raise ExpositionError(
+                    f"{where}: duplicate # TYPE for {name!r}"
+                )
+            types[name] = kind
+            families[name] = {"type": kind, "help": "", "samples": []}
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            if name not in families:
+                raise ExpositionError(
+                    f"{where}: # HELP for undeclared family {name!r}"
+                )
+            families[name]["help"] = help_text
+            continue
+        if line.startswith("#"):
+            raise ExpositionError(f"{where}: unrecognized comment {line!r}")
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ExpositionError(f"{where}: unparseable sample {line!r}")
+        sample_name = m.group("name")
+        # A sample belongs to the unique declared family its name maps
+        # back to under that family's suffix rules.
+        matched = None
+        for fam, kind in types.items():
+            try:
+                candidate, suffix = _sample_family(sample_name, kind, where)
+            except ExpositionError:
+                continue
+            if candidate == fam:
+                matched = (fam, suffix)
+                break
+        if matched is None:
+            raise ExpositionError(
+                f"{where}: sample {sample_name!r} precedes its # TYPE "
+                f"or matches no declared family"
+            )
+        fam, suffix = matched
+        labels: dict[str, str] = {}
+        if m.group("labels"):
+            if not _LABELSET_RE.match(m.group("labels")):
+                raise ExpositionError(
+                    f"{where}: malformed label set "
+                    f"{{{m.group('labels')}}}"
+                )
+            for lm in _LABEL_RE.finditer(m.group("labels")):
+                labels[lm.group(1)] = (
+                    lm.group(2)
+                    .replace("\\n", "\n")
+                    .replace('\\"', '"')
+                    .replace("\\\\", "\\")
+                )
+        value = _parse_value(m.group("value"), where)
+        if suffix == "_bucket" and "le" not in labels:
+            raise ExpositionError(f"{where}: bucket sample without le")
+        families[fam]["samples"].append((suffix, labels, value))
+    if not saw_eof:
+        raise ExpositionError("document does not end with # EOF")
+    _validate_histograms(families)
+    return families
+
+
+def _validate_histograms(families: dict) -> None:
+    for fam, doc in families.items():
+        if doc["type"] != "histogram":
+            continue
+        # Group by the non-le label identity.
+        series: dict[tuple, dict] = {}
+        for suffix, labels, value in doc["samples"]:
+            ident = tuple(
+                sorted((k, v) for k, v in labels.items() if k != "le")
+            )
+            entry = series.setdefault(
+                ident, {"buckets": [], "count": None}
+            )
+            if suffix == "_bucket":
+                entry["buckets"].append(
+                    (_parse_value(labels["le"], fam), value)
+                )
+            elif suffix == "_count":
+                entry["count"] = value
+        for ident, entry in series.items():
+            buckets = entry["buckets"]
+            if not buckets:
+                raise ExpositionError(f"{fam}{dict(ident)}: no buckets")
+            les = [le for le, _ in buckets]
+            counts = [c for _, c in buckets]
+            if les != sorted(les) or len(set(les)) != len(les):
+                raise ExpositionError(
+                    f"{fam}{dict(ident)}: bucket bounds not increasing"
+                )
+            if counts != sorted(counts):
+                raise ExpositionError(
+                    f"{fam}{dict(ident)}: bucket counts not cumulative"
+                )
+            if not math.isinf(les[-1]):
+                raise ExpositionError(
+                    f"{fam}{dict(ident)}: missing +Inf bucket"
+                )
+            if entry["count"] is not None and entry["count"] != counts[-1]:
+                raise ExpositionError(
+                    f"{fam}{dict(ident)}: _count {entry['count']} != "
+                    f"+Inf bucket {counts[-1]}"
+                )

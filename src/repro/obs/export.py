@@ -30,6 +30,9 @@ __all__ = [
     "rank_timeline",
     "chrome_trace",
     "write_chrome_trace",
+    "serve_chrome_trace",
+    "write_serve_trace",
+    "request_chain",
     "events_jsonl",
     "write_events_jsonl",
     "summary_table",
@@ -149,6 +152,210 @@ def write_chrome_trace(path: str, result: "BFSResult") -> None:
     """Write :func:`chrome_trace` output as JSON to ``path``."""
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(chrome_trace(result), fh)
+
+
+# ---------------------------------------------------------------------------
+# Serving (wall-clock) trace
+# ---------------------------------------------------------------------------
+
+
+def serve_chrome_trace(tracer) -> dict:
+    """A serving run's *wall-clock* spans as a Chrome trace document.
+
+    Unlike :func:`chrome_trace` (one simulated run, simulated clock),
+    this renders what the serving process itself did: the scheduler's
+    pipeline — batch assembly, ``batch.run`` / ``batch.level`` engine
+    spans, with each batched lane labelled ``lane L src V`` so
+    multi-source batches are readable in Perfetto — on one track, and
+    every request's ``serve.queue_wait`` / ``serve.cache_hit`` span on
+    its own per-``trace_id`` track.  ``tracer`` is anything with a
+    ``spans`` list (:class:`~repro.obs.tracer.SpanTracer` or
+    :class:`~repro.obs.tracer.RunTelemetry`).
+    """
+    spans = list(tracer.spans)
+    t0 = min((sp.start_ns for sp in spans), default=0)
+
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "serving"},
+        },
+        {
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "name": "thread_name",
+            "args": {"name": "pipeline"},
+        },
+    ]
+    # Request spans get one track each, keyed (and sorted) by trace_id.
+    request_tids: dict[str, int] = {}
+
+    def tid_for(trace_id: str) -> int:
+        if trace_id not in request_tids:
+            tid = len(request_tids) + 1
+            request_tids[trace_id] = tid
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": str(trace_id)},
+                }
+            )
+        return request_tids[trace_id]
+
+    for sp in spans:
+        attrs = dict(sp.attrs)
+        if sp.cat == "request":
+            tid = tid_for(str(attrs.get("trace_id")))
+        else:
+            tid = 0
+        if sp.name == "batch.lane":
+            # Satellite of the multi-source work: name each lane after
+            # its index and source vertex so Perfetto shows which root
+            # rode which lane.
+            name = f"lane {attrs.get('lane')} src {attrs.get('source')}"
+        else:
+            name = sp.name
+        ts = (sp.start_ns - t0) / 1e3
+        if sp.end_ns is not None and sp.end_ns > sp.start_ns:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": tid,
+                    "name": name,
+                    "cat": sp.cat,
+                    "ts": ts,
+                    "dur": (sp.end_ns - sp.start_ns) / 1e3,
+                    "args": attrs,
+                }
+            )
+        else:
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 0,
+                    "tid": tid,
+                    "name": name,
+                    "cat": sp.cat,
+                    "ts": ts,
+                    "args": attrs,
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "kind": "serving",
+            "spans": len(spans),
+            "requests": len(request_tids),
+        },
+    }
+
+
+def write_serve_trace(path: str, tracer) -> None:
+    """Write :func:`serve_chrome_trace` output as JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(serve_chrome_trace(tracer), fh)
+
+
+def request_chain(spans, trace_id: str) -> dict:
+    """Resolve one request's queue → batch → engine span chain.
+
+    Walks the links the serving layer recorded: the request's
+    ``serve.queue_wait`` span carries its ``batch_id``; that id names
+    the ``serve.batch_assembly`` span, the engine's ``batch.run`` span,
+    and the ``batch.lane`` marker whose ``trace_ids`` include this
+    request; the per-round ``batch.level`` spans are ``batch.run``'s
+    children.  Cache hits short-circuit to their ``serve.cache_hit``
+    marker.  Raises ``ValueError`` when any link is missing — the trace
+    does not connect — which is exactly what the tracing tests assert
+    never happens for a served request.
+    """
+    spans = list(spans)
+
+    def named(name):
+        return [sp for sp in spans if sp.name == name]
+
+    hits = [
+        sp
+        for sp in named("serve.cache_hit")
+        if sp.attrs.get("trace_id") == trace_id
+    ]
+    waits = [
+        sp
+        for sp in named("serve.queue_wait")
+        if sp.attrs.get("trace_id") == trace_id
+    ]
+    if not waits:
+        if hits:
+            return {
+                "trace_id": trace_id,
+                "cache_hit": True,
+                "queue_wait": None,
+                "batch_id": None,
+                "spans": [hits[0].index],
+            }
+        raise ValueError(f"no span recorded for trace_id {trace_id!r}")
+    wait = waits[0]
+    batch_id = wait.attrs.get("batch_id")
+    assembly = [
+        sp
+        for sp in named("serve.batch_assembly")
+        if sp.attrs.get("batch_id") == batch_id
+    ]
+    runs = [
+        sp
+        for sp in named("batch.run")
+        if sp.attrs.get("batch_id") == batch_id
+    ]
+    if not assembly or not runs:
+        raise ValueError(
+            f"trace_id {trace_id!r}: batch {batch_id!r} has no "
+            f"assembly/run span"
+        )
+    run = runs[0]
+    lanes = [
+        sp
+        for sp in named("batch.lane")
+        if sp.attrs.get("batch_id") == batch_id
+        and trace_id in (sp.attrs.get("trace_ids") or [])
+    ]
+    if not lanes:
+        raise ValueError(
+            f"trace_id {trace_id!r}: no lane in batch {batch_id!r} "
+            f"carries it"
+        )
+    levels = [sp for sp in named("batch.level") if sp.parent == run.index]
+    if not levels:
+        raise ValueError(
+            f"trace_id {trace_id!r}: batch {batch_id!r} ran no levels"
+        )
+    return {
+        "trace_id": trace_id,
+        "cache_hit": False,
+        "batch_id": batch_id,
+        "queue_wait": wait.index,
+        "assembly": assembly[0].index,
+        "run": run.index,
+        "lane": lanes[0].attrs.get("lane"),
+        "source": lanes[0].attrs.get("source"),
+        "levels": [sp.index for sp in levels],
+        "spans": [
+            wait.index,
+            assembly[0].index,
+            run.index,
+            lanes[0].index,
+            *(sp.index for sp in levels),
+        ],
+    }
 
 
 def events_jsonl(telemetry: "RunTelemetry") -> str:

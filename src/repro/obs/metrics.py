@@ -162,6 +162,54 @@ class Histogram:
                     break
             return min(max(value, self.min), self.max)
 
+    def cumulative_buckets(self) -> dict:
+        """Cumulative bucket counts for OpenMetrics-style exposition.
+
+        Returns ``{"buckets": [(le, cumulative_count), ...], "count": n,
+        "sum": s}`` read under one lock so the triple is consistent.  Each
+        ``le`` is the upper bound of one occupied internal log bucket
+        (ascending, strictly increasing); the final implicit ``+Inf``
+        bucket equals ``count`` and is left to the renderer.
+        """
+
+        def upper(key: tuple[int, int]) -> float:
+            sign, idx = key
+            if sign == 0:
+                return 0.0
+            if sign > 0:
+                return self._BUCKET_BASE ** idx
+            return -(self._BUCKET_BASE ** (idx - 1))
+
+        with self._lock:
+            keys = sorted(self._buckets, key=self._representative)
+            buckets: list[tuple[float, int]] = []
+            cumulative = 0
+            for key in keys:
+                cumulative += self._buckets[key]
+                buckets.append((upper(key), cumulative))
+            return {
+                "buckets": buckets,
+                "count": self.count,
+                "sum": self.total,
+            }
+
+    def count_le(self, threshold: float) -> int:
+        """Observations at or below ``threshold`` (bucket-resolution).
+
+        Counts every occupied bucket whose upper bound is ≤ ``threshold``,
+        so the answer is exact at bucket boundaries and otherwise errs
+        low by at most one bucket (~9 % relative width) — the resolution
+        the SLO layer's good-event accounting inherits.
+        """
+        snap = self.cumulative_buckets()
+        best = 0
+        for le, cumulative in snap["buckets"]:
+            if le <= threshold:
+                best = cumulative
+            else:
+                break
+        return best
+
     def summary(self) -> dict:
         """The aggregates (plus p50/p90/p99 estimates) as a plain dict."""
         return {
@@ -224,6 +272,21 @@ class MetricsRegistry:
             if h is None:
                 h = self._histograms[key] = Histogram()
         return h
+
+    def snapshot(self) -> tuple[dict, dict, dict]:
+        """Shallow copies of the (counters, gauges, histograms) maps.
+
+        Keys are the internal ``(name, sorted-label-tuple)`` identities;
+        values are the live metric objects (safe to read — they guard
+        their own state).  Taken under the registry lock so the exposition
+        layer sees a consistent family set.
+        """
+        with self._lock:
+            return (
+                dict(self._counters),
+                dict(self._gauges),
+                dict(self._histograms),
+            )
 
     def items(self):
         """Iterate ``(formatted_name, metric)`` over all families."""

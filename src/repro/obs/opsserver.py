@@ -1,0 +1,222 @@
+"""Lightweight stdlib-only ops HTTP server for live serving processes.
+
+``repro-serve --ops-port N`` starts one of these next to the campaign so
+an operator (or the CI scrape step) can look at the process *while it
+serves* instead of waiting for the post-hoc report:
+
+* ``/metrics`` — the live :class:`~repro.obs.metrics.MetricsRegistry`
+  in OpenMetrics text format (:mod:`repro.obs.expo`);
+* ``/healthz`` — JSON liveness: every registered probe must pass
+  (scheduler dispatcher alive, prepared-graph cache answering); any
+  failing probe turns the status 503 so a load balancer or CI poll
+  loop can gate on the HTTP code alone;
+* ``/debug/state`` — one JSON snapshot of operational state (queue
+  depth, in-flight batches, cache stats, config fingerprint).
+
+The server is a ``ThreadingHTTPServer`` on a daemon thread: handlers
+only ever *read* (the registry and probes are lock-protected), the hot
+path never blocks on a scrape, and a hung client cannot wedge shutdown.
+When no ops server is requested nothing is constructed — callers that
+want an always-present handle use :data:`NULL_OPS`, whose ``start`` /
+``stop`` are no-ops (the same null-object pattern as ``NULL_TRACER``
+and ``NULL_HOSTPROF``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.expo import CONTENT_TYPE, render_openmetrics
+
+__all__ = ["OpsServer", "NullOpsServer", "NULL_OPS", "normalize_probe"]
+
+
+def normalize_probe(result) -> tuple[bool, object]:
+    """Coerce a health probe's return into ``(ok, detail)``.
+
+    Probes may return a bare bool, an ``(ok, detail)`` pair, or any
+    JSON-ready detail object (treated as passing).  Exceptions are the
+    caller's to map to ``(False, ...)``.
+    """
+    if isinstance(result, tuple) and len(result) == 2:
+        return bool(result[0]), result[1]
+    if isinstance(result, bool):
+        return result, {}
+    return True, result
+
+
+class NullOpsServer:
+    """The disabled ops server: binds nothing, serves nothing."""
+
+    __slots__ = ()
+
+    enabled = False
+    port = None
+
+    def start(self) -> "NullOpsServer":
+        """No-op start."""
+        return self
+
+    def stop(self) -> None:
+        """No-op stop."""
+
+    def __enter__(self) -> "NullOpsServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+NULL_OPS = NullOpsServer()
+
+
+class OpsServer:
+    """Serve ``/metrics``, ``/healthz`` and ``/debug/state`` over HTTP.
+
+    ``metrics`` is the live registry to expose; ``health`` maps probe
+    name → zero-argument callable (see :func:`normalize_probe`);
+    ``state`` is a zero-argument callable returning the ``/debug/state``
+    JSON document.  ``port=0`` binds an ephemeral port, readable from
+    :attr:`port` after :meth:`start`.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        metrics=None,
+        health: dict | None = None,
+        state=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.metrics = metrics
+        self.health = dict(health or {})
+        self.state = state
+        self.host = host
+        self._requested_port = int(port)
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # ---- lifecycle -------------------------------------------------------
+
+    @property
+    def port(self) -> int | None:
+        """The bound port (None until started)."""
+        return self._httpd.server_address[1] if self._httpd else None
+
+    @property
+    def url(self) -> str | None:
+        """Base URL of the running server (None until started)."""
+        return f"http://{self.host}:{self.port}" if self._httpd else None
+
+    def start(self) -> "OpsServer":
+        """Bind and serve on a daemon thread (idempotent)."""
+        if self._httpd is not None:
+            return self
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-ops",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down and join the serving thread."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "OpsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ---- endpoint payloads ----------------------------------------------
+
+    def healthz(self) -> tuple[bool, dict]:
+        """Run every probe; overall ok = all probes ok."""
+        checks: dict[str, dict] = {}
+        ok = True
+        for name in sorted(self.health):
+            try:
+                probe_ok, detail = normalize_probe(self.health[name]())
+            except Exception as exc:  # a crashing probe is a failing probe
+                probe_ok, detail = False, {"error": str(exc)}
+            ok = ok and probe_ok
+            checks[name] = {
+                "ok": probe_ok,
+                "detail": detail,
+            }
+        return ok, {"status": "ok" if ok else "unhealthy", "checks": checks}
+
+    def debug_state(self) -> dict:
+        """The ``/debug/state`` document (empty when no provider)."""
+        return dict(self.state()) if self.state is not None else {}
+
+
+def _make_handler(ops: OpsServer):
+    """A request-handler class closed over one :class:`OpsServer`."""
+
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "repro-ops/1"
+
+        def log_message(self, fmt, *args):  # silence per-request stderr
+            pass
+
+        def _send(self, code: int, body: bytes, content_type: str) -> None:
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_json(self, code: int, doc: dict) -> None:
+            body = (
+                json.dumps(doc, indent=2, sort_keys=True, default=str)
+                + "\n"
+            ).encode("utf-8")
+            self._send(code, body, "application/json; charset=utf-8")
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            path = self.path.split("?", 1)[0]
+            try:
+                if path == "/metrics":
+                    if ops.metrics is None:
+                        self._send_json(
+                            404, {"error": "no metrics registry attached"}
+                        )
+                        return
+                    body = render_openmetrics(ops.metrics).encode("utf-8")
+                    self._send(200, body, CONTENT_TYPE)
+                elif path == "/healthz":
+                    ok, doc = ops.healthz()
+                    self._send_json(200 if ok else 503, doc)
+                elif path == "/debug/state":
+                    self._send_json(200, ops.debug_state())
+                else:
+                    self._send_json(
+                        404,
+                        {
+                            "error": f"unknown path {path}",
+                            "paths": ["/metrics", "/healthz", "/debug/state"],
+                        },
+                    )
+            except Exception as exc:  # never let a scrape kill the server
+                self._send_json(500, {"error": str(exc)})
+
+    return Handler

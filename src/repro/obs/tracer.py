@@ -23,6 +23,7 @@ span, so the hot path pays only an attribute check (guarded by
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -165,6 +166,11 @@ class NullTracer:
     def instant(self, name: str, cat: str = "mark", **attrs) -> None:
         """Discard an instant event."""
 
+    def record_span(self, name: str, cat: str = "phase", *,
+                    start_ns: int = 0, end_ns: int = 0,
+                    parent: int = -1, **attrs) -> None:
+        """Discard a retroactively recorded span."""
+
     def comm_event(self, op: str, **kwargs) -> None:
         """Discard a collective event."""
 
@@ -201,6 +207,15 @@ class SpanTracer:
     When a :class:`~repro.obs.metrics.MetricsRegistry` is attached,
     every collective event also increments the standard ``comm.*``
     counters (calls, bytes, simulated time — total and per step).
+
+    Appends to the span/event lists hold a lock: the serving layer
+    records request spans from the asyncio event loop while a batch
+    runs engine spans on an executor thread, and an unlocked
+    ``index = len(spans); append`` pair would race.  The *nesting
+    stack* stays unlocked by contract — only one thread at a time may
+    use the context-manager ``span()`` API (the engine worker; batches
+    are serialized), while other threads use :meth:`record_span` /
+    :meth:`instant`, which never touch the stack top.
     """
 
     enabled = True
@@ -211,23 +226,57 @@ class SpanTracer:
         self.metrics = metrics
         self._clock = clock
         self._stack: list[Span] = []
+        self._append_lock = threading.Lock()
 
     # ---- spans -----------------------------------------------------------
 
     def span(self, name: str, cat: str = "phase", **attrs) -> _ActiveSpan:
         """Open a nested span; use as a context manager."""
-        sp = Span(
-            name=name,
-            cat=cat,
-            index=len(self.spans),
-            parent=self._stack[-1].index if self._stack else -1,
-            depth=len(self._stack),
-            start_ns=self._clock(),
-            attrs=attrs,
-        )
-        self.spans.append(sp)
+        start = self._clock()
+        with self._append_lock:
+            sp = Span(
+                name=name,
+                cat=cat,
+                index=len(self.spans),
+                parent=self._stack[-1].index if self._stack else -1,
+                depth=len(self._stack),
+                start_ns=start,
+                attrs=attrs,
+            )
+            self.spans.append(sp)
         self._stack.append(sp)
         return _ActiveSpan(self, sp)
+
+    def record_span(self, name: str, cat: str = "phase", *,
+                    start_ns: int, end_ns: int,
+                    parent: int = -1, **attrs) -> None:
+        """Append an already-closed span without touching the nesting
+        stack.
+
+        This is how the serving layer records *retroactive* intervals —
+        a request's queue wait is only known once the batch picks it up,
+        after the interval has already passed.  Safe to call from any
+        thread; the span is top-level unless ``parent`` names another
+        span's index.
+        """
+        with self._append_lock:
+            parent_depth = (
+                self.spans[parent].depth + 1
+                if 0 <= parent < len(self.spans)
+                else 0
+            )
+            self.spans.append(
+                Span(
+                    name=name,
+                    cat=cat,
+                    index=len(self.spans),
+                    parent=parent,
+                    depth=parent_depth,
+                    start_ns=int(start_ns),
+                    end_ns=int(end_ns),
+                    attrs=attrs,
+                )
+            )
 
     def _close(self, span: Span) -> None:
         span.end_ns = self._clock()
@@ -240,18 +289,19 @@ class SpanTracer:
     def instant(self, name: str, cat: str = "mark", **attrs) -> None:
         """Record a zero-duration marker at the current nesting level."""
         now = self._clock()
-        self.spans.append(
-            Span(
-                name=name,
-                cat=cat,
-                index=len(self.spans),
-                parent=self._stack[-1].index if self._stack else -1,
-                depth=len(self._stack),
-                start_ns=now,
-                end_ns=now,
-                attrs=attrs,
+        with self._append_lock:
+            self.spans.append(
+                Span(
+                    name=name,
+                    cat=cat,
+                    index=len(self.spans),
+                    parent=self._stack[-1].index if self._stack else -1,
+                    depth=len(self._stack),
+                    start_ns=now,
+                    end_ns=now,
+                    attrs=attrs,
+                )
             )
-        )
 
     @property
     def current_span(self) -> Span | None:
@@ -280,20 +330,21 @@ class SpanTracer:
         pre/post-codec pair.
         """
         times = [float(t) for t in rank_times] if rank_times is not None else []
-        ev = CommEvent(
-            op=op,
-            seq=len(self.events),
-            nbytes=float(nbytes),
-            rank_times=times,
-            breakdown=dict(breakdown) if breakdown else {},
-            algorithm=algorithm,
-            raw_bytes=float(nbytes if raw_bytes is None else raw_bytes),
-            wire_bytes=float(nbytes if wire_bytes is None else wire_bytes),
-            codec=codec,
-            span=self._stack[-1].name if self._stack else None,
-            attrs=attrs,
-        )
-        self.events.append(ev)
+        with self._append_lock:
+            ev = CommEvent(
+                op=op,
+                seq=len(self.events),
+                nbytes=float(nbytes),
+                rank_times=times,
+                breakdown=dict(breakdown) if breakdown else {},
+                algorithm=algorithm,
+                raw_bytes=float(nbytes if raw_bytes is None else raw_bytes),
+                wire_bytes=float(nbytes if wire_bytes is None else wire_bytes),
+                codec=codec,
+                span=self._stack[-1].name if self._stack else None,
+                attrs=attrs,
+            )
+            self.events.append(ev)
         m = self.metrics
         if m is not None:
             m.counter("comm.calls_total", op=op).inc()

@@ -15,7 +15,11 @@ serving stack for many concurrent ``(graph, source)`` queries:
 * :mod:`repro.serve.loadgen` — a deterministic open-loop load generator;
 * :mod:`repro.serve.report` — the ``repro.serve/v1`` latency report and
   its run-ledger record;
-* :mod:`repro.serve.cli` — the ``repro-serve`` console entry point.
+* :mod:`repro.serve.cli` — the ``repro-serve`` console entry point,
+  including the live-operations flags (``--ops-port`` for the
+  :mod:`repro.obs.opsserver` HTTP endpoints, ``--trace-out`` for
+  request-scoped tracing, ``--slo-*`` for :mod:`repro.obs.slo`
+  burn-rate verdicts).
 
 Batching is a wall-clock optimization only: every result handed back by
 the scheduler is bit-identical to a sequential ``run_bfs`` for that

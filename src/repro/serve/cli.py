@@ -15,6 +15,21 @@ batched serving path and through a sequential ``run_bfs`` loop (one
 fresh engine per query — the pre-serving architecture) and reports the
 queries/sec speedup.
 
+Live operations (all optional, zero cost when absent):
+
+* ``--ops-port`` starts the stdlib ops HTTP server next to the
+  campaign — ``/metrics`` (OpenMetrics), ``/healthz``,
+  ``/debug/state`` — and ``--ops-linger`` keeps it (and the process)
+  up for N seconds after the load drains so scrapers can read final
+  state;
+* ``--slo-p99-ms`` / ``--slo-error-rate`` declare SLO objectives; the
+  campaign is evaluated with fast/slow burn-rate windows and the
+  ``repro.slo/v1`` verdict is embedded in the report (and, with
+  ``--ledger``, appended as its own ledger record);
+* ``--trace-out`` records request-scoped tracing (queue-wait → batch →
+  per-level engine spans, one chain per ``trace_id``) and writes the
+  Perfetto-loadable serving trace.
+
 ``--ledger`` appends the headline metrics to the run ledger at
 ``.repro/ledger`` (or ``$REPRO_LEDGER_DIR``); ``--json`` writes the
 full report artifact.
@@ -34,8 +49,10 @@ from repro.core.config import BFSConfig
 from repro.graph.rmat import rmat_graph
 from repro.machine.spec import paper_cluster
 from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.loadgen import run_load
 from repro.serve.report import SCHEMA, build_report, record_for_serve_report
+from repro.serve.scheduler import BatchScheduler
 from repro.serve.session import BFSService
 from repro.util.formatting import format_table
 
@@ -110,6 +127,40 @@ def _build_parser() -> argparse.ArgumentParser:
         "a sequential run_bfs loop and report the queries/sec speedup",
     )
     parser.add_argument(
+        "--ops-port", type=int, default=None, metavar="PORT",
+        help="serve /metrics, /healthz and /debug/state on this port "
+        "while the campaign runs (0 = ephemeral port)",
+    )
+    parser.add_argument(
+        "--ops-host", default="127.0.0.1",
+        help="bind address for the ops server (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--ops-linger", type=float, default=0.0, metavar="SECONDS",
+        help="keep the ops server up this long after the load drains",
+    )
+    parser.add_argument(
+        "--slo-p99-ms", type=float, default=None, metavar="MS",
+        help="latency objective: p99 of served requests <= MS",
+    )
+    parser.add_argument(
+        "--slo-error-rate", type=float, default=None, metavar="RATE",
+        help="error-rate objective: failed fraction <= RATE (e.g. 0.001)",
+    )
+    parser.add_argument(
+        "--slo-fast-window", type=float, default=5.0, metavar="SECONDS",
+        help="fast burn-rate window (default 5s)",
+    )
+    parser.add_argument(
+        "--slo-slow-window", type=float, default=30.0, metavar="SECONDS",
+        help="slow burn-rate window (default 30s)",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH",
+        help="record request-scoped tracing and write the serving "
+        "Chrome/Perfetto trace to PATH",
+    )
+    parser.add_argument(
         "--json", metavar="PATH",
         help=f"write the {SCHEMA} report as JSON to PATH",
     )
@@ -165,6 +216,30 @@ def _compare_sequential(service, graph, cluster, config, args) -> dict:
     }
 
 
+def _build_slo_spec(args):
+    """The :class:`~repro.obs.slo.SLOSpec` the flags declare (or None)."""
+    if args.slo_p99_ms is None and args.slo_error_rate is None:
+        return None
+    from repro.obs.slo import SLOObjective, SLOSpec
+
+    objectives = []
+    if args.slo_p99_ms is not None:
+        objectives.append(
+            SLOObjective(
+                kind="latency", threshold_ms=args.slo_p99_ms, quantile=99.0
+            )
+        )
+    if args.slo_error_rate is not None:
+        objectives.append(
+            SLOObjective(kind="error_rate", max_rate=args.slo_error_rate)
+        )
+    return SLOSpec(
+        objectives=tuple(objectives),
+        fast_window_s=args.slo_fast_window,
+        slow_window_s=args.slo_slow_window,
+    )
+
+
 def run_serving_campaign(args) -> dict:
     """Execute one campaign from parsed CLI args; returns the report."""
     graph = rmat_graph(scale=args.scale, seed=args.graph_seed)
@@ -175,29 +250,28 @@ def run_serving_campaign(args) -> dict:
 
         config = replace(config, ppn=args.ppn)
     service = BFSService(cluster=cluster)
+    registry = MetricsRegistry()
+
+    tracer = None
+    if args.trace_out:
+        from repro.obs.tracer import SpanTracer
+
+        tracer = SpanTracer()
 
     # Warm-up: a separate session (first prepared-cache miss) runs one
     # query so kernel dispatch and numpy paths are hot before timing.
     warm = service.session(graph, cluster, config)
     warm.run(int(_distinct_roots(graph, 1, seed=args.seed)[0]))
 
-    session = service.session(graph, cluster, config)
-    loadgen_result = run_load(
+    session = service.session(graph, cluster, config, tracer=tracer)
+    scheduler = BatchScheduler(
         session,
-        queries=args.queries,
-        qps=args.qps if args.qps > 0 else float("inf"),
-        root_pool=args.root_pool,
-        seed=args.seed,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         result_cache=args.result_cache if args.result_cache > 0 else None,
+        metrics=registry,
+        tracer=tracer,
     )
-
-    comparison = None
-    if args.compare_sequential:
-        comparison = _compare_sequential(
-            service, graph, cluster, config, args
-        )
 
     workload = {
         "scale": args.scale,
@@ -220,12 +294,98 @@ def run_serving_campaign(args) -> dict:
         "result_cache": args.result_cache,
         "seed": args.seed,
     }
+
+    slo_spec = _build_slo_spec(args)
+    slo_monitor = None
+    if slo_spec is not None:
+        from repro.obs.slo import SLOMonitor
+
+        slo_monitor = SLOMonitor(registry, slo_spec)
+
+    ops = None
+    if args.ops_port is not None:
+        from repro.obs.ledger import config_fingerprint
+        from repro.obs.opsserver import OpsServer
+
+        fingerprint = config_fingerprint(workload)
+
+        def debug_state() -> dict:
+            return {
+                "schema": "repro.debug/v1",
+                "queue_depth": scheduler.queue_depth,
+                "in_flight_batches": scheduler.in_flight,
+                "scheduler": scheduler.stats(),
+                "caches": {"prepared": service.prepared_stats()},
+                "config_fingerprint": fingerprint,
+                "workload": workload,
+            }
+
+        ops = OpsServer(
+            metrics=registry,
+            health={
+                "scheduler": scheduler.health,
+                "prepared_cache": lambda: (True, service.prepared_stats()),
+            },
+            state=debug_state,
+            host=args.ops_host,
+            port=args.ops_port,
+        )
+
+    try:
+        if ops is not None:
+            ops.start()
+            log.info("ops server listening on %s", ops.url)
+        loadgen_result = run_load(
+            session,
+            queries=args.queries,
+            qps=args.qps if args.qps > 0 else float("inf"),
+            root_pool=args.root_pool,
+            seed=args.seed,
+            scheduler=scheduler,
+            slo_monitor=slo_monitor,
+        )
+        if ops is not None and args.ops_linger > 0:
+            log.info(
+                "ops server lingering %.1fs on %s", args.ops_linger, ops.url
+            )
+            time.sleep(args.ops_linger)
+    finally:
+        if ops is not None:
+            ops.stop()
+
+    slo_report = None
+    if slo_monitor is not None:
+        slo_report = slo_monitor.evaluate()
+        log.info(
+            "slo: %s (%d objectives, %d samples)",
+            slo_report["verdict"],
+            len(slo_report["objectives"]),
+            slo_report["samples"],
+        )
+
+    if args.trace_out:
+        from repro.obs.export import write_serve_trace
+
+        write_serve_trace(args.trace_out, tracer)
+        log.info(
+            "serving trace (%d spans) written to %s",
+            len(tracer.spans),
+            args.trace_out,
+        )
+
+    comparison = None
+    if args.compare_sequential:
+        comparison = _compare_sequential(
+            service, graph, cluster, config, args
+        )
+
     return build_report(
         workload,
         load,
         loadgen_result,
         service.prepared_stats(),
         comparison=comparison,
+        slo=slo_report,
     )
 
 
@@ -261,6 +421,11 @@ def _report_table(report: dict) -> str:
         )
         rows.append(("batched (q/s)", f"{comparison['batched_qps']:.1f}"))
         rows.append(("speedup", f"{comparison['speedup']:.2f}x"))
+    slo = report.get("slo")
+    if slo:
+        rows.append(("slo verdict", slo["verdict"]))
+        for obj in slo.get("objectives", []):
+            rows.append((f"slo {obj['label']}", obj["verdict"]))
     workload = report["workload"]
     title = (
         f"repro-serve: scale {workload['scale']}, "
@@ -299,6 +464,19 @@ def main(argv: list[str] | None = None) -> int:
             record.name,
             record.fingerprint,
         )
+        if report.get("slo"):
+            from repro.obs.slo import record_for_slo_report
+
+            slo_record = ledger.append(
+                record_for_slo_report(report["slo"], source="repro-serve")
+            )
+            log.info(
+                "ledger: appended %s/%s @%s (verdict %s)",
+                slo_record.kind,
+                slo_record.name,
+                slo_record.fingerprint,
+                slo_record.labels.get("verdict"),
+            )
     return 0
 
 

@@ -79,23 +79,51 @@ class LoadGenResult:
         }
 
 
-async def _drive(scheduler: BatchScheduler, roots, qps: float) -> float:
+async def _drive(
+    scheduler: BatchScheduler, roots, qps: float, slo_monitor=None
+) -> float:
     """Submit every query at its open-loop arrival time; returns the
-    wall-clock seconds from first arrival to last completion."""
+    wall-clock seconds from first arrival to last completion.
+
+    When an :class:`~repro.obs.slo.SLOMonitor` rides along, a sampler
+    task snapshots the registry at the monitor's interval while load
+    flows (plus one final sample), so burn-rate windows have points to
+    compare.
+    """
 
     async def one(delay: float, root: int):
         if delay > 0:
             await asyncio.sleep(delay)
         return await scheduler.submit(root)
 
+    async def sample_forever():
+        while True:
+            slo_monitor.sample()
+            await asyncio.sleep(slo_monitor.interval)
+
     start = time.perf_counter()
+    sampler = None
     async with scheduler:
-        results = await asyncio.gather(
-            *(
-                one(i / qps if qps != float("inf") else 0.0, int(r))
-                for i, r in enumerate(roots)
+        if slo_monitor is not None:
+            slo_monitor.sample()
+            sampler = asyncio.get_running_loop().create_task(
+                sample_forever()
             )
-        )
+        try:
+            results = await asyncio.gather(
+                *(
+                    one(i / qps if qps != float("inf") else 0.0, int(r))
+                    for i, r in enumerate(roots)
+                )
+            )
+        finally:
+            if sampler is not None:
+                sampler.cancel()
+                try:
+                    await sampler
+                except asyncio.CancelledError:
+                    pass
+                slo_monitor.sample()
     elapsed = time.perf_counter() - start
     if any(r is None for r in results):  # pragma: no cover - invariant
         raise AssertionError("load generator lost a query result")
@@ -113,15 +141,22 @@ def run_load(
     result_cache: int | None = 256,
     metrics=None,
     roots=None,
+    tracer=None,
+    slo_monitor=None,
+    scheduler: BatchScheduler | None = None,
 ) -> LoadGenResult:
     """Run one synthetic open-loop campaign against ``session``.
 
-    Builds a :class:`BatchScheduler` with the given knobs, offers
-    ``queries`` arrivals at ``qps`` (``inf`` = all at once), and
-    returns the measured :class:`LoadGenResult` — latency percentiles
-    come from the scheduler's ``serve.latency_ms`` histogram.  An
-    explicit ``roots`` sequence replaces the pool sampling (the
-    sequential-comparison mode replays an exact root list).
+    Builds a :class:`BatchScheduler` with the given knobs (or drives a
+    caller-supplied one — the ops-server path wires its own up front so
+    health probes can watch it), offers ``queries`` arrivals at ``qps``
+    (``inf`` = all at once), and returns the measured
+    :class:`LoadGenResult` — latency percentiles come from the
+    scheduler's ``serve.latency_ms`` histogram.  An explicit ``roots``
+    sequence replaces the pool sampling (the sequential-comparison mode
+    replays an exact root list).  ``tracer`` threads request-scoped
+    tracing through the scheduler; ``slo_monitor`` is sampled while
+    load flows.
     """
     if qps <= 0:
         raise ConfigError("qps must be positive (use inf for a burst)")
@@ -134,14 +169,16 @@ def run_load(
         pool = pick_root_pool(session.graph, root_pool, seed=seed)
         rng = np.random.default_rng(seed + 1)
         roots = pool[rng.integers(0, pool.size, size=int(queries))]
-    scheduler = BatchScheduler(
-        session,
-        max_batch=max_batch,
-        max_wait_ms=max_wait_ms,
-        result_cache=result_cache,
-        metrics=metrics,
-    )
-    wall = asyncio.run(_drive(scheduler, roots, qps))
+    if scheduler is None:
+        scheduler = BatchScheduler(
+            session,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            result_cache=result_cache,
+            metrics=metrics,
+            tracer=tracer,
+        )
+    wall = asyncio.run(_drive(scheduler, roots, qps, slo_monitor))
     latency = scheduler.metrics.histogram("serve.latency_ms").summary()
     return LoadGenResult(
         queries=int(queries),

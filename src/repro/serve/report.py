@@ -30,14 +30,16 @@ def build_report(
     loadgen_result,
     prepared_stats: dict,
     comparison: dict | None = None,
+    slo: dict | None = None,
 ) -> dict:
     """Assemble the ``repro.serve/v1`` report document.
 
     ``workload`` describes the graph/cluster/config axes, ``load`` the
     generator knobs, ``loadgen_result`` is the measured
     :class:`~repro.serve.loadgen.LoadGenResult`, ``prepared_stats`` the
-    prepared-graph cache counters, and ``comparison`` the optional
-    sequential-baseline block.
+    prepared-graph cache counters, ``comparison`` the optional
+    sequential-baseline block, and ``slo`` the optional embedded
+    ``repro.slo/v1`` evaluation of the campaign.
     """
     measured = loadgen_result.as_dict()
     return {
@@ -58,6 +60,7 @@ def build_report(
             "results": measured["scheduler"].get("result_cache"),
         },
         "comparison": dict(comparison) if comparison is not None else None,
+        "slo": dict(slo) if slo is not None else None,
     }
 
 

@@ -19,11 +19,25 @@ event loop keeps admitting queries while numpy crunches.  Correctness
 is inherited, not re-argued: every result is the bit-identical
 per-source product of :meth:`MultiSourceEngine.run_batch`, so batching
 changes *when* a query is answered, never *what* the answer is.
+
+**Request-scoped tracing**: when the scheduler carries a recording
+:class:`~repro.obs.tracer.SpanTracer`, every submission gets a
+``trace_id`` (``req-NNNNNN``).  The id is stamped on a retroactive
+``serve.queue_wait`` span (enqueue → batch pickup, recorded once the
+wait is known), on the batch's ``serve.batch_assembly`` span, and rides
+into the engine's ``batch.run`` / ``batch.lane`` / ``batch.level``
+spans via the shared ``batch_id`` — one id links the whole
+queue → batch → engine chain in the trace export
+(:func:`repro.obs.export.request_chain`).  With the default
+``NULL_TRACER`` none of this happens: no ids, no timestamps, no spans —
+the disabled hot path is the pre-tracing one.
 """
 
 from __future__ import annotations
 
 import asyncio
+import functools
+import itertools
 import threading
 import time
 from collections import OrderedDict
@@ -31,6 +45,7 @@ from collections import OrderedDict
 from repro.core.kernels.batched import MAX_LANES
 from repro.errors import ConfigError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["BatchScheduler", "ResultCache"]
 
@@ -73,12 +88,18 @@ class ResultCache:
                 self._entries.popitem(last=False)
 
     def stats(self) -> dict:
-        """Hit/miss counters and occupancy as a plain dict."""
+        """Hit/miss counters and occupancy as a plain dict.
+
+        ``hit_rate`` is 0.0 (not a division error) before the first
+        lookup; ``lookups`` carries the denominator so readers can tell
+        "no traffic yet" from "all misses".
+        """
         with self._lock:
             total = self.hits + self.misses
             return {
                 "hits": self.hits,
                 "misses": self.misses,
+                "lookups": total,
                 "hit_rate": self.hits / total if total else 0.0,
                 "entries": len(self._entries),
                 "maxsize": self.maxsize,
@@ -106,6 +127,7 @@ class BatchScheduler:
         max_wait_ms: float = 2.0,
         result_cache: ResultCache | int | None = 256,
         metrics: MetricsRegistry | None = None,
+        tracer=None,
     ) -> None:
         if not 1 <= max_batch <= MAX_LANES:
             raise ConfigError(
@@ -123,10 +145,16 @@ class BatchScheduler:
         else:
             self.results = ResultCache(maxsize=int(result_cache))
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if tracer is None:
+            tracer = getattr(session, "tracer", None)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.queries = 0
         self.batches = 0
         self.batched_queries = 0
         self.coalesced = 0
+        self._in_flight = 0
+        self._trace_seq = itertools.count()
+        self._batch_seq = itertools.count()
         self._queue: asyncio.Queue | None = None
         self._task: asyncio.Task | None = None
         # Config identity for result-cache keys shared across sessions.
@@ -181,7 +209,12 @@ class BatchScheduler:
                 "or await scheduler.start() first"
             )
         self.queries += 1
+        self.metrics.counter("serve.requests_total").inc()
         t0 = time.perf_counter()
+        tracer = self.tracer
+        trace_id = (
+            f"req-{next(self._trace_seq):06d}" if tracer.enabled else None
+        )
         if self.results is not None:
             cached = self.results.get(self._key(source))
             if cached is not None:
@@ -189,11 +222,24 @@ class BatchScheduler:
                 self.metrics.histogram("serve.latency_ms").observe(
                     (time.perf_counter() - t0) * 1e3
                 )
+                if tracer.enabled:
+                    tracer.instant(
+                        "serve.cache_hit",
+                        cat="request",
+                        trace_id=trace_id,
+                        source=int(source),
+                    )
                 return cached
             self.metrics.counter("serve.result_cache.misses").inc()
         future = asyncio.get_running_loop().create_future()
-        await self._queue.put((int(source), future))
-        result = await future
+        enqueue_ns = time.perf_counter_ns() if tracer.enabled else 0
+        await self._queue.put((int(source), future, trace_id, enqueue_ns))
+        self.metrics.gauge("serve.queue_depth").set(self._queue.qsize())
+        try:
+            result = await future
+        except Exception:
+            self.metrics.counter("serve.errors_total").inc()
+            raise
         self.metrics.histogram("serve.latency_ms").observe(
             (time.perf_counter() - t0) * 1e3
         )
@@ -222,30 +268,74 @@ class BatchScheduler:
                 except asyncio.TimeoutError:
                     break
                 batch.append(item)
+            self.metrics.gauge("serve.queue_depth").set(self._queue.qsize())
             await self._run_batch(loop, batch)
             for _ in batch:
                 self._queue.task_done()
 
     async def _run_batch(self, loop, batch) -> None:
         # Coalesce duplicate sources: one lane answers every waiter.
+        # Each lane carries every coalesced waiter's trace_id so the
+        # trace stays complete under coalescing.
         waiters: OrderedDict[int, list] = OrderedDict()
-        for source, future in batch:
+        traces: OrderedDict[int, list] = OrderedDict()
+        for source, future, trace_id, enqueue_ns in batch:
             waiters.setdefault(source, []).append(future)
+            traces.setdefault(source, []).append(trace_id)
         sources = list(waiters)
         self.batches += 1
         self.batched_queries += len(batch)
         self.coalesced += len(batch) - len(sources)
         self.metrics.histogram("serve.batch_size").observe(len(sources))
-        try:
-            results = await loop.run_in_executor(
-                None, self.session.run_batch, sources
+        tracer = self.tracer
+        if tracer.enabled:
+            batch_id = f"batch-{next(self._batch_seq):05d}"
+            now_ns = time.perf_counter_ns()
+            for source, future, trace_id, enqueue_ns in batch:
+                # The wait is only known at pickup — record it
+                # retroactively, linked by trace_id and batch_id.
+                tracer.record_span(
+                    "serve.queue_wait",
+                    cat="request",
+                    start_ns=enqueue_ns,
+                    end_ns=now_ns,
+                    trace_id=trace_id,
+                    source=int(source),
+                    batch_id=batch_id,
+                )
+            tracer.record_span(
+                "serve.batch_assembly",
+                cat="serve",
+                start_ns=min(item[3] for item in batch),
+                end_ns=now_ns,
+                batch_id=batch_id,
+                sources=list(sources),
+                trace_ids=[t for ts in traces.values() for t in ts],
             )
+            # Trace kwargs go only to trace-aware sessions; the
+            # untraced call below keeps stub sessions with a plain
+            # run_batch(sources) signature working.
+            run = functools.partial(
+                self.session.run_batch,
+                sources,
+                trace_ids=[tuple(traces[s]) for s in sources],
+                batch_id=batch_id,
+            )
+        else:
+            run = functools.partial(self.session.run_batch, sources)
+        self._in_flight += 1
+        self.metrics.gauge("serve.inflight_batches").set(self._in_flight)
+        try:
+            results = await loop.run_in_executor(None, run)
         except Exception as exc:  # propagate to every waiter
             for futures in waiters.values():
                 for future in futures:
                     if not future.done():
                         future.set_exception(exc)
             return
+        finally:
+            self._in_flight -= 1
+            self.metrics.gauge("serve.inflight_batches").set(self._in_flight)
         for source, result in zip(sources, results):
             if self.results is not None:
                 self.results.put(self._key(source), result)
@@ -255,6 +345,45 @@ class BatchScheduler:
 
     # ---- reporting -------------------------------------------------------
 
+    @property
+    def queue_depth(self) -> int:
+        """Queries currently waiting for a batch (0 when stopped)."""
+        return self._queue.qsize() if self._queue is not None else 0
+
+    @property
+    def in_flight(self) -> int:
+        """Batches currently running in the executor."""
+        return self._in_flight
+
+    @property
+    def running(self) -> bool:
+        """Whether the dispatcher task is alive."""
+        return self._task is not None and not self._task.done()
+
+    def health(self) -> tuple[bool, dict]:
+        """Liveness probe for the ops server's ``/healthz``.
+
+        Healthy while idle (not yet started, or cleanly stopped) and
+        while the dispatcher runs; unhealthy only when the dispatcher
+        task died — crashed with an exception, or exited on its own
+        (the loop is infinite; returning at all is a bug).
+        """
+        task = self._task
+        if task is None:
+            return True, {"state": "idle"}
+        if not task.done():
+            return True, {
+                "state": "running",
+                "queue_depth": self.queue_depth,
+                "in_flight": self.in_flight,
+            }
+        if task.cancelled():
+            return True, {"state": "stopped"}
+        exc = task.exception()
+        if exc is not None:
+            return False, {"state": "crashed", "error": repr(exc)}
+        return False, {"state": "exited"}
+
     def stats(self) -> dict:
         """Admission/batching counters (plus result-cache stats)."""
         return {
@@ -262,6 +391,8 @@ class BatchScheduler:
             "batches": self.batches,
             "batched_queries": self.batched_queries,
             "coalesced": self.coalesced,
+            "queue_depth": self.queue_depth,
+            "in_flight": self.in_flight,
             "mean_batch_size": (
                 self.batched_queries / self.batches if self.batches else 0.0
             ),

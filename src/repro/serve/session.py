@@ -48,6 +48,7 @@ class GraphSession:
         prepared: PreparedGraph,
         constants: CostConstants = CostConstants(),
         metrics=None,
+        tracer=None,
     ) -> None:
         prepared.check(graph, cluster, config)
         self.graph = graph
@@ -56,6 +57,7 @@ class GraphSession:
         self.prepared = prepared
         self.constants = constants
         self.metrics = metrics
+        self.tracer = tracer
         self._engine: MultiSourceEngine | None = None
 
     @property
@@ -74,6 +76,7 @@ class GraphSession:
                 constants=self.constants,
                 prepared=self.prepared,
                 metrics=self.metrics,
+                tracer=self.tracer,
             )
         return self._engine
 
@@ -81,14 +84,25 @@ class GraphSession:
         """Answer one query (a batch of one lane)."""
         return self.run_batch([source], validate=validate)[0]
 
-    def run_batch(self, sources, validate: bool = False) -> list[BFSResult]:
+    def run_batch(
+        self,
+        sources,
+        validate: bool = False,
+        trace_ids=None,
+        batch_id: str | None = None,
+    ) -> list[BFSResult]:
         """Answer up to 64 queries in one batched traversal.
 
         Results are returned in input order and are bit-identical to
         sequential single-source runs (the
-        :mod:`repro.core.multisource` contract).
+        :mod:`repro.core.multisource` contract).  ``trace_ids`` /
+        ``batch_id`` (passed by the serving scheduler when tracing) ride
+        down into the engine's batch spans.
         """
-        return self.engine.run_batch(sources, validate=validate)
+        return self.engine.run_batch(
+            sources, validate=validate, trace_ids=trace_ids,
+            batch_id=batch_id,
+        )
 
 
 class BFSService:
@@ -119,6 +133,7 @@ class BFSService:
         cluster: ClusterSpec | None = None,
         config: BFSConfig | None = None,
         metrics=None,
+        tracer=None,
     ) -> GraphSession:
         """Open a session for ``graph``; prepares (or reuses) the
         partition state through the service's LRU."""
@@ -132,6 +147,7 @@ class BFSService:
             prepared,
             constants=self.constants,
             metrics=metrics,
+            tracer=tracer,
         )
 
     def prepared_stats(self) -> dict:

@@ -1,0 +1,161 @@
+"""OpenMetrics exposition: deterministic rendering, strict parsing."""
+
+import math
+
+import pytest
+
+from repro.obs.expo import (
+    CONTENT_TYPE,
+    ExpositionError,
+    parse_openmetrics,
+    render_openmetrics,
+    sanitize_name,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture()
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("serve.requests_total").inc(24)
+    reg.counter("serve.errors_total", kind="timeout").inc(2)
+    reg.gauge("serve.queue_depth").set(3)
+    hist = reg.histogram("serve.latency_ms")
+    for v in (0.5, 1.0, 2.0, 8.0, 64.0):
+        hist.observe(v)
+    return reg
+
+
+class TestRender:
+    def test_document_shape(self, registry):
+        text = render_openmetrics(registry)
+        assert text.endswith("# EOF\n")
+        assert "# TYPE serve_requests counter" in text
+        assert "# TYPE serve_queue_depth gauge" in text
+        assert "# TYPE serve_latency_ms histogram" in text
+        # Counter samples carry the _total suffix, folded from the
+        # registry name into the family name.
+        assert "serve_requests_total 24" in text
+
+    def test_deterministic(self, registry):
+        assert render_openmetrics(registry) == render_openmetrics(registry)
+
+    def test_content_type_constant(self):
+        assert "openmetrics-text" in CONTENT_TYPE
+
+    def test_sanitize_name(self):
+        assert sanitize_name("serve.latency_ms") == "serve_latency_ms"
+        assert sanitize_name("9lives") == "_9lives"
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("odd_total", path='a"b\\c\nd').inc()
+        text = render_openmetrics(reg)
+        doc = parse_openmetrics(text)
+        ((_suffix, labels, value),) = doc["odd"]["samples"]
+        assert labels == {"path": 'a"b\\c\nd'}
+        assert value == 1.0
+
+    def test_empty_registry_is_just_eof(self):
+        text = render_openmetrics(MetricsRegistry())
+        assert text == "# EOF\n"
+        assert parse_openmetrics(text) == {}
+
+
+class TestRoundTrip:
+    def test_counters_and_gauges(self, registry):
+        doc = parse_openmetrics(render_openmetrics(registry))
+        assert doc["serve_requests"]["type"] == "counter"
+        ((suffix, labels, value),) = doc["serve_requests"]["samples"]
+        assert (suffix, labels, value) == ("_total", {}, 24.0)
+        ((suffix, labels, value),) = doc["serve_errors"]["samples"]
+        assert labels == {"kind": "timeout"} and value == 2.0
+        ((suffix, labels, value),) = doc["serve_queue_depth"]["samples"]
+        assert suffix == "" and value == 3.0
+
+    def test_histogram_buckets_cumulative(self, registry):
+        doc = parse_openmetrics(render_openmetrics(registry))
+        samples = doc["serve_latency_ms"]["samples"]
+        buckets = [
+            (float(labels["le"]), value)
+            for suffix, labels, value in samples
+            if suffix == "_bucket"
+        ]
+        bounds = [b for b, _ in buckets]
+        counts = [c for _, c in buckets]
+        assert bounds == sorted(bounds)
+        assert counts == sorted(counts)
+        assert bounds[-1] == math.inf and counts[-1] == 5.0
+        count = [v for s, _l, v in samples if s == "_count"][0]
+        total = [v for s, _l, v in samples if s == "_sum"][0]
+        assert count == 5.0
+        assert total == pytest.approx(75.5)
+
+    def test_parser_accepts_inf_bound_only_once(self, registry):
+        text = render_openmetrics(registry)
+        assert text.count('le="+Inf"') == 1
+
+
+class TestParserRejects:
+    def test_missing_eof(self):
+        with pytest.raises(ExpositionError, match="EOF"):
+            parse_openmetrics("# TYPE x gauge\nx 1\n")
+
+    def test_content_after_eof(self):
+        with pytest.raises(ExpositionError, match="after # EOF"):
+            parse_openmetrics("# EOF\nx 1\n")
+
+    def test_sample_before_type(self):
+        with pytest.raises(ExpositionError):
+            parse_openmetrics("x_total 1\n# EOF\n")
+
+    def test_counter_without_total_suffix(self):
+        with pytest.raises(ExpositionError):
+            parse_openmetrics("# TYPE x counter\nx 1\n# EOF\n")
+
+    def test_histogram_suffix_rules(self):
+        with pytest.raises(ExpositionError):
+            parse_openmetrics("# TYPE h histogram\nh 1\n# EOF\n")
+
+    def test_non_monotone_buckets(self):
+        doc = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_count 5\n"
+            "h_sum 9\n"
+            "# EOF\n"
+        )
+        with pytest.raises(ExpositionError):
+            parse_openmetrics(doc)
+
+    def test_count_must_match_inf_bucket(self):
+        doc = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 5\n'
+            "h_count 4\n"
+            "h_sum 9\n"
+            "# EOF\n"
+        )
+        with pytest.raises(ExpositionError):
+            parse_openmetrics(doc)
+
+    def test_missing_inf_bucket(self):
+        doc = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            "h_count 5\n"
+            "h_sum 9\n"
+            "# EOF\n"
+        )
+        with pytest.raises(ExpositionError):
+            parse_openmetrics(doc)
+
+    def test_bad_labelset(self):
+        with pytest.raises(ExpositionError):
+            parse_openmetrics('# TYPE g gauge\ng{oops} 1\n# EOF\n')
+
+    def test_unparseable_sample(self):
+        with pytest.raises(ExpositionError, match="unparseable|bad value"):
+            parse_openmetrics("# TYPE g gauge\ng one\n# EOF\n")

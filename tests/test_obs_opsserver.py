@@ -1,0 +1,155 @@
+"""The live ops HTTP server: /metrics, /healthz, /debug/state."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.expo import CONTENT_TYPE, parse_openmetrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.opsserver import (
+    NULL_OPS,
+    NullOpsServer,
+    OpsServer,
+    normalize_probe,
+)
+
+
+def _get(url: str):
+    """(status, content_type, body_bytes) — 4xx/5xx included."""
+    try:
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            return resp.status, resp.headers.get("Content-Type"), resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, err.headers.get("Content-Type"), err.read()
+
+
+@pytest.fixture()
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("serve.requests_total").inc(7)
+    reg.gauge("serve.queue_depth").set(2)
+    reg.histogram("serve.latency_ms").observe(1.5)
+    return reg
+
+
+class TestNormalizeProbe:
+    def test_bool(self):
+        assert normalize_probe(True) == (True, {})
+        assert normalize_probe(False) == (False, {})
+
+    def test_pair(self):
+        assert normalize_probe((False, {"x": 1})) == (False, {"x": 1})
+
+    def test_bare_detail_is_passing(self):
+        assert normalize_probe({"entries": 3}) == (True, {"entries": 3})
+
+
+class TestNullOpsServer:
+    def test_noop_lifecycle(self):
+        assert NULL_OPS.enabled is False
+        assert NULL_OPS.port is None
+        with NULL_OPS.start() as ops:
+            assert isinstance(ops, NullOpsServer)
+        NULL_OPS.stop()
+
+
+class TestEndpoints:
+    def test_metrics_scrape_parses(self, registry):
+        with OpsServer(metrics=registry) as ops:
+            status, ctype, body = _get(f"{ops.url}/metrics")
+        assert status == 200
+        assert ctype == CONTENT_TYPE
+        doc = parse_openmetrics(body.decode("utf-8"))
+        ((_s, _l, value),) = doc["serve_requests"]["samples"]
+        assert value == 7.0
+        assert doc["serve_latency_ms"]["type"] == "histogram"
+
+    def test_metrics_404_without_registry(self):
+        with OpsServer() as ops:
+            status, _ctype, body = _get(f"{ops.url}/metrics")
+        assert status == 404
+        assert "registry" in json.loads(body)["error"]
+
+    def test_healthz_ok(self):
+        probes = {
+            "always": lambda: True,
+            "detailed": lambda: (True, {"entries": 1}),
+        }
+        with OpsServer(health=probes) as ops:
+            status, _ctype, body = _get(f"{ops.url}/healthz")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["status"] == "ok"
+        assert doc["checks"]["detailed"]["detail"] == {"entries": 1}
+
+    def test_healthz_failing_probe_is_503(self):
+        probes = {"good": lambda: True, "bad": lambda: (False, "down")}
+        with OpsServer(health=probes) as ops:
+            status, _ctype, body = _get(f"{ops.url}/healthz")
+        assert status == 503
+        doc = json.loads(body)
+        assert doc["status"] == "unhealthy"
+        assert doc["checks"]["bad"]["ok"] is False
+        assert doc["checks"]["good"]["ok"] is True
+
+    def test_healthz_crashing_probe_is_503(self):
+        def boom():
+            raise RuntimeError("probe exploded")
+
+        with OpsServer(health={"boom": boom}) as ops:
+            status, _ctype, body = _get(f"{ops.url}/healthz")
+        assert status == 503
+        doc = json.loads(body)
+        assert "probe exploded" in doc["checks"]["boom"]["detail"]["error"]
+
+    def test_debug_state(self):
+        state = {"queue_depth": 4, "config_fingerprint": "abc123"}
+        with OpsServer(state=lambda: state) as ops:
+            status, ctype, body = _get(f"{ops.url}/debug/state")
+        assert status == 200
+        assert ctype.startswith("application/json")
+        assert json.loads(body) == state
+
+    def test_debug_state_empty_without_provider(self):
+        with OpsServer() as ops:
+            status, _ctype, body = _get(f"{ops.url}/debug/state")
+        assert status == 200
+        assert json.loads(body) == {}
+
+    def test_unknown_path_404_lists_endpoints(self):
+        with OpsServer() as ops:
+            status, _ctype, body = _get(f"{ops.url}/nope")
+        assert status == 404
+        assert json.loads(body)["paths"] == [
+            "/metrics",
+            "/healthz",
+            "/debug/state",
+        ]
+
+
+class TestLifecycle:
+    def test_ephemeral_port_and_idempotent_start(self):
+        ops = OpsServer()
+        assert ops.port is None and ops.url is None
+        ops.start()
+        try:
+            port = ops.port
+            assert port and port > 0
+            assert ops.start() is ops
+            assert ops.port == port
+        finally:
+            ops.stop()
+        assert ops.port is None
+        ops.stop()  # idempotent
+
+    def test_live_registry_updates_between_scrapes(self, registry):
+        with OpsServer(metrics=registry) as ops:
+            _status, _ctype, body = _get(f"{ops.url}/metrics")
+            before = parse_openmetrics(body.decode())
+            registry.counter("serve.requests_total").inc(3)
+            _status, _ctype, body = _get(f"{ops.url}/metrics")
+            after = parse_openmetrics(body.decode())
+        assert before["serve_requests"]["samples"][0][2] == 7.0
+        assert after["serve_requests"]["samples"][0][2] == 10.0

@@ -95,6 +95,52 @@ class TestLedgerRecord:
         assert doc["labels"]["schema"] == SCHEMA
 
 
+class TestLiveOps:
+    def test_report_has_no_slo_without_flags(self, report):
+        assert report["slo"] is None
+
+    def test_campaign_with_ops_slo_and_trace(self, tmp_path):
+        out = tmp_path / "report.json"
+        trace = tmp_path / "trace.json"
+        code = main(
+            ARGS
+            + [
+                "--ops-port", "0",
+                "--slo-p99-ms", "200",
+                "--slo-error-rate", "0.01",
+                "--trace-out", str(trace),
+                "--json", str(out),
+            ]
+        )
+        assert code == 0
+        slo = json.loads(out.read_text())["slo"]
+        assert slo["schema"] == "repro.slo/v1"
+        assert slo["verdict"] in (
+            "ok", "insufficient", "slow_burn", "fast_burn", "breach",
+        )
+        labels = {o["label"] for o in slo["objectives"]}
+        assert labels == {"p99_le_200ms", "errors_le_1pct"}
+        assert slo["totals"]["requests"] == 24.0
+        doc = json.loads(trace.read_text())
+        names = {e.get("name") for e in doc["traceEvents"]}
+        assert "serve.batch_assembly" in names
+        assert any(n and n.startswith("lane ") for n in names)
+
+    def test_slo_ledger_record_appended(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path))
+        assert main(ARGS + ["--ledger", "--slo-error-rate", "0.01"]) == 0
+        docs = [
+            json.loads(line)
+            for line in (tmp_path / "runs.jsonl").read_text().splitlines()
+        ]
+        kinds = [d["kind"] for d in docs]
+        assert kinds == ["serve", "slo"]
+        slo_doc = docs[1]
+        assert slo_doc["labels"]["source"] == "repro-serve"
+        assert slo_doc["labels"]["verdict"] in ("ok", "insufficient")
+        assert slo_doc["extra"]["objective_verdicts"]
+
+
 class TestCompareSequential:
     def test_comparison_block(self, tmp_path):
         out = tmp_path / "cmp.json"

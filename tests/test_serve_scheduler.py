@@ -1,6 +1,7 @@
 """The serving layer: sessions, the batch scheduler, and the load gen."""
 
 import asyncio
+import threading
 
 import numpy as np
 import pytest
@@ -11,9 +12,32 @@ from repro.core.prepared import PreparedGraphCache
 from repro.errors import ConfigError, GraphError
 from repro.graph.rmat import rmat_graph
 from repro.machine.spec import paper_cluster
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.loadgen import pick_root_pool, run_load
 from repro.serve.scheduler import BatchScheduler, ResultCache
 from repro.serve.session import BFSService
+
+
+class StubSession:
+    """Engine-free session double with a plain run_batch(sources).
+
+    ``release`` (a threading.Event) makes every batch block inside the
+    executor until the test sets it — the knob the concurrency-edge
+    tests use to observe the scheduler mid-batch.
+    """
+
+    digest = "stub-digest"
+    config = "stub-config"
+
+    def __init__(self, release: threading.Event | None = None) -> None:
+        self.release = release
+        self.batches: list[list[int]] = []
+
+    def run_batch(self, sources):
+        if self.release is not None:
+            assert self.release.wait(timeout=30)
+        self.batches.append(list(sources))
+        return [("result", s) for s in sources]
 
 SCALE = 10
 
@@ -70,6 +94,27 @@ class TestResultCache:
     def test_invalid_maxsize(self):
         with pytest.raises(ConfigError):
             ResultCache(maxsize=0)
+
+    def test_stats_at_zero_lookups(self):
+        stats = ResultCache().stats()
+        assert stats["hits"] == 0
+        assert stats["misses"] == 0
+        assert stats["lookups"] == 0
+        assert stats["hit_rate"] == 0.0  # not a division error
+
+    def test_lookups_is_the_hit_rate_denominator(self):
+        cache = ResultCache(maxsize=2)
+        cache.put(("a",), 1)
+        cache.get(("a",))
+        cache.get(("b",))
+        stats = cache.stats()
+        assert stats["lookups"] == stats["hits"] + stats["misses"] == 2
+        assert stats["hit_rate"] == 0.5
+
+    def test_prepared_cache_stats_at_zero_lookups(self):
+        stats = PreparedGraphCache().stats()
+        assert stats["lookups"] == 0
+        assert stats["hit_rate"] == 0.0
 
 
 class TestScheduler:
@@ -166,6 +211,153 @@ class TestScheduler:
         hist = scheduler.metrics.histogram("serve.latency_ms")
         assert hist.count == 2
         assert hist.max > 0.0
+
+
+class TestSchedulerConcurrencyEdges:
+    """Lifecycle and backpressure edges, observed via a stub session."""
+
+    def test_submit_after_stop_raises_cleanly(self):
+        async def go():
+            scheduler = BatchScheduler(StubSession(), result_cache=None)
+            await scheduler.start()
+            assert await scheduler.submit(1) == ("result", 1)
+            await scheduler.stop()
+            with pytest.raises(ConfigError, match="not running"):
+                await scheduler.submit(2)
+            # A stopped scheduler is restartable.
+            await scheduler.start()
+            assert await scheduler.submit(3) == ("result", 3)
+            await scheduler.stop()
+
+        asyncio.run(go())
+
+    def test_queue_depth_gauge_rises_and_falls_under_burst(self):
+        release = threading.Event()
+        registry = MetricsRegistry()
+        scheduler = BatchScheduler(
+            StubSession(release=release),
+            max_batch=2,
+            max_wait_ms=0.0,
+            result_cache=None,
+            metrics=registry,
+        )
+
+        async def go():
+            async with scheduler:
+                tasks = [
+                    asyncio.ensure_future(scheduler.submit(i))
+                    for i in range(6)
+                ]
+                await asyncio.sleep(0.15)  # first batch blocked in executor
+                assert scheduler.in_flight == 1
+                assert (
+                    registry.gauge("serve.inflight_batches").value == 1.0
+                )
+                depth = scheduler.queue_depth
+                gauge = registry.gauge("serve.queue_depth").value
+                release.set()
+                await asyncio.gather(*tasks)
+                return depth, gauge
+
+        depth, gauge = asyncio.run(go())
+        assert depth >= 1  # burst outran the blocked dispatcher
+        assert gauge >= 1.0
+        assert scheduler.queue_depth == 0
+        assert registry.gauge("serve.queue_depth").value == 0.0
+        assert scheduler.in_flight == 0
+        stats = scheduler.stats()
+        assert stats["queue_depth"] == 0 and stats["in_flight"] == 0
+
+    def test_queued_work_coalesces_while_engine_is_busy(self):
+        release = threading.Event()
+        stub = StubSession(release=release)
+        scheduler = BatchScheduler(
+            stub, max_batch=8, max_wait_ms=0.0, result_cache=None
+        )
+
+        async def go():
+            async with scheduler:
+                first = asyncio.ensure_future(scheduler.submit(0))
+                await asyncio.sleep(0.1)  # batch [0] picked up, blocked
+                rest = [
+                    asyncio.ensure_future(scheduler.submit(i))
+                    for i in (1, 2, 3, 4)
+                ]
+                await asyncio.sleep(0.05)  # all four sit in the queue
+                release.set()
+                await asyncio.gather(first, *rest)
+
+        asyncio.run(go())
+        # Everything queued behind the slow batch rides one batch even
+        # with max_wait 0 — already-queued work joins without waiting.
+        assert stub.batches[0] == [0]
+        assert sorted(stub.batches[1]) == [1, 2, 3, 4]
+        assert scheduler.batches == 2
+
+    def test_max_wait_holds_a_batch_open(self):
+        stub = StubSession()
+        scheduler = BatchScheduler(
+            stub, max_batch=8, max_wait_ms=250.0, result_cache=None
+        )
+
+        async def go():
+            async with scheduler:
+                a = asyncio.ensure_future(scheduler.submit(1))
+                await asyncio.sleep(0.05)  # well inside max_wait
+                b = asyncio.ensure_future(scheduler.submit(2))
+                await asyncio.gather(a, b)
+
+        asyncio.run(go())
+        assert scheduler.batches == 1
+        assert sorted(stub.batches[0]) == [1, 2]
+
+    def test_zero_max_wait_dispatches_immediately(self):
+        stub = StubSession()
+        scheduler = BatchScheduler(
+            stub, max_batch=8, max_wait_ms=0.0, result_cache=None
+        )
+
+        async def go():
+            async with scheduler:
+                await scheduler.submit(1)
+                await scheduler.submit(2)
+
+        asyncio.run(go())
+        assert scheduler.batches == 2
+
+    def test_health_transitions(self):
+        async def go():
+            scheduler = BatchScheduler(StubSession(), result_cache=None)
+            assert scheduler.health() == (True, {"state": "idle"})
+            await scheduler.start()
+            ok, detail = scheduler.health()
+            assert ok and detail["state"] == "running"
+            assert detail["queue_depth"] == 0
+            await scheduler.stop()
+            assert scheduler.health() == (True, {"state": "idle"})
+
+        asyncio.run(go())
+
+    def test_health_reports_crashed_dispatcher(self):
+        async def go():
+            scheduler = BatchScheduler(StubSession(), result_cache=None)
+            await scheduler.start()
+
+            async def boom(loop, batch):
+                raise RuntimeError("dispatcher bug")
+
+            scheduler._run_batch = boom
+            pending = asyncio.ensure_future(scheduler.submit(1))
+            await asyncio.sleep(0.1)
+            ok, detail = scheduler.health()
+            assert not ok
+            assert detail["state"] == "crashed"
+            assert "dispatcher bug" in detail["error"]
+            pending.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await pending
+
+        asyncio.run(go())
 
 
 class TestLoadGen:
