@@ -1,6 +1,6 @@
 # Developer convenience targets for the reproduction.
 
-.PHONY: install test bench bench-baseline bench-smoke perf-gate chaos-smoke ledger-log ledger-check dashboard experiments report examples all clean
+.PHONY: install test bench bench-baseline bench-smoke perf-gate chaos-smoke serve-chaos ledger-log ledger-check dashboard experiments report examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -61,6 +61,18 @@ chaos-smoke:
 	mkdir -p .perfgate
 	repro-chaos --scale 12 --nodes 2 --seed 0 \
 		--json .perfgate/chaos-report.json --ledger
+
+# Serving-layer chaos: inject a dispatcher kill and a straggler batch
+# into a resilience-enabled scheduler under load; both scenarios must
+# end `recovered` (SLO burn detected then cleared, answers correct).
+# See the "Serving resilience" sections of docs/ROBUSTNESS.md and
+# docs/SERVING.md.
+serve-chaos:
+	mkdir -p .perfgate
+	repro-chaos serve dispatcher-kill straggler \
+		--scale 11 --nodes 2 --seed 0 \
+		--json .perfgate/serve-chaos-report.json \
+		--slo-out .perfgate/serve-chaos-slo.json --ledger
 
 # Fold the latest gate artifacts (fresh bench JSONs, perf verdicts,
 # chaos report) into the persistent run ledger under .repro/ledger.

@@ -113,6 +113,7 @@ class MultiSourceEngine:
         validate: bool = False,
         trace_ids=None,
         batch_id: str | None = None,
+        cancel=None,
     ) -> list[BFSResult]:
         """Run one BFS per root, all advanced level-by-level together.
 
@@ -126,10 +127,17 @@ class MultiSourceEngine:
         riding that lane), and every level-synchronous round gets a
         ``batch.level`` span.  ``batch_id`` stamps all of them so the
         serving layer's queue-wait spans link into the same chain.
+
+        ``cancel`` is a cooperative cancellation token (anything with a
+        ``check()`` raising on expiry, e.g.
+        :class:`repro.serve.resilience.CancelToken`): it is consulted
+        once per level-synchronous round, so a batch whose waiters all
+        passed their deadlines stops traversing between levels instead
+        of finishing work nobody will read.
         """
         tracer = self.tracer
         if not tracer.enabled:
-            return self._run_batch(roots, validate)
+            return self._run_batch(roots, validate, cancel=cancel)
         with tracer.span(
             "batch.run",
             cat="batch",
@@ -152,7 +160,8 @@ class MultiSourceEngine:
                     trace_ids=ids,
                 )
             return self._run_batch(
-                roots, validate, tracer=tracer, batch_id=batch_id
+                roots, validate, tracer=tracer, batch_id=batch_id,
+                cancel=cancel,
             )
 
     def _run_batch(
@@ -161,6 +170,7 @@ class MultiSourceEngine:
         validate: bool = False,
         tracer=NULL_TRACER,
         batch_id: str | None = None,
+        cancel=None,
     ) -> list[BFSResult]:
         eng = self.engine
         graph = eng.graph
@@ -176,7 +186,9 @@ class MultiSourceEngine:
             )
         for r in roots:
             if not 0 <= r < n:
-                raise GraphError(f"root {r} out of range")
+                raise GraphError(
+                    f"root {r} out of range", vertex=r, num_vertices=n
+                )
 
         np_ranks = eng.mapping.num_ranks
         partition = eng.partition
@@ -218,6 +230,8 @@ class MultiSourceEngine:
 
         rounds = 0
         while not all(finished):
+            if cancel is not None:
+                cancel.check(f"batch round {rounds}")
             ctx = (
                 tracer.span(
                     "batch.level",

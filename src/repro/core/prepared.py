@@ -176,6 +176,26 @@ class PreparedGraph:
         """Content digest of the prepared graph (memoized on the graph)."""
         return graph_digest(self.graph)
 
+    def nbytes(self) -> int:
+        """Estimated resident bytes of the partition state.
+
+        Sums the numpy arrays this object *owns* — the per-rank CSR
+        extractions, partition bounds, word layout, degrees — but not
+        the input graph, which the caller holds regardless of caching.
+        Used by :class:`PreparedGraphCache`'s optional byte bound.
+        """
+        total = int(self.word_starts.nbytes) + int(self.degrees.nbytes)
+        for obj in (self.partition, *self.locals):
+            attrs = getattr(obj, "__dict__", None) or {
+                f: getattr(obj, f, None)
+                for f in getattr(obj, "__dataclass_fields__", ())
+            }
+            for value in attrs.values():
+                nb = getattr(value, "nbytes", None)
+                if nb is not None:
+                    total += int(nb)
+        return total
+
     def check(self, graph: Graph, cluster: ClusterSpec, config) -> None:
         """Raise :class:`ConfigError` unless this prepared state matches
         the (graph, cluster, config) an engine wants to run with."""
@@ -210,14 +230,25 @@ class PreparedGraphCache:
     queries that differ only in codec/kernel/sharing settings share one
     entry.  ``hits``/``misses`` feed the serving layer's cache-hit-rate
     report.
+
+    ``max_bytes`` optionally bounds the summed
+    :meth:`PreparedGraph.nbytes` estimate in addition to the entry
+    count, evicting least-recently-used entries past either bound — the
+    knob that keeps a long-lived service from pinning every graph it
+    has ever prepared.
     """
 
-    def __init__(self, maxsize: int = 8) -> None:
+    def __init__(self, maxsize: int = 8, max_bytes: int | None = None) -> None:
         if maxsize < 1:
             raise ConfigError("prepared-graph cache needs maxsize >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ConfigError("prepared-graph cache max_bytes must be >= 1")
         self.maxsize = int(maxsize)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
         self._lock = threading.Lock()
-        self._entries: OrderedDict[tuple, PreparedGraph] = OrderedDict()
+        #: key -> (prepared, estimated nbytes)
+        self._entries: OrderedDict[tuple, tuple] = OrderedDict()
+        self._bytes = 0
         self.hits = 0
         self.misses = 0
 
@@ -236,16 +267,26 @@ class PreparedGraphCache:
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return entry
+                return entry[0]
             self.misses += 1
         # Build outside the lock: preparation is pure and idempotent, so
         # a rare duplicate build under contention only wastes work.
         prepared = PreparedGraph.prepare(graph, cluster, config)
+        nbytes = prepared.nbytes()
         with self._lock:
-            self._entries[key] = prepared
+            old = self._entries.get(key)
+            if old is not None:
+                self._bytes -= old[1]
+            self._entries[key] = (prepared, nbytes)
             self._entries.move_to_end(key)
+            self._bytes += nbytes
             while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+                _, (_, nb) = self._entries.popitem(last=False)
+                self._bytes -= nb
+            if self.max_bytes is not None:
+                while self._bytes > self.max_bytes and len(self._entries) > 1:
+                    _, (_, nb) = self._entries.popitem(last=False)
+                    self._bytes -= nb
         return prepared
 
     def stats(self) -> dict:
@@ -264,12 +305,15 @@ class PreparedGraphCache:
                 "hit_rate": self.hits / total if total else 0.0,
                 "entries": len(self._entries),
                 "maxsize": self.maxsize,
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
             }
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
         with self._lock:
             self._entries.clear()
+            self._bytes = 0
             self.hits = 0
             self.misses = 0
 

@@ -24,6 +24,9 @@ __all__ = [
     "CommunicationError",
     "FaultError",
     "CheckpointError",
+    "ServeError",
+    "ServeOverloadError",
+    "DeadlineExceededError",
 ]
 
 
@@ -104,3 +107,29 @@ class FaultError(SimulationError):
 
 class CheckpointError(ReproError):
     """A BFS checkpoint could not be captured, stored or restored."""
+
+
+class ServeError(ReproError):
+    """A request-layer failure in the serving stack (:mod:`repro.serve`)."""
+
+
+class ServeOverloadError(ServeError):
+    """A query was refused by admission control rather than served.
+
+    The structured ``reason`` context says which mechanism refused it:
+    ``queue_full`` (bounded admission queue), ``shed`` (evicted by a
+    drop-oldest policy), ``circuit_open`` (the breaker is fast-failing
+    this (graph, config) fingerprint), ``replay_exhausted`` (the query
+    was already replayed once across a dispatcher restart), or
+    ``shutdown`` (the scheduler drained it while stopping).
+    """
+
+
+class DeadlineExceededError(ServeError):
+    """A query's deadline expired before it could be (fully) served.
+
+    Raised both at batch pickup (the query aged out in the admission
+    queue) and cooperatively between BFS levels when a whole in-flight
+    batch is past its latest deadline (see
+    :class:`repro.serve.resilience.CancelToken`).
+    """

@@ -14,6 +14,13 @@ The subsystem has four layers (see docs/ROBUSTNESS.md):
 
 ``repro-chaos`` (:mod:`repro.faults.chaoscli`) sweeps scenario matrices
 and verifies every recovered run against its fault-free twin.
+
+The *serving* stack has its own chaos surface —
+:mod:`repro.faults.serveinject` injects session errors, batch
+stragglers, dispatcher kills and cache poison into the
+:class:`~repro.serve.scheduler.BatchScheduler`, and
+:mod:`repro.faults.servechaos` runs the ``repro-chaos serve`` campaign
+that asserts detection (SLO burn) and recovery for each.
 """
 
 from repro.faults.checkpoint import (
@@ -31,10 +38,12 @@ from repro.faults.injector import (
     words_checksum,
 )
 from repro.faults.plan import (
+    SERVE_FAULT_KINDS,
     FaultPlan,
     LinkDegradation,
     PayloadCorruption,
     RankCrash,
+    ServeFault,
     StragglerSlowdown,
     TransientFaults,
     available_scenarios,
@@ -45,6 +54,28 @@ from repro.faults.recovery import (
     RecoveryReport,
     ResilienceConfig,
 )
+# The serving-chaos layer imports repro.serve, which imports the core
+# engine, which imports repro.faults.checkpoint — so these names must
+# resolve lazily to keep the package import acyclic.
+_LAZY = {
+    "FaultySession": "repro.faults.serveinject",
+    "ServeFaultInjector": "repro.faults.serveinject",
+    "available_serve_scenarios": "repro.faults.servechaos",
+    "run_serve_campaign": "repro.faults.servechaos",
+    "serve_plan": "repro.faults.servechaos",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module), name)
+
 
 __all__ = [
     "BFSCheckpoint",
@@ -68,4 +99,11 @@ __all__ = [
     "RecoveryLog",
     "RecoveryReport",
     "ResilienceConfig",
+    "SERVE_FAULT_KINDS",
+    "ServeFault",
+    "ServeFaultInjector",
+    "FaultySession",
+    "available_serve_scenarios",
+    "run_serve_campaign",
+    "serve_plan",
 ]

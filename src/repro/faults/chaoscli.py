@@ -6,6 +6,8 @@ Usage::
     repro-chaos crash-early straggler # just these scenarios
     repro-chaos list                  # print the catalogue
     repro-chaos --scale 12 --nodes 2 --json /tmp/chaos.json
+    repro-chaos serve                 # serve-chaos campaign (all scenarios)
+    repro-chaos serve mixed --json /tmp/serve-chaos.json
 
 Each campaign first runs a fault-free baseline, then replays the exact
 same BFS (same graph, root, configuration) under every requested
@@ -33,6 +35,13 @@ Outcomes:
 
 Exit status is non-zero when any scenario aborts or mismatches.
 ``--json`` writes the machine-readable ``repro.chaos/v1`` report.
+
+``repro-chaos serve`` runs the *serving-layer* chaos campaign instead
+(:mod:`repro.faults.servechaos`): injected session errors, batch
+stragglers, dispatcher kills and cache poison against a live
+resilience-enabled scheduler, each scenario required to end
+``recovered`` — every query terminally answered, the SLO monitor
+burning during injection and ``ok`` after recovery.
 """
 
 from __future__ import annotations
@@ -287,8 +296,161 @@ def _report_table(report: dict) -> str:
     return format_table(headers, rows, title=title)
 
 
+def _build_serve_parser() -> argparse.ArgumentParser:
+    from repro.faults.servechaos import available_serve_scenarios
+
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos serve",
+        description=(
+            "Serving-layer chaos campaign: deterministic session, "
+            "dispatcher and cache faults against a resilience-enabled "
+            "batch scheduler, verified by SLO burn-rate detection and "
+            "recovery"
+        ),
+    )
+    parser.add_argument(
+        "scenarios",
+        nargs="*",
+        help="serve scenarios to run (default: the full catalogue: "
+        f"{', '.join(available_serve_scenarios())}); 'list' prints them",
+    )
+    parser.add_argument("--scale", type=int, default=10)
+    parser.add_argument("--nodes", type=int, default=2)
+    parser.add_argument("--ppn", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--graph-seed", type=int, default=2)
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help=f"write the {SCHEMA} (mode=serve) report as JSON to PATH",
+    )
+    parser.add_argument(
+        "--slo-out", metavar="PATH",
+        help="write the per-scenario final repro.slo/v1 reports to PATH",
+    )
+    parser.add_argument(
+        "--ledger", action="store_true",
+        help="append the campaign (and per-scenario SLO verdicts) to "
+        "the run ledger",
+    )
+    return parser
+
+
+def _serve_report_table(report: dict) -> str:
+    headers = [
+        "scenario", "outcome", "queries", "rejected", "restarts",
+        "hedges", "retries", "burn", "after",
+    ]
+    rows = []
+    for e in report["scenarios"]:
+        if e["outcome"] == "aborted":
+            rows.append(
+                [e["name"], "aborted", "-", "-", "-", "-", "-", "-",
+                 e["error"]["type"]]
+            )
+            continue
+        counts = (
+            (e.get("scheduler") or {}).get("resilience") or {}
+        ).get("counts", {})
+        queries = e.get("queries", {})
+        rows.append(
+            [
+                e["name"],
+                e["outcome"],
+                sum(queries.values()),
+                queries.get("rejected", 0) + queries.get("deadline", 0),
+                counts.get("restarts", 0),
+                counts.get("hedges", 0),
+                counts.get("retries", 0),
+                e["slo_during"]["verdict"],
+                e["slo_after"]["verdict"],
+            ]
+        )
+    title = (
+        f"serve-chaos campaign: scale {report['scale']}, "
+        f"{report['nodes']} nodes, seed {report['seed']}"
+    )
+    return format_table(headers, rows, title=title)
+
+
+def _serve_main(argv: list[str]) -> int:
+    from repro.faults.servechaos import (
+        available_serve_scenarios,
+        record_from_serve_chaos,
+        run_serve_campaign,
+    )
+
+    args = _build_serve_parser().parse_args(argv)
+    if args.scenarios and args.scenarios[0] == "list":
+        for name in available_serve_scenarios():
+            print(name)
+        return 0
+    scenarios = list(args.scenarios) or list(available_serve_scenarios())
+    unknown = [s for s in scenarios if s not in available_serve_scenarios()]
+    if unknown:
+        print(
+            f"unknown serve scenario(s) {', '.join(unknown)}; available: "
+            f"{', '.join(available_serve_scenarios())}",
+            file=sys.stderr,
+        )
+        return 2
+    report = run_serve_campaign(
+        scenarios,
+        scale=args.scale,
+        nodes=args.nodes,
+        ppn=args.ppn,
+        seed=args.seed,
+        graph_seed=args.graph_seed,
+    )
+    print(_serve_report_table(report))
+    for e in report["scenarios"]:
+        if e["outcome"] == "aborted":
+            print(f"  {e['name']}: {json.dumps(e['error'], sort_keys=True)}")
+        elif e["outcome"] == "failed":
+            failed = [k for k, ok in e.get("checks", {}).items() if not ok]
+            print(f"  {e['name']}: failed checks: {', '.join(failed)}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        log.info("serve-chaos report written to %s", args.json)
+    if args.slo_out:
+        slo_reports = {
+            e["name"]: e["slo_after"]
+            for e in report["scenarios"]
+            if "slo_after" in e
+        }
+        with open(args.slo_out, "w", encoding="utf-8") as fh:
+            json.dump(slo_reports, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        log.info("per-scenario SLO reports written to %s", args.slo_out)
+    if args.ledger:
+        from repro.obs.ledger import default_ledger
+        from repro.obs.slo import record_for_slo_report
+
+        ledger = default_ledger()
+        record = ledger.append(
+            record_from_serve_chaos(report, source="repro-chaos")
+        )
+        log.info(
+            "ledger: appended %s/%s @%s",
+            record.kind, record.name, record.fingerprint,
+        )
+        for e in report["scenarios"]:
+            if "slo_after" in e:
+                ledger.append(
+                    record_for_slo_report(
+                        e["slo_after"], source=f"serve-chaos/{e['name']}"
+                    )
+                )
+    return 0 if report["ok"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Console entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return _serve_main(list(argv[1:]))
     args = _build_parser().parse_args(argv)
     if args.scenarios and args.scenarios[0] == "list":
         for name in available_scenarios():

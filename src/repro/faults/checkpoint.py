@@ -17,6 +17,7 @@ raising :class:`~repro.errors.CheckpointError` on malformed input.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -124,7 +125,16 @@ class BFSCheckpoint:
     # ---- persistence ------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Write the snapshot as a ``.npz`` archive."""
+        """Write the snapshot as a ``.npz`` archive, crash-safely.
+
+        The archive is written to a temporary sibling first, fsynced,
+        and moved into place with :func:`os.replace` — an atomic rename
+        on the same filesystem.  A crash mid-write therefore leaves
+        either the previous checkpoint or none, never a torn archive a
+        later rollback would trip over; the temporary name carries the
+        pid so it can never shadow a real ``ckpt_level*.npz`` entry (it
+        also misses the store's pruning glob by construction).
+        """
         meta = {
             "format": _FORMAT,
             "level": self.level,
@@ -144,7 +154,23 @@ class BFSCheckpoint:
             arrays[f"frontier_{r}"] = frontier
         if self.visited_words is not None:
             arrays["visited_words"] = self.visited_words
-        np.savez_compressed(path, **arrays)
+        path = Path(path)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        try:
+            # Write through an open file object: numpy would otherwise
+            # append ``.npz`` to the temporary name, and the fsync needs
+            # the descriptor anyway.
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(fh, **arrays)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path: str | Path) -> "BFSCheckpoint":

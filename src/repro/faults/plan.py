@@ -27,9 +27,19 @@ __all__ = [
     "LinkDegradation",
     "TransientFaults",
     "PayloadCorruption",
+    "ServeFault",
+    "SERVE_FAULT_KINDS",
     "FaultPlan",
     "available_scenarios",
 ]
+
+#: Serving-scoped fault kinds (:class:`ServeFault.kind`).
+SERVE_FAULT_KINDS = (
+    "session-error",
+    "straggler",
+    "dispatcher-kill",
+    "cache-poison",
+)
 
 
 def _unit_hash(seed: int, *parts) -> float:
@@ -164,6 +174,59 @@ class PayloadCorruption:
 
 
 @dataclass(frozen=True)
+class ServeFault:
+    """A serving-layer fault, fired by a deterministic batch counter.
+
+    Unlike the simulator faults above — which key off BFS levels inside
+    one traversal — serving faults key off the *batch sequence* the
+    scheduler dispatches: the fault fires on the ``at_batch``-th batch
+    observed since the injector was (re-)armed, for ``count``
+    consecutive batches.  The four kinds
+    (:data:`SERVE_FAULT_KINDS`):
+
+    * ``session-error`` — the session raises a
+      :class:`~repro.errors.FaultError` instead of answering;
+    * ``straggler`` — the batch sleeps ``delay_s`` before answering
+      (drives the scheduler's hedging path);
+    * ``dispatcher-kill`` — the dispatcher task crashes with the batch
+      un-acked (drives supervision + replay);
+    * ``cache-poison`` — the cached copy of the batch's results gets a
+      wrong ``root`` (drives poison detection on the next hit).
+    """
+
+    kind: str
+    at_batch: int = 0
+    count: int = 1
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVE_FAULT_KINDS:
+            raise ConfigError(
+                f"serve fault kind must be one of {SERVE_FAULT_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.at_batch < 0:
+            raise ConfigError(
+                f"serve fault at_batch must be >= 0, got {self.at_batch}"
+            )
+        if self.count < 1:
+            raise ConfigError(
+                f"serve fault count must be >= 1, got {self.count}"
+            )
+        if self.delay_s < 0:
+            raise ConfigError(
+                f"serve fault delay_s must be >= 0, got {self.delay_s}"
+            )
+        if self.kind == "straggler" and self.delay_s == 0:
+            raise ConfigError("a straggler serve fault needs delay_s > 0")
+
+    def fires_at(self, batch_index: int) -> bool:
+        """True when this fault covers the ``batch_index``-th batch
+        since the injector was armed."""
+        return self.at_batch <= batch_index < self.at_batch + self.count
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Everything that will go wrong during one BFS run."""
 
@@ -173,6 +236,9 @@ class FaultPlan:
     links: tuple[LinkDegradation, ...] = ()
     transients: tuple[TransientFaults, ...] = ()
     corruptions: tuple[PayloadCorruption, ...] = ()
+    #: Serving-layer faults (ignored by the simulator engines; consumed
+    #: by :class:`repro.faults.serveinject.ServeFaultInjector`).
+    serve: tuple[ServeFault, ...] = ()
 
     @property
     def empty(self) -> bool:
@@ -183,6 +249,7 @@ class FaultPlan:
             or self.links
             or self.transients
             or self.corruptions
+            or self.serve
         )
 
     def transient_fires(self, op: str, level: int, seq: int) -> bool:
@@ -227,6 +294,7 @@ class FaultPlan:
             "links": [_spec_dict(s) for s in self.links],
             "transients": [_spec_dict(s) for s in self.transients],
             "corruptions": [_spec_dict(s) for s in self.corruptions],
+            "serve": [_spec_dict(s) for s in self.serve],
         }
 
     # ---- scenario catalogue -----------------------------------------------

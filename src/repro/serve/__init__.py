@@ -28,6 +28,12 @@ source (see docs/SERVING.md).
 
 from repro.serve.loadgen import LoadGenResult, run_load
 from repro.serve.report import SCHEMA, build_report, record_for_serve_report
+from repro.serve.resilience import (
+    SHED_POLICIES,
+    CancelToken,
+    CircuitBreaker,
+    ResiliencePolicy,
+)
 from repro.serve.scheduler import BatchScheduler, ResultCache
 from repro.serve.session import BFSService, GraphSession
 
@@ -41,4 +47,8 @@ __all__ = [
     "SCHEMA",
     "build_report",
     "record_for_serve_report",
+    "SHED_POLICIES",
+    "CancelToken",
+    "CircuitBreaker",
+    "ResiliencePolicy",
 ]

@@ -15,6 +15,15 @@ batched serving path and through a sequential ``run_bfs`` loop (one
 fresh engine per query — the pre-serving architecture) and reports the
 queries/sec speedup.
 
+Resilience (all optional — without these flags the scheduler runs the
+policy-free hot path): ``--deadline-ms`` bounds each query end to end,
+``--max-queue`` + ``--shed-policy`` bound the admission queue,
+``--no-hedge`` / ``--hedge-min-ms`` / ``--breaker-threshold`` /
+``--no-supervise`` tune hedged retries, the circuit breaker and
+dispatcher supervision, and ``--resilience`` enables the default
+policy on its own.  The report gains a ``resilience`` block (shed and
+stale-serving counters, hedges, retries, restarts).
+
 Live operations (all optional, zero cost when absent):
 
 * ``--ops-port`` starts the stdlib ops HTTP server next to the
@@ -52,6 +61,7 @@ from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.loadgen import run_load
 from repro.serve.report import SCHEMA, build_report, record_for_serve_report
+from repro.serve.resilience import SHED_POLICIES, ResiliencePolicy
 from repro.serve.scheduler import BatchScheduler
 from repro.serve.session import BFSService
 from repro.util.formatting import format_table
@@ -119,6 +129,46 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--graph-seed", type=int, default=2, help="R-MAT generator seed"
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-query deadline; expired queries are shed from the "
+        "queue and cancelled mid-traversal (implies a resilience "
+        "policy)",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=None, metavar="DEPTH",
+        help="admission-queue bound; beyond it --shed-policy applies "
+        "(implies a resilience policy)",
+    )
+    parser.add_argument(
+        "--shed-policy", choices=SHED_POLICIES, default="reject",
+        help="what to do when the queue is full: reject new work, "
+        "drop-oldest queued work, or degrade (shrink batches, serve "
+        "slightly-stale cached results)",
+    )
+    parser.add_argument(
+        "--hedge-min-ms", type=float, default=50.0, metavar="MS",
+        help="floor for the hedged-retry straggler threshold "
+        "(default 50ms)",
+    )
+    parser.add_argument(
+        "--no-hedge", action="store_true",
+        help="disable hedged retries of straggling batches",
+    )
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive batch failures that trip the circuit "
+        "breaker (0 disables it)",
+    )
+    parser.add_argument(
+        "--no-supervise", action="store_true",
+        help="disable dispatcher supervision (restart + replay)",
+    )
+    parser.add_argument(
+        "--resilience", action="store_true",
+        help="enable the default resilience policy even without "
+        "--deadline-ms/--max-queue",
     )
     parser.add_argument(
         "--compare-sequential",
@@ -216,6 +266,31 @@ def _compare_sequential(service, graph, cluster, config, args) -> dict:
     }
 
 
+def _build_resilience(args) -> ResiliencePolicy | None:
+    """The resilience policy the flags declare (or None).
+
+    The policy is opt-in: it exists only when ``--resilience`` is
+    given or a knob that needs one (``--deadline-ms``, ``--max-queue``)
+    is set, so the default hot path stays byte-identical to the
+    policy-free scheduler.
+    """
+    wants = (
+        args.resilience
+        or args.deadline_ms is not None
+        or args.max_queue is not None
+    )
+    if not wants:
+        return None
+    return ResiliencePolicy(
+        max_queue_depth=args.max_queue,
+        shed_policy=args.shed_policy,
+        hedge=not args.no_hedge,
+        hedge_min_ms=args.hedge_min_ms,
+        breaker_threshold=args.breaker_threshold,
+        supervise=not args.no_supervise,
+    )
+
+
 def _build_slo_spec(args):
     """The :class:`~repro.obs.slo.SLOSpec` the flags declare (or None)."""
     if args.slo_p99_ms is None and args.slo_error_rate is None:
@@ -264,6 +339,7 @@ def run_serving_campaign(args) -> dict:
     warm.run(int(_distinct_roots(graph, 1, seed=args.seed)[0]))
 
     session = service.session(graph, cluster, config, tracer=tracer)
+    resilience = _build_resilience(args)
     scheduler = BatchScheduler(
         session,
         max_batch=args.max_batch,
@@ -271,6 +347,7 @@ def run_serving_campaign(args) -> dict:
         result_cache=args.result_cache if args.result_cache > 0 else None,
         metrics=registry,
         tracer=tracer,
+        resilience=resilience,
     )
 
     workload = {
@@ -293,6 +370,8 @@ def run_serving_campaign(args) -> dict:
         "max_wait_ms": args.max_wait_ms,
         "result_cache": args.result_cache,
         "seed": args.seed,
+        "deadline_ms": args.deadline_ms,
+        "resilience": resilience.as_dict() if resilience else None,
     }
 
     slo_spec = _build_slo_spec(args)
@@ -343,6 +422,7 @@ def run_serving_campaign(args) -> dict:
             seed=args.seed,
             scheduler=scheduler,
             slo_monitor=slo_monitor,
+            deadline_ms=args.deadline_ms,
         )
         if ops is not None and args.ops_linger > 0:
             log.info(
@@ -414,6 +494,21 @@ def _report_table(report: dict) -> str:
             else "off",
         ),
     ]
+    resilience = report.get("resilience")
+    if resilience:
+        counts = resilience.get("counts") or {}
+        rows.append(("rejected", f"{resilience.get('rejected', 0)}"))
+        rows.append(
+            ("deadline expired", f"{resilience.get('deadline_expired', 0)}")
+        )
+        rows.append(
+            ("stale served", f"{resilience.get('stale_served', 0)}")
+        )
+        rows.append(("hedges", f"{counts.get('hedges', 0)}"))
+        rows.append(("retries", f"{counts.get('retries', 0)}"))
+        rows.append(
+            ("dispatcher restarts", f"{counts.get('restarts', 0)}")
+        )
     comparison = report.get("comparison")
     if comparison:
         rows.append(

@@ -22,7 +22,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ConfigError, GraphError
+from repro.errors import (
+    ConfigError,
+    DeadlineExceededError,
+    GraphError,
+    ServeOverloadError,
+)
 from repro.serve.scheduler import BatchScheduler
 
 __all__ = ["LoadGenResult", "pick_root_pool", "run_load"]
@@ -58,11 +63,22 @@ class LoadGenResult:
     scheduler: dict = field(default_factory=dict)
     #: Distinct roots actually queried (diagnostic, not replayed).
     distinct_roots: int = 0
+    #: Per-query deadline offered to the scheduler (None = unbounded).
+    deadline_ms: float | None = None
+    #: Queries shed by admission control (queue full / breaker open).
+    rejected: int = 0
+    #: Queries whose deadline expired before a result materialised.
+    deadline_expired: int = 0
+
+    @property
+    def completed(self) -> int:
+        """Queries that actually produced a BFS result."""
+        return self.queries - self.rejected - self.deadline_expired
 
     @property
     def qps_achieved(self) -> float:
         """Completed queries per wall-clock second."""
-        return self.queries / self.wall_seconds if self.wall_seconds else 0.0
+        return self.completed / self.wall_seconds if self.wall_seconds else 0.0
 
     def as_dict(self) -> dict:
         """The measurements as a plain JSON-ready dict (an unbounded
@@ -76,14 +92,26 @@ class LoadGenResult:
             "latency_ms": dict(self.latency_ms),
             "scheduler": dict(self.scheduler),
             "distinct_roots": self.distinct_roots,
+            "deadline_ms": self.deadline_ms,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "deadline_expired": self.deadline_expired,
         }
 
 
 async def _drive(
-    scheduler: BatchScheduler, roots, qps: float, slo_monitor=None
-) -> float:
+    scheduler: BatchScheduler,
+    roots,
+    qps: float,
+    slo_monitor=None,
+    deadline_ms: float | None = None,
+) -> tuple[float, int, int]:
     """Submit every query at its open-loop arrival time; returns the
-    wall-clock seconds from first arrival to last completion.
+    wall-clock seconds from first arrival to last completion plus the
+    counts of queries shed by admission control and expired on
+    deadline.  Shedding and deadline misses are *expected* outcomes
+    under a resilience policy — they are tallied, not raised — while
+    any other failure still propagates.
 
     When an :class:`~repro.obs.slo.SLOMonitor` rides along, a sampler
     task snapshots the registry at the monitor's interval while load
@@ -94,7 +122,13 @@ async def _drive(
     async def one(delay: float, root: int):
         if delay > 0:
             await asyncio.sleep(delay)
-        return await scheduler.submit(root)
+        try:
+            result = await scheduler.submit(root, deadline_ms=deadline_ms)
+        except ServeOverloadError:
+            return "rejected"
+        except DeadlineExceededError:
+            return "deadline"
+        return "ok" if result is not None else None
 
     async def sample_forever():
         while True:
@@ -127,7 +161,9 @@ async def _drive(
     elapsed = time.perf_counter() - start
     if any(r is None for r in results):  # pragma: no cover - invariant
         raise AssertionError("load generator lost a query result")
-    return elapsed
+    rejected = sum(1 for r in results if r == "rejected")
+    expired = sum(1 for r in results if r == "deadline")
+    return elapsed, rejected, expired
 
 
 def run_load(
@@ -144,6 +180,8 @@ def run_load(
     tracer=None,
     slo_monitor=None,
     scheduler: BatchScheduler | None = None,
+    resilience=None,
+    deadline_ms: float | None = None,
 ) -> LoadGenResult:
     """Run one synthetic open-loop campaign against ``session``.
 
@@ -156,10 +194,16 @@ def run_load(
     sequence replaces the pool sampling (the sequential-comparison mode
     replays an exact root list).  ``tracer`` threads request-scoped
     tracing through the scheduler; ``slo_monitor`` is sampled while
-    load flows.
+    load flows.  ``resilience`` (a
+    :class:`~repro.serve.resilience.ResiliencePolicy`) and
+    ``deadline_ms`` turn admission control and per-query deadlines on —
+    queries shed or expired under them are tallied in the result rather
+    than aborting the campaign.
     """
     if qps <= 0:
         raise ConfigError("qps must be positive (use inf for a burst)")
+    if deadline_ms is not None and deadline_ms <= 0:
+        raise ConfigError("deadline_ms must be positive when set")
     if roots is not None:
         roots = np.asarray(roots, dtype=np.int64)
         queries = int(roots.size)
@@ -177,8 +221,11 @@ def run_load(
             result_cache=result_cache,
             metrics=metrics,
             tracer=tracer,
+            resilience=resilience,
         )
-    wall = asyncio.run(_drive(scheduler, roots, qps, slo_monitor))
+    wall, rejected, expired = asyncio.run(
+        _drive(scheduler, roots, qps, slo_monitor, deadline_ms=deadline_ms)
+    )
     latency = scheduler.metrics.histogram("serve.latency_ms").summary()
     return LoadGenResult(
         queries=int(queries),
@@ -187,4 +234,7 @@ def run_load(
         latency_ms=latency,
         scheduler=scheduler.stats(),
         distinct_roots=int(np.unique(roots).size),
+        deadline_ms=deadline_ms,
+        rejected=rejected,
+        deadline_expired=expired,
     )

@@ -40,8 +40,34 @@ def build_report(
     prepared-graph cache counters, ``comparison`` the optional
     sequential-baseline block, and ``slo`` the optional embedded
     ``repro.slo/v1`` evaluation of the campaign.
+
+    When the campaign ran under a resilience policy the report carries
+    a ``resilience`` block: the policy knobs, shed/hedge/retry/replay
+    counters, breaker state, and the stale-serving marker
+    (``stale_served > 0`` means some answers were slightly-stale cache
+    entries served in degrade mode).  Without a policy the block is
+    ``None`` — the schema stays ``repro.serve/v1`` either way.
     """
     measured = loadgen_result.as_dict()
+    sched_stats = measured["scheduler"]
+    resil_stats = (
+        sched_stats.get("resilience")
+        if isinstance(sched_stats, dict)
+        else None
+    )
+    resilience = None
+    if resil_stats is not None:
+        counts = dict(resil_stats.get("counts") or {})
+        resilience = {
+            "policy": dict(resil_stats.get("policy") or {}),
+            "degraded": bool(resil_stats.get("degraded", False)),
+            "counts": counts,
+            "breaker": resil_stats.get("breaker"),
+            "deadline_ms": measured.get("deadline_ms"),
+            "rejected": int(measured.get("rejected", 0)),
+            "deadline_expired": int(measured.get("deadline_expired", 0)),
+            "stale_served": int(counts.get("stale_served", 0)),
+        }
     return {
         "schema": SCHEMA,
         "workload": dict(workload),
@@ -52,9 +78,11 @@ def build_report(
             "qps_achieved": measured["qps_achieved"],
             "wall_seconds": measured["wall_seconds"],
             "queries": measured["queries"],
+            "completed": measured.get("completed", measured["queries"]),
             "distinct_roots": measured["distinct_roots"],
         },
-        "scheduler": measured["scheduler"],
+        "scheduler": sched_stats,
+        "resilience": resilience,
         "caches": {
             "prepared": dict(prepared_stats),
             "results": measured["scheduler"].get("result_cache"),
@@ -106,6 +134,17 @@ def record_for_serve_report(
         )
         metrics["batched_qps"] = float(comparison.get("batched_qps", 0.0))
         metrics["speedup"] = float(comparison.get("speedup", 0.0))
+    resilience = report.get("resilience") or {}
+    if resilience:
+        counts = resilience.get("counts") or {}
+        metrics["rejected"] = float(resilience.get("rejected", 0))
+        metrics["deadline_expired"] = float(
+            resilience.get("deadline_expired", 0)
+        )
+        metrics["stale_served"] = float(resilience.get("stale_served", 0))
+        metrics["hedges"] = float(counts.get("hedges", 0))
+        metrics["retries"] = float(counts.get("retries", 0))
+        metrics["dispatcher_restarts"] = float(counts.get("restarts", 0))
     labels = {"schema": SCHEMA}
     if source:
         labels["source"] = source

@@ -23,6 +23,7 @@ from repro.core.engine import BFSResult
 from repro.core.multisource import MultiSourceEngine
 from repro.core.prepared import PreparedGraph, PreparedGraphCache
 from repro.core.timing import CostConstants
+from repro.errors import GraphError
 from repro.graph.types import Graph
 from repro.machine.spec import ClusterSpec, paper_cluster
 
@@ -80,6 +81,43 @@ class GraphSession:
             )
         return self._engine
 
+    def fresh(self) -> "GraphSession":
+        """A new session over the same (shared, immutable) prepared
+        graph, with a clean engine.
+
+        The scheduler's hedged retries run against a fresh session so a
+        wedged or poisoned engine never taints the retry; construction
+        is cheap because the expensive partition state is reused as-is.
+        """
+        return GraphSession(
+            self.graph,
+            self.cluster,
+            self.config,
+            self.prepared,
+            constants=self.constants,
+            metrics=self.metrics,
+            tracer=self.tracer,
+        )
+
+    def _check_sources(self, sources) -> None:
+        """Reject out-of-range sources at the session boundary.
+
+        Without this, a bad source surfaces as a numpy ``IndexError``
+        from deep inside the kernel; clients of the serving API get a
+        structured :class:`~repro.errors.GraphError` instead, carrying
+        the offending vertex and the graph's vertex count.
+        """
+        n = self.graph.num_vertices
+        for s in sources:
+            v = int(s)
+            if not 0 <= v < n:
+                raise GraphError(
+                    f"source vertex {v} out of range for graph with "
+                    f"{n} vertices",
+                    vertex=v,
+                    num_vertices=n,
+                )
+
     def run(self, source: int, validate: bool = False) -> BFSResult:
         """Answer one query (a batch of one lane)."""
         return self.run_batch([source], validate=validate)[0]
@@ -90,6 +128,7 @@ class GraphSession:
         validate: bool = False,
         trace_ids=None,
         batch_id: str | None = None,
+        cancel=None,
     ) -> list[BFSResult]:
         """Answer up to 64 queries in one batched traversal.
 
@@ -97,11 +136,13 @@ class GraphSession:
         sequential single-source runs (the
         :mod:`repro.core.multisource` contract).  ``trace_ids`` /
         ``batch_id`` (passed by the serving scheduler when tracing) ride
-        down into the engine's batch spans.
+        down into the engine's batch spans; ``cancel`` is a cooperative
+        cancellation token checked between BFS levels.
         """
+        self._check_sources(sources)
         return self.engine.run_batch(
             sources, validate=validate, trace_ids=trace_ids,
-            batch_id=batch_id,
+            batch_id=batch_id, cancel=cancel,
         )
 
 

@@ -173,3 +173,69 @@ def test_memory_store_keeps_latest():
         )
     assert len(store) == 1
     assert store.latest().level == 2
+
+
+def _small_checkpoint(level: int = 1) -> BFSCheckpoint:
+    return BFSCheckpoint(
+        level=level,
+        prev_direction=None,
+        policy_direction="top_down",
+        policy_finished_bottom_up=False,
+        parents=[np.arange(8, dtype=np.int64)],
+        unexplored=[3],
+        frontier_lists=[np.array([2, 4], dtype=np.int64)],
+        visited_words=None,
+    )
+
+
+class TestCrashSafeSave:
+    """A crash mid-write must leave the previous archive (or nothing),
+    never a torn one."""
+
+    def test_crash_mid_write_preserves_previous_checkpoint(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "ckpt.npz"
+        _small_checkpoint(level=1).save(path)
+
+        def torn_write(fh, **arrays):
+            fh.write(b"PK\x03\x04 partial garbage")
+            raise OSError("simulated crash mid-write")
+
+        monkeypatch.setattr(np, "savez_compressed", torn_write)
+        with pytest.raises(OSError):
+            _small_checkpoint(level=2).save(path)
+        monkeypatch.undo()
+        # The original archive is intact and still loads...
+        assert BFSCheckpoint.load(path).level == 1
+        # ...and no temporary file is left behind.
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["ckpt.npz"]
+
+    def test_crash_on_first_write_leaves_nothing(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "ckpt.npz"
+
+        def torn_write(fh, **arrays):
+            raise OSError("simulated crash mid-write")
+
+        monkeypatch.setattr(np, "savez_compressed", torn_write)
+        with pytest.raises(OSError):
+            _small_checkpoint().save(path)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_tmp_file_never_matches_the_store_glob(self, tmp_path):
+        """The temporary name must miss DiskCheckpointStore's pruning
+        glob, or a prune racing a save could delete the in-flight file."""
+        tmp_name = "ckpt_level00001.npz.tmp.99999"  # another process's tmp
+        (tmp_path / tmp_name).write_bytes(b"in flight")
+        store = DiskCheckpointStore(tmp_path, keep=1)
+        store.put(_small_checkpoint(level=1))
+        assert (tmp_path / tmp_name).exists()
+
+    def test_save_replaces_existing_atomically(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        _small_checkpoint(level=1).save(path)
+        _small_checkpoint(level=2).save(path)
+        assert BFSCheckpoint.load(path).level == 2
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["ckpt.npz"]

@@ -205,3 +205,54 @@ class TestBatchValidation:
         assert ms.prepared is ms.engine.prepared
         ms2 = MultiSourceEngine(graph, cluster, prepared=ms.prepared)
         assert ms2.prepared is ms.prepared
+
+
+class TestCooperativeCancel:
+    """The engine-level cancel hook the serving deadline path uses."""
+
+    def test_cancelled_token_stops_before_any_level(self, graph, cluster):
+        from repro.errors import DeadlineExceededError
+        from repro.serve.resilience import CancelToken
+
+        ms = MultiSourceEngine(graph, cluster)
+        token = CancelToken()
+        token.cancel()
+        with pytest.raises(DeadlineExceededError) as err:
+            ms.run_batch(roots_for(graph, 2, seed=3), cancel=token)
+        assert "batch round" in err.value.context["where"]
+
+    def test_mid_traversal_cancel_stops_between_levels(
+        self, graph, cluster
+    ):
+        from repro.errors import DeadlineExceededError
+        from repro.serve.resilience import CancelToken
+
+        # A clock the test advances: the first check (round 0) passes,
+        # every later one sees the deadline expired.
+        ticks = [0.0]
+
+        def clock():
+            ticks[0] += 1.0
+            return ticks[0]
+
+        ms = MultiSourceEngine(graph, cluster)
+        token = CancelToken(deadline=2.5, clock=clock)
+        with pytest.raises(DeadlineExceededError):
+            ms.run_batch(roots_for(graph, 2, seed=3), cancel=token)
+
+    def test_none_cancel_is_the_default_path(self, graph, cluster):
+        ms = MultiSourceEngine(graph, cluster)
+        roots = roots_for(graph, 2, seed=3)
+        with_none = ms.run_batch(roots, cancel=None)
+        plain = ms.run_batch(roots)
+        for a, b in zip(with_none, plain):
+            assert np.array_equal(a.parent, b.parent)
+            assert a.seconds == b.seconds
+
+    def test_out_of_range_error_is_structured(self, graph, cluster):
+        ms = MultiSourceEngine(graph, cluster)
+        bad = graph.num_vertices + 3
+        with pytest.raises(GraphError) as err:
+            ms.run_batch([bad])
+        assert err.value.context["vertex"] == bad
+        assert err.value.context["num_vertices"] == graph.num_vertices
